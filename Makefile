@@ -1,0 +1,27 @@
+# Convenience targets for the hypersphere-dominance reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments claims clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+experiments:
+	$(PYTHON) -m repro all
+
+claims:
+	$(PYTHON) -m repro claims
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

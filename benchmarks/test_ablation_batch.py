@@ -1,0 +1,44 @@
+"""Ablation: scalar (per-triple) vs vectorised (whole-workload) kernels.
+
+Quantifies how much of the scalar criteria's measured time is CPython
+call overhead: the batch kernels evaluate the same decisions in NumPy.
+The answers are asserted identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import get_criterion
+from repro.core.batch import batch_evaluate
+from repro.geometry.hypersphere import Hypersphere
+
+from conftest import DOMINANCE_CRITERIA, dominance_workload, make_synthetic
+
+WORKLOAD = dominance_workload(make_synthetic())
+TRIPLES = list(WORKLOAD.triples())
+
+
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_scalar_kernel(benchmark, name):
+    criterion = get_criterion(name)
+
+    def run():
+        return sum(criterion.dominates(sa, sb, sq) for sa, sb, sq in TRIPLES)
+
+    positives = benchmark(run)
+    benchmark.extra_info["mode"] = "scalar"
+    benchmark.extra_info["positives"] = positives
+
+
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_batch_kernel(benchmark, name):
+    arrays = WORKLOAD.arrays()
+    out = benchmark(batch_evaluate, name, *arrays)
+    benchmark.extra_info["mode"] = "batch"
+    benchmark.extra_info["positives"] = int(np.count_nonzero(out))
+    # The two modes must agree decision-for-decision.
+    criterion = get_criterion(name)
+    scalar = np.array([criterion.dominates(*t) for t in TRIPLES])
+    assert np.array_equal(out, scalar)

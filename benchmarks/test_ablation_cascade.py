@@ -1,0 +1,36 @@
+"""Ablation: the filter-and-refine cascade vs the plain exact decision.
+
+The cascade (MinMax fast-accept / center-witness fast-reject, then
+Hyperbola) is decision-identical to Hyperbola; this benchmark measures
+how much of a random workload the shortcuts absorb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import get_criterion
+
+from conftest import dominance_workload, make_synthetic
+
+
+@pytest.mark.parametrize("name", ("hyperbola", "cascade"))
+@pytest.mark.parametrize("mu", (5.0, 50.0))
+def test_cascade_vs_exact(benchmark, name, mu):
+    workload = dominance_workload(make_synthetic(mu=mu))
+    triples = list(workload.triples())
+    criterion = get_criterion(name)
+
+    def run():
+        return sum(criterion.dominates(sa, sb, sq) for sa, sb, sq in triples)
+
+    positives = benchmark(run)
+    benchmark.extra_info["criterion"] = name
+    benchmark.extra_info["mu"] = mu
+    benchmark.extra_info["positives"] = positives
+    # Decision-identical to the exact criterion by construction.
+    exact = get_criterion("hyperbola")
+    assert positives == sum(
+        exact.dominates(sa, sb, sq) for sa, sb, sq in triples
+    )

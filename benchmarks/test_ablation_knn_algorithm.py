@@ -1,0 +1,37 @@
+"""Ablation: the paper's single-pass kNN list maintenance vs two-phase.
+
+The incremental algorithm (Section 6) prunes against intermediate
+anchors — cheaper lists but possible coverage loss; the two-phase
+variant is Definition-2 exact.  This ablation measures the price of
+exactness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.knn import knn_query, knn_reference
+
+from conftest import bench_knn, knn_world
+
+
+@pytest.mark.parametrize("algorithm", ("incremental", "two-phase"))
+@pytest.mark.parametrize("strategy", ("hs", "df"))
+def test_knn_algorithm_variants(benchmark, algorithm, strategy):
+    tree, flat, queries = knn_world()
+
+    def run():
+        return [
+            knn_query(tree, q, 10, strategy=strategy, algorithm=algorithm)
+            for q in queries
+        ]
+
+    results = benchmark(run)
+    coverage_sum = 0.0
+    for query, result in zip(queries, results):
+        truth = knn_reference(flat, query, 10).key_set()
+        coverage_sum += 100.0 * len(result.key_set() & truth) / len(truth)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["coverage_pct"] = round(coverage_sum / len(queries), 2)
+    if algorithm == "two-phase":
+        assert coverage_sum == pytest.approx(100.0 * len(queries))

@@ -1,0 +1,32 @@
+"""Figure 8: effect of the average radius mu on the dominance problem (NBA).
+
+Regenerates all three panels — execution time (the benchmarked
+quantity), precision and recall (``extra_info``) — for every criterion
+at each mu in {5, 10, 50, 100}, on the NBA surrogate dataset.
+
+Expected shape (the paper's): MinMax cheapest; Hyperbola at 100/100;
+MinMax/MBR/GP precision 100 with recall degrading as mu grows;
+Trigonometric recall 100 with precision degrading as mu grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    DOMINANCE_CRITERIA,
+    bench_criterion_workload,
+    dominance_workload,
+    make_real,
+)
+
+MU_VALUES = (5.0, 10.0, 50.0, 100.0)
+
+
+@pytest.mark.parametrize("mu", MU_VALUES)
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_dominance_radius_sweep_nba(benchmark, name, mu):
+    workload = dominance_workload(make_real("nba", mu=mu))
+    benchmark.extra_info["mu"] = mu
+    benchmark.extra_info["dataset"] = "nba"
+    bench_criterion_workload(benchmark, name, workload)

@@ -1,0 +1,28 @@
+"""Figure 9: effect of dimensionality d on the dominance problem (synthetic).
+
+Time/precision/recall for every criterion at d in {2, 4, 6, 8, 10}.
+Expected shape: every criterion's per-decision cost grows mildly
+(linearly) with d — the O(d) efficiency claim — while the quality flags
+stay as in Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    DOMINANCE_CRITERIA,
+    bench_criterion_workload,
+    dominance_workload,
+    make_synthetic,
+)
+
+DIMENSIONS = (2, 4, 6, 8, 10)
+
+
+@pytest.mark.parametrize("d", DIMENSIONS)
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_dominance_dimensionality_sweep(benchmark, name, d):
+    workload = dominance_workload(make_synthetic(d=d))
+    benchmark.extra_info["d"] = d
+    bench_criterion_workload(benchmark, name, workload)

@@ -1,0 +1,28 @@
+"""Figure 10: the dominance problem on the four real datasets.
+
+Time/precision/recall for every criterion on NBA, Forest, Color and
+Texture (surrogates; see DESIGN.md Section 3).  Expected shape: the
+same criterion ordering as on synthetic data — the paper's point is
+that the dominance results carry over to real data distributions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    DOMINANCE_CRITERIA,
+    bench_criterion_workload,
+    dominance_workload,
+    make_real,
+)
+
+REAL_DATASETS = ("nba", "forest", "color", "texture")
+
+
+@pytest.mark.parametrize("dataset_name", REAL_DATASETS)
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_dominance_real_datasets(benchmark, name, dataset_name):
+    workload = dominance_workload(make_real(dataset_name, mu=10.0))
+    benchmark.extra_info["dataset"] = dataset_name
+    bench_criterion_workload(benchmark, name, workload)

@@ -1,0 +1,27 @@
+"""Figure 11: dominance execution time in high-dimensional space.
+
+Only the runtime panel exists in the paper; d sweeps {25, 50, 75, 100}.
+Expected shape: every criterion remains near-linear in d (no blow-up),
+preserving the relative ordering from Figure 9.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    DOMINANCE_CRITERIA,
+    bench_criterion_workload,
+    dominance_workload,
+    make_synthetic,
+)
+
+HIGH_DIMENSIONS = (25, 50, 75, 100)
+
+
+@pytest.mark.parametrize("d", HIGH_DIMENSIONS)
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_dominance_high_dimensional(benchmark, name, d):
+    workload = dominance_workload(make_synthetic(n=400, d=d))
+    benchmark.extra_info["d"] = d
+    bench_criterion_workload(benchmark, name, workload)

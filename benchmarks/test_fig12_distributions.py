@@ -1,0 +1,36 @@
+"""Figure 12: dominance execution time under different data distributions.
+
+The G-G / G-U / U-G / U-U grid (Gaussian vs Uniform for centers and
+radii).  Expected shape: no criterion's runtime is strongly affected by
+the distribution; Hyperbola and Trigonometric mildly favour Gaussian
+data (as the paper observes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    DOMINANCE_CRITERIA,
+    bench_criterion_workload,
+    dominance_workload,
+    make_synthetic,
+)
+
+GRID = (
+    ("gaussian", "gaussian", "G-G"),
+    ("gaussian", "uniform", "G-U"),
+    ("uniform", "gaussian", "U-G"),
+    ("uniform", "uniform", "U-U"),
+)
+
+
+@pytest.mark.parametrize(("centers", "radii", "label"), GRID)
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_dominance_distribution_grid(benchmark, name, centers, radii, label):
+    dataset = make_synthetic(
+        center_distribution=centers, radius_distribution=radii
+    )
+    workload = dominance_workload(dataset)
+    benchmark.extra_info["distribution"] = label
+    bench_criterion_workload(benchmark, name, workload)

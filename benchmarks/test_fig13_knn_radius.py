@@ -1,0 +1,25 @@
+"""Figure 13: effect of the average radius mu on kNN queries (synthetic).
+
+Query time (benchmarked) and precision (``extra_info``) for the eight
+DF/HS x {Hyper, MinMax, MBR, GP} combinations at each mu.
+
+Expected shape: MinMax-based algorithms are the fastest; only the
+Hyperbola-based ones hold 100% precision, and the others' precision
+drops as mu grows (more uncertainty -> more unsound prunes missed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import KNN_CRITERIA, bench_knn
+
+MU_VALUES = (5.0, 10.0, 50.0, 100.0)
+
+
+@pytest.mark.parametrize("mu", MU_VALUES)
+@pytest.mark.parametrize("strategy", ("hs", "df"))
+@pytest.mark.parametrize("criterion", KNN_CRITERIA)
+def test_knn_radius_sweep(benchmark, mu, strategy, criterion):
+    benchmark.extra_info["mu"] = mu
+    bench_knn(benchmark, strategy=strategy, criterion=criterion, k=10, mu=mu)

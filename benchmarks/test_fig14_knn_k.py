@@ -1,0 +1,21 @@
+"""Figure 14: effect of k on kNN queries (synthetic).
+
+Expected shape: query time grows with k for every combination (a longer
+best-known list costs more maintenance); precision is roughly flat in k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import KNN_CRITERIA, bench_knn
+
+K_VALUES = (1, 10, 20, 30)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("strategy", ("hs", "df"))
+@pytest.mark.parametrize("criterion", KNN_CRITERIA)
+def test_knn_k_sweep(benchmark, k, strategy, criterion):
+    benchmark.extra_info["k"] = k
+    bench_knn(benchmark, strategy=strategy, criterion=criterion, k=k)

@@ -1,0 +1,24 @@
+"""Figure 15: effect of the data size N on kNN queries (synthetic).
+
+Expected shape: query time grows with N for every combination;
+precision is not strongly affected by N.
+
+(The paper sweeps 20k-180k; the benchmark suite scales the axis down by
+100x — run ``python -m repro fig15 --scale 1.0`` for paper sizes.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import KNN_CRITERIA, bench_knn
+
+N_VALUES = (200, 600, 1000, 1400, 1800)
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+@pytest.mark.parametrize("strategy", ("hs", "df"))
+@pytest.mark.parametrize("criterion", KNN_CRITERIA)
+def test_knn_datasize_sweep(benchmark, n, strategy, criterion):
+    benchmark.extra_info["n"] = n
+    bench_knn(benchmark, strategy=strategy, criterion=criterion, k=10, n=n)

@@ -1,0 +1,21 @@
+"""Figure 16: effect of the dimensionality d on kNN queries (synthetic).
+
+Expected shape: query time grows with d (distance computations and the
+index's pruning power both degrade); precision not strongly affected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import KNN_CRITERIA, bench_knn
+
+DIMENSIONS = (2, 4, 6, 8, 10)
+
+
+@pytest.mark.parametrize("d", DIMENSIONS)
+@pytest.mark.parametrize("strategy", ("hs", "df"))
+@pytest.mark.parametrize("criterion", KNN_CRITERIA)
+def test_knn_dimensionality_sweep(benchmark, d, strategy, criterion):
+    benchmark.extra_info["d"] = d
+    bench_knn(benchmark, strategy=strategy, criterion=criterion, k=10, d=d)

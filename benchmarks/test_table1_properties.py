@@ -1,0 +1,46 @@
+"""Table 1: per-criterion cost of a single dominance decision.
+
+Benchmarks one representative decision per criterion (the efficiency
+column of Table 1) and re-verifies the correct/sound flags on a
+workload, attaching the observed counts to ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import get_criterion
+from repro.core.batch import batch_evaluate
+from repro.experiments.metrics import binary_metrics
+from repro.geometry.hypersphere import Hypersphere
+
+from conftest import DOMINANCE_CRITERIA, dominance_workload, make_synthetic
+
+SA = Hypersphere([0.0] * 6, 1.0)
+SB = Hypersphere([30.0] + [0.0] * 5, 1.0)
+SQ = Hypersphere([-3.0] + [0.5] * 5, 1.0)
+
+
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_single_decision_cost(benchmark, name):
+    criterion = get_criterion(name)
+    result = benchmark(criterion.dominates, SA, SB, SQ)
+    benchmark.extra_info["criterion"] = name
+    benchmark.extra_info["verdict"] = bool(result)
+
+
+@pytest.mark.parametrize("name", DOMINANCE_CRITERIA)
+def test_property_flags(benchmark, name):
+    """Empirical Table-1 flags on a workload (timing the batch kernel)."""
+    workload = dominance_workload(make_synthetic())
+    arrays = workload.arrays()
+    predicted = benchmark(batch_evaluate, name, *arrays)
+    truth = batch_evaluate("hyperbola", *arrays)
+    scores = binary_metrics(predicted, truth)
+    criterion = get_criterion(name)
+    benchmark.extra_info["false_positives"] = scores.false_positives
+    benchmark.extra_info["false_negatives"] = scores.false_negatives
+    if criterion.is_correct:
+        assert scores.false_positives == 0
+    if criterion.is_sound:
+        assert scores.false_negatives == 0

@@ -1,0 +1,88 @@
+"""Side-by-side anatomy of the five dominance criteria.
+
+Run with::
+
+    python examples/criteria_comparison.py
+
+Reproduces, as runnable code, the paper's counter-example constructions
+(the proofs of Lemmas 3, 5 and 11) that separate the criteria, then
+sweeps a query sphere across the decision boundary to show where each
+criterion flips — a one-dimensional slice of Figures 8–9's precision
+and recall behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hypersphere, available_criteria, get_criterion
+from repro.core import oracle_dominates
+
+CRITERIA = list(available_criteria())
+
+
+def show_case(title: str, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> None:
+    truth = oracle_dominates(sa, sb, sq)
+    print(f"{title}")
+    print(f"  ground truth (numerical oracle): {truth}")
+    for name in CRITERIA:
+        verdict = get_criterion(name).dominates(sa, sb, sq)
+        note = ""
+        if verdict and not truth:
+            note = "   <- FALSE POSITIVE"
+        elif not verdict and truth:
+            note = "   <- false negative"
+        print(f"  {name:<14s}: {verdict}{note}")
+    print()
+
+
+def main() -> None:
+    # Lemma 3 (non-soundness of MinMax): two points with a fat query on
+    # the dominator's side of the bisector.
+    show_case(
+        "Lemma 3 construction -- MinMax misses a true dominance:",
+        Hypersphere([0.0, 2.0], 0.0),
+        Hypersphere([0.0, -2.0], 0.0),
+        Hypersphere([0.0, 6.0], 3.0),
+    )
+
+    # Lemma 5 (non-soundness of MBR): three equal spheres on a diagonal;
+    # the MBRs of Sa and Sb intersect although the spheres do not.
+    r = 1.0
+    delta = 0.05
+    diag = np.array([1.0, 1.0]) / np.sqrt(2.0)
+    cq = np.array([0.0, 0.0])
+    show_case(
+        "Lemma 5 construction -- MBR misses a true dominance:",
+        Hypersphere(cq + diag * 4.0 * r, r),
+        Hypersphere(cq + diag * (6.0 * r + delta), r),
+        Hypersphere(cq, r),
+    )
+
+    # Lemma 11 (non-correctness of Trigonometric): when the true margin
+    # is negative at *both* of the surrogate's probes, the same-sign
+    # rule wrongly answers "dominates".  Here Sb sits right next to the
+    # query while Sa is far away -- clearly not a dominance.
+    show_case(
+        "Lemma 11 regime -- Trigonometric claims a false dominance:",
+        Hypersphere([10.0, 0.0], 0.5),
+        Hypersphere([0.0, 0.0], 0.5),
+        Hypersphere([0.0, 1.0], 0.3),
+    )
+
+    # Boundary sweep: slide the query away from Sb and record where each
+    # criterion starts answering True.  Hyperbola flips exactly at the
+    # geometric boundary; correct-but-unsound criteria flip later.
+    sa = Hypersphere([0.0, 0.0], 1.0)
+    sb = Hypersphere([10.0, 0.0], 1.0)
+    print("query sweep along the focal axis (rq = 1):")
+    print(f"  {'position':>8s}  " + "  ".join(f"{n[:6]:>6s}" for n in CRITERIA))
+    for x in np.linspace(4.0, -8.0, 13):
+        sq = Hypersphere([x, 0.0], 1.0)
+        answers = [get_criterion(n).dominates(sa, sb, sq) for n in CRITERIA]
+        cells = "  ".join(f"{str(a):>6s}" for a in answers)
+        print(f"  {x:>8.1f}  {cells}")
+
+
+if __name__ == "__main__":
+    main()

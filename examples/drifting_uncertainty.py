@@ -1,0 +1,69 @@
+"""Dominance under drift and custom metrics (the paper's future work).
+
+Run with::
+
+    python examples/drifting_uncertainty.py
+
+The paper's conclusion names two open directions, both implemented in
+this reproduction:
+
+1. radii that change over time (``repro.core.temporal``);
+2. distance metrics other than plain Euclidean
+   (``repro.core.weighted``).
+
+Scenario: two rescue drones report positions whose uncertainty grows
+the longer they fly without a GPS fix.  A ground team (also uncertain)
+must know *for how long* it can rely on "drone A is certainly closer
+than drone B" — and how the answer changes when east-west distance
+matters more than north-south (a river crossing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hypersphere
+from repro.core import (
+    GrowingHypersphere,
+    WeightedEuclideanCriterion,
+    dominance_horizon,
+    dominates_at,
+)
+
+
+def main() -> None:
+    drone_a = GrowingHypersphere(Hypersphere([2.0, 1.0], 0.2), rate=0.15)
+    drone_b = GrowingHypersphere(Hypersphere([14.0, 3.0], 0.2), rate=0.25)
+    team = GrowingHypersphere(Hypersphere([0.0, 0.0], 0.5), rate=0.05)
+
+    print("drone A at", drone_a.sphere.center, "+-", drone_a.sphere.radius,
+          f"(drift {drone_a.rate}/min)")
+    print("drone B at", drone_b.sphere.center, "+-", drone_b.sphere.radius,
+          f"(drift {drone_b.rate}/min)")
+    print("ground team at", team.sphere.center, "+-", team.sphere.radius,
+          f"(drift {team.rate}/min)\n")
+
+    assert dominates_at(drone_a, drone_b, team, 0.0)
+    horizon = dominance_horizon(drone_a, drone_b, team, horizon=120.0)
+    print("right now: drone A is CERTAINLY the closer one")
+    print(f"that guarantee survives accumulated drift for {horizon:.1f} minutes\n")
+
+    print("uncertainty over time (A certainly closer?):")
+    for t in (0.0, horizon / 2, horizon * 0.99, horizon * 1.01, 120.0):
+        verdict = dominates_at(drone_a, drone_b, team, min(t, 120.0))
+        print(f"  t = {t:6.1f} min -> {verdict}")
+
+    # Metric matters: if crossing east-west (axis 0) is 25x costlier
+    # than north-south, the comparison should weight it accordingly.
+    print("\nweighted-metric view at t = 0 (east-west weighted 25x):")
+    standard = WeightedEuclideanCriterion([1.0, 1.0])
+    river = WeightedEuclideanCriterion([25.0, 1.0])
+    a0, b0, q0 = drone_a.at(0.0), drone_b.at(0.0), team.at(0.0)
+    print(f"  plain Euclidean: A dominates B -> {standard.dominates(a0, b0, q0)}")
+    print(f"  river-weighted:  A dominates B -> {river.dominates(a0, b0, q0)}")
+    print("\n(the drones' uncertainty balls are interpreted in whichever")
+    print("metric the comparison uses — see repro/core/weighted.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Top-k dominating queries: ranking under uncertainty.
+
+Run with::
+
+    python examples/robust_ranking.py
+
+Scenario: apartments listed with *approximate* locations (a privacy
+circle instead of an address — a real practice on rental platforms).  A
+commuter wants the listings that are most defensibly close to their
+(also uncertain) workplace campus.
+
+A plain distance sort is meaningless when every location is a region.
+The *dominance score* of a listing counts how many competitors are
+certainly farther — whatever the true positions turn out to be.  The
+top-k dominating query therefore returns the k most robust answers,
+with no distance threshold to tune.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hypersphere
+from repro.queries import top_k_dominating
+
+N_LISTINGS = 300
+TOP_K = 8
+
+
+def build_listings(rng: np.random.Generator):
+    """Listings clustered in a few neighbourhoods, varied privacy radii."""
+    neighbourhoods = rng.uniform(0.0, 30.0, size=(6, 2))
+    listings = []
+    for i in range(N_LISTINGS):
+        around = neighbourhoods[rng.integers(len(neighbourhoods))]
+        location = around + rng.normal(0.0, 2.0, size=2)
+        privacy_radius = float(rng.uniform(0.1, 1.2))  # km
+        listings.append((f"apt-{i:03d}", Hypersphere(location, privacy_radius)))
+    return listings
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    listings = build_listings(rng)
+    campus = Hypersphere(rng.uniform(5.0, 25.0, size=2), 0.6)
+
+    print(f"{len(listings)} listings; campus at {np.round(campus.center, 1)} "
+          f"+- {campus.radius} km\n")
+
+    exact = top_k_dominating(listings, campus, TOP_K)
+    loose = top_k_dominating(listings, campus, TOP_K, criterion="minmax")
+
+    sphere_by_key = dict(listings)
+    print(f"top-{TOP_K} by dominance score (exact Hyperbola operator):")
+    for entry in exact:
+        sphere = sphere_by_key[entry.key]
+        gap = float(np.linalg.norm(sphere.center - campus.center))
+        print(
+            f"  {entry.key}: dominates {entry.score:3d} competitors "
+            f"(center {gap:5.2f} km away, +-{sphere.radius:.2f})"
+        )
+
+    exact_keys = [entry.key for entry in exact]
+    loose_keys = [entry.key for entry in loose]
+    moved = sum(1 for a, b in zip(exact_keys, loose_keys) if a != b)
+    print(
+        f"\nwith the MinMax bound instead, scores are undercounted and "
+        f"{moved}/{TOP_K} rank positions change"
+    )
+
+    # Sanity: the top listing really beats its dominated competitors in
+    # every sampled world.
+    champion = sphere_by_key[exact_keys[0]]
+    worlds = 200
+    wins = 0
+    for _ in range(worlds):
+        q = campus.sample(rng)[0]
+        champion_gap = float(np.linalg.norm(champion.sample(rng)[0] - q))
+        rival = sphere_by_key[exact_keys[-1]].sample(rng)[0]
+        wins += champion_gap <= float(np.linalg.norm(rival - q)) + 1e-12
+    print(f"monte-carlo: the top listing beat the #{TOP_K} listing in "
+          f"{wins}/{worlds} sampled worlds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — a reproduction of "Hypersphere Dominance: An Optimal Approach".
+
+Long, Wong, Zhang and Xie (SIGMOD 2014) study the *spatial dominance*
+predicate on hyperspheres — does every point of ``Sa`` lie strictly
+closer than every point of ``Sb`` to every point of a query sphere
+``Sq``? — and give the first decision procedure (**Hyperbola**) that is
+simultaneously correct, sound and O(d).
+
+This package implements the paper end to end:
+
+- :mod:`repro.geometry` — hyperspheres, bounding rectangles, the focal
+  frame transform and the quartic solver;
+- :mod:`repro.core` — the Hyperbola decision plus the four baseline
+  criteria (MinMax, MBR, GP, Trigonometric), a numerical ground-truth
+  oracle and vectorised batch kernels;
+- :mod:`repro.index` — an SS-tree built from scratch;
+- :mod:`repro.queries` — the paper's kNN query (Definition 2) with DF
+  and HS traversals, and a reverse-NN extension;
+- :mod:`repro.data` — the paper's synthetic generators and surrogates
+  for its four real datasets;
+- :mod:`repro.experiments` — runners that regenerate every table and
+  figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import Hypersphere, dominates
+>>> sa = Hypersphere([0.0, 0.0], 1.0)
+>>> sb = Hypersphere([10.0, 0.0], 1.0)
+>>> sq = Hypersphere([-3.0, 0.0], 0.5)
+>>> dominates(sa, sb, sq)
+True
+"""
+
+from repro.core import (
+    DominanceCriterion,
+    available_criteria,
+    dominates,
+    get_criterion,
+)
+from repro.geometry import Hyperrectangle, Hypersphere
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hypersphere",
+    "Hyperrectangle",
+    "DominanceCriterion",
+    "dominates",
+    "get_criterion",
+    "available_criteria",
+    "__version__",
+]

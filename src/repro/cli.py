@@ -1,0 +1,103 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+Run everything at laptop scale (the default, 5% of the paper's sizes)::
+
+    python -m repro all
+
+Run one figure at the paper's full sizes and save the rows as JSON::
+
+    python -m repro fig9 --scale 1.0 --json fig9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.exceptions import ReproError
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_SCALE = 0.05
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation tables/figures of 'Hypersphere "
+            "Dominance: An Optimal Approach' (SIGMOD 2014)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=(
+            "experiment ids ('all' or any of: "
+            + ", ".join(sorted(EXPERIMENTS))
+            + ")"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=(
+            "fraction of the paper's dataset/workload sizes "
+            f"(default {DEFAULT_SCALE}; use 1.0 for the paper-size run)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="random seed (default 0)"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write all reports as a JSON array to PATH",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if "all" in names:
+        names = sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(EXPERIMENTS))} or 'all'"
+        )
+
+    reports = []
+    for name in names:
+        try:
+            report = run_experiment(name, scale=args.scale, seed=args.seed)
+        except ReproError as error:
+            print(f"error running {name}: {error}", file=sys.stderr)
+            return 1
+        reports.append(report)
+        print(report.render())
+        print()
+
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump([report.to_dict() for report in reports], handle, indent=2)
+        print(f"wrote {len(reports)} report(s) to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""The dominance operator: the paper's contribution and its baselines.
+
+Importing this package registers the five decision criteria evaluated in
+the paper:
+
+======================  =========  ========  =======
+criterion               correct?   sound?    O(d)?
+======================  =========  ========  =======
+``hyperbola`` (ours)    yes        yes       yes
+``minmax``              yes        no        yes
+``mbr``                 yes        no        yes
+``gp``                  yes        no        yes
+``trigonometric``       no         yes       yes
+======================  =========  ========  =======
+
+Use :func:`dominates` for one-off decisions,
+:func:`~repro.core.base.get_criterion` for a reusable criterion object,
+or :mod:`repro.core.batch` for vectorised workloads.
+"""
+
+from repro.core.base import (
+    DominanceCriterion,
+    available_criteria,
+    get_criterion,
+    register_criterion,
+)
+from repro.core.hyperbola import (
+    HyperbolaCriterion,
+    boundary_margin,
+    dominates_with_margin,
+    min_distance_to_boundary,
+)
+from repro.core.cascade import CascadeCriterion
+from repro.core.temporal import (
+    GrowingHypersphere,
+    dominance_horizon,
+    dominates_at,
+)
+from repro.core.weighted import WeightedEuclideanCriterion, weighted_dist
+from repro.core.gp import GPCriterion
+from repro.core.mbr import MBRCriterion, rectangle_dominates
+from repro.core.minmax import MinMaxCriterion
+from repro.core.trigonometric import TrigonometricCriterion
+from repro.core.oracle import find_witness, min_margin, oracle_dominates
+from repro.core.batch import batch_evaluate
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = [
+    "DominanceCriterion",
+    "HyperbolaCriterion",
+    "CascadeCriterion",
+    "WeightedEuclideanCriterion",
+    "GrowingHypersphere",
+    "dominance_horizon",
+    "dominates_at",
+    "weighted_dist",
+    "MinMaxCriterion",
+    "MBRCriterion",
+    "GPCriterion",
+    "TrigonometricCriterion",
+    "available_criteria",
+    "get_criterion",
+    "register_criterion",
+    "dominates",
+    "boundary_margin",
+    "dominates_with_margin",
+    "min_distance_to_boundary",
+    "rectangle_dominates",
+    "oracle_dominates",
+    "min_margin",
+    "find_witness",
+    "batch_evaluate",
+]
+
+_DEFAULT = HyperbolaCriterion()
+
+
+def dominates(
+    sa: Hypersphere,
+    sb: Hypersphere,
+    sq: Hypersphere,
+    *,
+    method: str = "hyperbola",
+) -> bool:
+    """Decide whether *sa* dominates *sb* with respect to the query *sq*.
+
+    The default method is the paper's exact Hyperbola decision; any
+    registered criterion name is accepted for comparison studies.
+
+    >>> from repro import Hypersphere, dominates
+    >>> sa = Hypersphere([0.0, 0.0], 1.0)
+    >>> sb = Hypersphere([10.0, 0.0], 1.0)
+    >>> sq = Hypersphere([-3.0, 0.0], 0.5)
+    >>> dominates(sa, sb, sq)
+    True
+    """
+    if method == "hyperbola":
+        return _DEFAULT.dominates(sa, sb, sq)
+    return get_criterion(method).dominates(sa, sb, sq)

@@ -1,0 +1,108 @@
+"""The dominance-criterion interface and registry.
+
+The paper evaluates five *decision criteria* for the hypersphere
+dominance predicate ``Dom(Sa, Sb, Sq)`` (Definition 1).  Each criterion
+is a callable object with two advertised properties borrowed from
+Emrich et al. (Section 1 of the paper):
+
+- *correct* — a ``True`` answer implies genuine dominance (no false
+  positives);
+- *sound* — a ``False`` answer implies genuine non-dominance (no false
+  negatives).
+
+A criterion that is both (and runs in O(d)) is *optimal*; only the
+paper's Hyperbola achieves all three.
+
+Criteria register themselves under a short name so experiments and the
+CLI can select them by string.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator
+
+from repro.exceptions import CriterionError
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = [
+    "DominanceCriterion",
+    "register_criterion",
+    "get_criterion",
+    "available_criteria",
+]
+
+
+class DominanceCriterion(ABC):
+    """A decision procedure for ``Dom(Sa, Sb, Sq)``.
+
+    Subclasses set the class attributes:
+
+    - ``name`` — registry key (e.g. ``"hyperbola"``);
+    - ``is_correct`` / ``is_sound`` — the theoretical guarantees from
+      Table 1 of the paper, verified empirically by the test suite.
+    """
+
+    name: str = ""
+    is_correct: bool = False
+    is_sound: bool = False
+
+    @abstractmethod
+    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        """Decide whether *sa* dominates *sb* with respect to *sq*."""
+
+    def __call__(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        return self.dominates(sa, sb, sq)
+
+    @staticmethod
+    def check_dimensions(sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> None:
+        """Raise when the three hyperspheres live in different spaces."""
+        sa.require_same_dimension(sb)
+        sa.require_same_dimension(sq)
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.is_correct:
+            flags.append("correct")
+        if self.is_sound:
+            flags.append("sound")
+        return f"<{type(self).__name__} {self.name!r} ({', '.join(flags) or 'heuristic'})>"
+
+
+_REGISTRY: dict[str, Callable[[], DominanceCriterion]] = {}
+
+
+def register_criterion(
+    factory: Callable[[], DominanceCriterion],
+) -> Callable[[], DominanceCriterion]:
+    """Register a criterion factory under its instance's ``name``.
+
+    Usable as a plain call or as a class decorator (classes are their own
+    zero-argument factories).
+    """
+    instance = factory()
+    if not instance.name:
+        raise CriterionError(f"{factory!r} produced a criterion without a name")
+    if instance.name in _REGISTRY:
+        raise CriterionError(f"criterion {instance.name!r} registered twice")
+    _REGISTRY[instance.name] = factory
+    return factory
+
+
+def get_criterion(name: str) -> DominanceCriterion:
+    """Instantiate the registered criterion called *name*.
+
+    >>> get_criterion("minmax").name
+    'minmax'
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise CriterionError(f"unknown criterion {name!r}; known: {known}") from None
+    return factory()
+
+
+def available_criteria() -> Iterator[str]:
+    """The registered criterion names, sorted."""
+    return iter(sorted(_REGISTRY))

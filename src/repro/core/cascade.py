@@ -1,0 +1,51 @@
+"""A pruning cascade: cheap bounds first, the exact decision last.
+
+An engineering extension beyond the paper (in the spirit of its
+"filter-and-refine" related work): the MinMax criterion is an order of
+magnitude cheaper than the exact Hyperbola decision, and it is
+*correct* — whenever it answers true, dominance genuinely holds.  Its
+converse bound is equally cheap: if even the most optimistic reading
+fails (``MinDist(Sa, Sq) >= MaxDist(Sb, Sq)``), dominance is impossible.
+
+The cascade therefore decides most workload triples with two center
+distances and only falls through to the quartic machinery in the
+genuinely ambiguous band.  It is exactly as correct and sound as
+Hyperbola (the test suite asserts decision-for-decision equality) and
+the ablation benchmark quantifies the speed-up, which grows with how
+"easy" the workload is.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import DominanceCriterion, register_criterion
+from repro.core.hyperbola import HyperbolaCriterion
+from repro.geometry.distance import max_dist, min_dist
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["CascadeCriterion"]
+
+
+@register_criterion
+class CascadeCriterion(DominanceCriterion):
+    """MinMax fast-accept / inverse-MinMax fast-reject, then Hyperbola."""
+
+    name = "cascade"
+    is_correct = True
+    is_sound = True
+
+    def __init__(self) -> None:
+        self._exact = HyperbolaCriterion()
+
+    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        self.check_dimensions(sa, sb, sq)
+        if sa.overlaps(sb):
+            return False
+        # Fast accept: the pessimistic bound already separates them.
+        if max_dist(sa, sq) < min_dist(sb, sq):
+            return True
+        # Fast reject: MinDist(Sa,Sq) >= MaxDist(Sb,Sq) rearranges to
+        # Dist(cb,cq) - Dist(ca,cq) - (ra+rb) <= -2*rq <= 0, i.e. the
+        # query center itself already violates the MDD condition.
+        if min_dist(sa, sq) >= max_dist(sb, sq):
+            return False
+        return self._exact.dominates(sa, sb, sq)

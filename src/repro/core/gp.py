@@ -1,0 +1,73 @@
+"""The GP decision criterion (Section 2.2 / Appendix; Lian & Chen).
+
+Lian & Chen's approach is exact in two dimensions but, for ``d > 2``,
+first *projects* the d-dimensional configuration onto a plane and then
+applies the exact 2-D decision.  The projection shrinks pairwise
+distances (it is a contraction), so the criterion stays **correct** but
+loses **soundness**: configurations that dominate in d dimensions may
+fail the shrunken 2-D test.
+
+Projection used here (an interpretation of [22]'s terse description —
+see DESIGN.md Section 4): anchor the plane at ``ca`` and map
+
+    u(x) = ( || x[0..d-2] - ca[0..d-2] ||,  x[d-1] - ca[d-1] ).
+
+This choice has two properties that make the criterion provably correct:
+
+- ``Dist(u(x), u(y)) <= Dist(x, y)`` for all x, y (triangle inequality
+  on the collapsed block), so the image of every sphere ``S`` is inside
+  the 2-D disk ``(u(c), r)``;
+- ``Dist(u(x), u(ca)) = Dist(x, ca)`` exactly (``u(ca)`` is the
+  origin), so the dominator's distances are *not* shrunk, which is the
+  side that must not be underestimated.
+
+For any realisations ``q in Sq``, ``a in Sa``, ``b in Sb``: 2-D
+dominance of the projected disks gives
+``Dist(ca, q) + ra = Dist(u(ca), u(q)) + ra < Dist(u(cb), u(q)) - rb
+<= Dist(cb, q) - rb``, which is exactly d-dimensional dominance.
+
+For ``d <= 2`` no information can be lost, so the criterion simply
+delegates to the exact decision (matching the paper's remark that GP is
+optimal for 2-dimensional data only).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.base import DominanceCriterion, register_criterion
+from repro.core.hyperbola import HyperbolaCriterion
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["GPCriterion", "project_to_plane"]
+
+
+def project_to_plane(point: np.ndarray, anchor: np.ndarray) -> np.ndarray:
+    """Lian & Chen's 2-D projection of *point*, anchored at *anchor*."""
+    offset = np.asarray(point, dtype=np.float64) - np.asarray(anchor, dtype=np.float64)
+    collapsed = math.sqrt(float(offset[:-1] @ offset[:-1]))
+    return np.array([collapsed, float(offset[-1])])
+
+
+@register_criterion
+class GPCriterion(DominanceCriterion):
+    """Project to 2-D (anchored at ``ca``), then decide exactly there."""
+
+    name = "gp"
+    is_correct = True
+    is_sound = False
+
+    def __init__(self) -> None:
+        self._exact_2d = HyperbolaCriterion()
+
+    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        self.check_dimensions(sa, sb, sq)
+        if sa.dimension <= 2:
+            return self._exact_2d.dominates(sa, sb, sq)
+        anchor = sa.center
+        projected_a = Hypersphere(project_to_plane(sa.center, anchor), sa.radius)
+        projected_b = Hypersphere(project_to_plane(sb.center, anchor), sb.radius)
+        projected_q = Hypersphere(project_to_plane(sq.center, anchor), sq.radius)
+        return self._exact_2d.dominates(projected_a, projected_b, projected_q)

@@ -1,0 +1,99 @@
+"""The adapted MBR decision criterion (Section 2.2; Emrich et al. 2010).
+
+Emrich et al.'s "optimal domination decision criterion" decides, for
+hyperrectangles ``Ra``, ``Rb``, ``Rq``, whether every point of ``Ra`` is
+closer than every point of ``Rb`` to every point of ``Rq``.  The paper
+adapts it to hyperspheres by replacing each sphere with its minimum
+bounding rectangle (MBR).
+
+The rectangle decision itself is re-derived here from first principles.
+Dominance over rectangles is equivalent to::
+
+    max_{q in Rq} ( MaxDist(Ra, q)^2 - MinDist(Rb, q)^2 ) < 0
+
+Both squared distances decompose per dimension, and the coordinates of
+``q`` range independently over ``[Rq.lo[i], Rq.hi[i]]``, so the maximum
+decomposes into d independent one-dimensional maximisations::
+
+    sum_i max_{q_i} ( maxdist_i(Ra, q_i)^2 - mindist_i(Rb, q_i)^2 ) < 0
+
+Each one-dimensional objective is piecewise linear outside ``Rb``'s
+interval (the squared terms share their quadratic coefficient) and a
+convex quadratic inside it, so its maximum over an interval is attained
+at a piece endpoint: one of ``Rq``'s interval ends, ``Ra``'s interval
+midpoint (where the far-end switches), or ``Rb``'s interval ends —
+at most five candidate coordinates, hence O(d) overall.
+
+Properties for the sphere adaptation (Lemmas 4 and 5 of the paper):
+**correct** (spheres are contained in their MBRs) but **not sound**
+(the MBRs of disjoint spheres may intersect — the paper's diagonal
+three-sphere construction, reproduced in the test suite).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import DominanceCriterion, register_criterion
+from repro.geometry.hyperrectangle import Hyperrectangle
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["MBRCriterion", "rectangle_dominates"]
+
+
+def _max_margin_1d(
+    a_lo: float,
+    a_hi: float,
+    b_lo: float,
+    b_hi: float,
+    q_lo: float,
+    q_hi: float,
+) -> float:
+    """``max_{q in [q_lo, q_hi]} maxdist(A, q)^2 - mindist(B, q)^2`` in 1-D."""
+    candidates = [q_lo, q_hi]
+    for breakpoint in ((a_lo + a_hi) / 2.0, b_lo, b_hi):
+        if q_lo < breakpoint < q_hi:
+            candidates.append(breakpoint)
+    best = -float("inf")
+    for q in candidates:
+        far_a = max(abs(q - a_lo), abs(a_hi - q))
+        near_b = max(b_lo - q, q - b_hi, 0.0)
+        margin = far_a * far_a - near_b * near_b
+        if margin > best:
+            best = margin
+    return best
+
+
+def rectangle_dominates(
+    ra: Hyperrectangle, rb: Hyperrectangle, rq: Hyperrectangle
+) -> bool:
+    """Emrich et al.'s exact dominance decision for hyperrectangles.
+
+    True iff every point of *ra* is strictly closer than every point of
+    *rb* to every point of *rq*.  Runs in O(d).
+    """
+    if ra.dimension != rb.dimension or ra.dimension != rq.dimension:
+        from repro.exceptions import DimensionalityMismatchError
+
+        raise DimensionalityMismatchError(ra.dimension, rb.dimension)
+    total = 0.0
+    for i in range(ra.dimension):
+        total += _max_margin_1d(
+            ra.lo[i], ra.hi[i], rb.lo[i], rb.hi[i], rq.lo[i], rq.hi[i]
+        )
+    return total < 0.0
+
+
+@register_criterion
+class MBRCriterion(DominanceCriterion):
+    """Decide sphere dominance through the spheres' bounding rectangles."""
+
+    name = "mbr"
+    is_correct = True
+    is_sound = False
+
+    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        self.check_dimensions(sa, sb, sq)
+        return rectangle_dominates(
+            Hyperrectangle.bounding(sa),
+            Hyperrectangle.bounding(sb),
+            Hyperrectangle.bounding(sq),
+        )

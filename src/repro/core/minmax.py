@@ -1,0 +1,38 @@
+"""The MinMax decision criterion (Section 2.2; Roussopoulos et al.).
+
+``DC_MinMax(Sa, Sb, Sq)`` is true iff
+``MaxDist(Sa, Sq) < MinDist(Sb, Sq)``.
+
+Properties (Lemmas 2 and 3 of the paper):
+
+- **correct** — a true answer really is dominance, because every pair of
+  realisations is separated by the two bounds;
+- **not sound** — when the query has a non-zero radius the criterion can
+  answer false even though dominance holds (the paper's Figure 4
+  construction, reproduced in the test suite);
+- **O(d)** — two center distances.
+
+When ``Sq`` is a point (``rq == 0``) the criterion *is* sound, which the
+test suite also verifies.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import DominanceCriterion, register_criterion
+from repro.geometry.distance import max_dist, min_dist
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["MinMaxCriterion"]
+
+
+@register_criterion
+class MinMaxCriterion(DominanceCriterion):
+    """Compare the pessimistic bound on Sa against the optimistic on Sb."""
+
+    name = "minmax"
+    is_correct = True
+    is_sound = False
+
+    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        self.check_dimensions(sa, sb, sq)
+        return max_dist(sa, sq) < min_dist(sb, sq)

@@ -1,0 +1,233 @@
+"""An independent numerical ground-truth oracle for dominance.
+
+The test suite must not certify Hyperbola against itself, so this module
+evaluates the MDD condition
+
+    min_{q in Sq} ( Dist(cb, q) - Dist(ca, q) )  >  ra + rb
+
+by direct numerical minimisation, sharing no code path with the quartic
+machinery.  It exploits only elementary facts:
+
+- The margin ``f(q) = Dist(cb, q) - Dist(ca, q)`` depends on ``q`` only
+  through its ``(t, rho)`` coordinates in the focal frame, and is even
+  in ``rho``; so the ball ``Sq`` may be replaced by the full disk of
+  radius ``rq`` around ``(t_q, rho_q)`` in the reduced half-plane.
+- ``f`` has no interior critical points except on the focal axis rays
+  beyond the foci, where it is constant (``-2*alpha`` beyond ``cb``,
+  the global minimum; ``+2*alpha`` beyond ``ca``, the global maximum).
+- Hence the minimum over the disk is ``-2*alpha`` if the disk touches
+  the ray beyond ``cb``, and otherwise lies on the disk's boundary
+  circle, which is scanned densely and refined by golden-section search.
+
+The oracle is O(resolution * d) — far too slow for the query layer, but
+exact enough (boundary cases excepted) to validate every criterion.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.hypersphere import Hypersphere
+from repro.geometry.transform import FocalFrame
+
+__all__ = ["min_margin", "oracle_dominates", "find_witness"]
+
+_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def _margin_2d(t: float, rho: float, alpha: float) -> float:
+    """``Dist(cb, .) - Dist(ca, .)`` at reduced coordinates ``(t, rho)``."""
+    to_cb = math.hypot(t - alpha, rho)
+    to_ca = math.hypot(t + alpha, rho)
+    return to_cb - to_ca
+
+
+def _margin_1d(sa: Hypersphere, sb: Hypersphere, q: float) -> float:
+    """``Dist(cb, q) - Dist(ca, q)`` for a scalar coordinate ``q``."""
+    return abs(sb.center[0] - q) - abs(sa.center[0] - q)
+
+
+def _interval_candidates(
+    sa: Hypersphere, sb: Hypersphere, sq: Hypersphere
+) -> list[float]:
+    """Extreme points of the 1-D margin over the interval ``Sq``."""
+    lo = sq.center[0] - sq.radius
+    hi = sq.center[0] + sq.radius
+    candidates = [lo, hi]
+    candidates.extend(x for x in (sa.center[0], sb.center[0]) if lo < x < hi)
+    return candidates
+
+
+def _golden_section(
+    objective, lo: float, hi: float, iterations: int = 80
+) -> tuple[float, float]:
+    """Minimise a unimodal-ish 1-D *objective* on ``[lo, hi]``."""
+    x1 = hi - _GOLDEN * (hi - lo)
+    x2 = lo + _GOLDEN * (hi - lo)
+    f1, f2 = objective(x1), objective(x2)
+    for _ in range(iterations):
+        if f1 <= f2:
+            hi, x2, f2 = x2, x1, f1
+            x1 = hi - _GOLDEN * (hi - lo)
+            f1 = objective(x1)
+        else:
+            lo, x1, f1 = x1, x2, f2
+            x2 = lo + _GOLDEN * (hi - lo)
+            f2 = objective(x2)
+    return (x1, f1) if f1 <= f2 else (x2, f2)
+
+
+def min_margin(
+    sa: Hypersphere,
+    sb: Hypersphere,
+    sq: Hypersphere,
+    *,
+    resolution: int = 4096,
+) -> float:
+    """``min_{q in Sq} Dist(cb, q) - Dist(ca, q)`` by numerical search.
+
+    *resolution* controls the density of the initial boundary scan; the
+    best few brackets are refined by golden-section search.
+    """
+    sa.require_same_dimension(sb)
+    sa.require_same_dimension(sq)
+    # Coincident foci (or a separation so small its square underflows):
+    # the margin is identically zero to within float resolution.
+    if float(np.linalg.norm(sb.center - sa.center)) == 0.0:
+        return 0.0
+    if sa.dimension == 1:
+        # No perpendicular direction exists: Sq is an interval and the
+        # margin is piecewise linear with breakpoints at the two foci.
+        return min(
+            _margin_1d(sa, sb, q) for q in _interval_candidates(sa, sb, sq)
+        )
+    frame = FocalFrame(sa.center, sb.center)
+    alpha = frame.alpha
+    t, rho = frame.reduce(sq.center)
+    rq = sq.radius
+
+    if rq == 0.0:
+        return _margin_2d(t, rho, alpha)
+
+    # Plateau short-circuit: the disk touches the axis ray beyond cb.
+    if rho <= rq and t + math.sqrt(rq * rq - rho * rho) >= alpha:
+        return -2.0 * alpha
+
+    def margin_at_angle(theta: float) -> float:
+        return _margin_2d(t + rq * math.cos(theta), rho + rq * math.sin(theta), alpha)
+
+    angles = np.linspace(0.0, 2.0 * math.pi, resolution, endpoint=False)
+    values = np.array([margin_at_angle(theta) for theta in angles])
+    best = float(values.min())
+    step = 2.0 * math.pi / resolution
+    # Refine around every local minimum of the coarse scan.
+    local = np.flatnonzero(
+        (values <= np.roll(values, 1)) & (values <= np.roll(values, -1))
+    )
+    for i in local:
+        theta = angles[i]
+        _, refined = _golden_section(margin_at_angle, theta - step, theta + step)
+        if refined < best:
+            best = refined
+    return best
+
+
+def oracle_dominates(
+    sa: Hypersphere,
+    sb: Hypersphere,
+    sq: Hypersphere,
+    *,
+    resolution: int = 4096,
+) -> bool:
+    """Ground-truth ``Dom(Sa, Sb, Sq)`` via numerical minimisation.
+
+    Near-boundary configurations (margin within numerical tolerance of
+    ``ra + rb``) are inherently ambiguous for any floating-point method;
+    the property-based tests filter those out explicitly.
+    """
+    if sa.overlaps(sb):
+        return False
+    margin = min_margin(sa, sb, sq, resolution=resolution)
+    return margin > sa.radius + sb.radius
+
+
+def find_witness(
+    sa: Hypersphere,
+    sb: Hypersphere,
+    sq: Hypersphere,
+    *,
+    resolution: int = 4096,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """A concrete violating triple ``(q, a, b)`` when dominance fails.
+
+    Returns points ``q in Sq``, ``a in Sa``, ``b in Sb`` with
+    ``Dist(a, q) >= Dist(b, q)``, or ``None`` when no violation could be
+    found (i.e. dominance appears to hold).  Used by tests to turn an
+    oracle "false" into a checkable certificate.
+    """
+    sa.require_same_dimension(sb)
+    sa.require_same_dimension(sq)
+
+    def witness_from(q: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        to_a = q - sa.center
+        norm_a = float(np.linalg.norm(to_a))
+        # Farthest point of Sa from q.
+        a = sa.center - sa.radius * (to_a / norm_a) if norm_a > 0 else (
+            sa.center + _any_unit(sa.dimension) * sa.radius
+        )
+        to_b = q - sb.center
+        norm_b = float(np.linalg.norm(to_b))
+        # Nearest point of Sb to q (clamped to the ball when q is inside).
+        if norm_b > sb.radius:
+            b = sb.center + sb.radius * (to_b / norm_b)
+        else:
+            b = q.copy()
+        if float(np.linalg.norm(a - q)) >= float(np.linalg.norm(b - q)):
+            return q, a, b
+        return None
+
+    # Candidate worst-case query points: the oracle minimiser and cq.
+    if float(np.linalg.norm(sb.center - sa.center)) == 0.0:
+        candidates = [np.asarray(sq.center, dtype=np.float64)]
+    elif sa.dimension == 1:
+        candidates = [
+            np.array([q]) for q in _interval_candidates(sa, sb, sq)
+        ]
+    else:
+        frame = FocalFrame(sa.center, sb.center)
+        t, rho = frame.reduce(sq.center)
+        rq = sq.radius
+        candidates = [np.asarray(sq.center, dtype=np.float64)]
+        if rq > 0.0:
+            def margin_at_angle(theta: float) -> float:
+                return _margin_2d(
+                    t + rq * math.cos(theta), rho + rq * math.sin(theta), frame.alpha
+                )
+
+            angles = np.linspace(0.0, 2.0 * math.pi, resolution, endpoint=False)
+            values = [margin_at_angle(theta) for theta in angles]
+            best_theta = float(angles[int(np.argmin(values))])
+            step = 2.0 * math.pi / resolution
+            best_theta, _ = _golden_section(
+                margin_at_angle, best_theta - step, best_theta + step
+            )
+            q2d = (
+                t + rq * math.cos(best_theta),
+                rho + rq * math.sin(best_theta),
+            )
+            # abs() folds the half-plane symmetry back into rho >= 0.
+            candidates.append(frame.lift(q2d[0], abs(q2d[1]), toward=sq.center))
+
+    for q in candidates:
+        witness = witness_from(np.asarray(q, dtype=np.float64))
+        if witness is not None:
+            return witness
+    return None
+
+
+def _any_unit(dimension: int) -> np.ndarray:
+    unit = np.zeros(dimension)
+    unit[0] = 1.0
+    return unit

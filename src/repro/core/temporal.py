@@ -1,0 +1,96 @@
+"""Dominance for hyperspheres whose radii grow over time (future work).
+
+The paper's conclusion poses: *"how to solve the dominance problem
+efficiently when the radii of the hyperspheres change over time"*.
+This module answers the linear-growth case exactly.
+
+Model: centers are static and each radius grows linearly,
+``r_i(t) = r_i + rate_i * t`` with ``rate_i >= 0`` (uncertainty only
+accumulates — the GPS-drift model).  Then:
+
+- the required margin ``ra(t) + rb(t)`` is non-decreasing in ``t``;
+- the achieved margin ``min_{q in Sq(t)} (Dist(cb,q) - Dist(ca,q))`` is
+  non-increasing in ``t`` (the query ball only grows).
+
+So dominance is *monotone*: once lost it never returns, and the set of
+times where ``Dom`` holds is an interval ``[0, t*)``.
+:func:`dominance_horizon` finds ``t*`` by bisection over the exact O(d)
+decision — each probe is one Hyperbola call, so the whole horizon costs
+``O(d log(T / tol))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hyperbola import HyperbolaCriterion
+from repro.exceptions import CriterionError, GeometryError
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["GrowingHypersphere", "dominates_at", "dominance_horizon"]
+
+_EXACT = HyperbolaCriterion()
+
+
+@dataclass(frozen=True)
+class GrowingHypersphere:
+    """A hypersphere whose radius grows linearly with time."""
+
+    sphere: Hypersphere
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise GeometryError(
+                f"radius rate must be non-negative, got {self.rate}"
+            )
+
+    def at(self, t: float) -> Hypersphere:
+        """The snapshot at time ``t >= 0``."""
+        if t < 0.0:
+            raise GeometryError(f"time must be non-negative, got {t}")
+        return self.sphere.with_radius(self.sphere.radius + self.rate * t)
+
+
+def dominates_at(
+    sa: GrowingHypersphere,
+    sb: GrowingHypersphere,
+    sq: GrowingHypersphere,
+    t: float,
+) -> bool:
+    """Exact dominance of the three snapshots at time *t*."""
+    return _EXACT.dominates(sa.at(t), sb.at(t), sq.at(t))
+
+
+def dominance_horizon(
+    sa: GrowingHypersphere,
+    sb: GrowingHypersphere,
+    sq: GrowingHypersphere,
+    *,
+    horizon: float,
+    tolerance: float = 1e-6,
+) -> float:
+    """The last time within ``[0, horizon]`` at which dominance holds.
+
+    Returns ``0.0`` if dominance does not even hold now (callers should
+    check ``dominates_at(..., 0.0)`` when the distinction matters), and
+    ``horizon`` if it holds throughout.  The answer is exact up to
+    *tolerance* thanks to the monotonicity argument in the module
+    docstring.
+    """
+    if horizon <= 0.0:
+        raise CriterionError(f"horizon must be positive, got {horizon}")
+    if tolerance <= 0.0:
+        raise CriterionError(f"tolerance must be positive, got {tolerance}")
+    if not dominates_at(sa, sb, sq, 0.0):
+        return 0.0
+    if dominates_at(sa, sb, sq, horizon):
+        return horizon
+    lo, hi = 0.0, horizon  # dominance holds at lo, fails at hi
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if dominates_at(sa, sb, sq, mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

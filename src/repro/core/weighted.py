@@ -1,0 +1,101 @@
+"""Dominance under weighted Euclidean metrics (future work).
+
+The paper's conclusion poses: *"how to solve the dominance problem
+... when some distance metrics other than Euclidean are adopted"*.
+This module answers it exactly for the diagonally *weighted* Euclidean
+family
+
+    Dist_w(p, p') = sqrt( sum_i w_i * (p[i] - p'[i])^2 ),   w_i > 0,
+
+which covers per-dimension unit normalisation, feature importance
+weighting and diagonal Mahalanobis distances.
+
+The reduction: scaling every coordinate by ``sqrt(w_i)`` turns
+``Dist_w`` into the plain Euclidean distance, and a *metric ball* of the
+weighted metric (``{x : Dist_w(c, x) <= r}``) maps to a plain Euclidean
+ball of the same radius.  So the exact Hyperbola decision applies
+verbatim in the scaled space.
+
+Semantics note: the hyperspheres handed to this criterion are
+interpreted as balls **of the weighted metric** — the natural model when
+an object's uncertainty is expressed in the same metric the query uses.
+(An axis-aligned Euclidean ball would map to an ellipsoid, a different
+object class the paper does not treat.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import DominanceCriterion
+from repro.core.hyperbola import HyperbolaCriterion
+from repro.exceptions import CriterionError, DimensionalityMismatchError
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["WeightedEuclideanCriterion", "weighted_dist"]
+
+
+def weighted_dist(
+    p: Sequence[float] | np.ndarray,
+    q: Sequence[float] | np.ndarray,
+    weights: Sequence[float] | np.ndarray,
+) -> float:
+    """The weighted Euclidean distance ``Dist_w`` between two points."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if p.shape != q.shape or p.shape != weights.shape:
+        raise DimensionalityMismatchError(p.shape[-1], q.shape[-1])
+    return float(np.sqrt(np.sum(weights * (p - q) ** 2)))
+
+
+class WeightedEuclideanCriterion(DominanceCriterion):
+    """Exact dominance under a per-dimension weighted Euclidean metric.
+
+    Not added to the global registry: an instance carries its weight
+    vector, so it is constructed explicitly.
+
+    Examples
+    --------
+    >>> crit = WeightedEuclideanCriterion([4.0, 1.0])
+    >>> sa = Hypersphere([0.0, 0.0], 1.0)
+    >>> sb = Hypersphere([10.0, 0.0], 1.0)
+    >>> sq = Hypersphere([-2.0, 0.0], 0.5)
+    >>> crit.dominates(sa, sb, sq)
+    True
+    """
+
+    name = "weighted-euclidean"
+    is_correct = True
+    is_sound = True
+
+    def __init__(self, weights: Sequence[float] | np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise CriterionError("weights must be a non-empty 1-D vector")
+        if not np.all(np.isfinite(weights)) or np.any(weights <= 0.0):
+            raise CriterionError("weights must be finite and strictly positive")
+        self._scale = np.sqrt(weights)
+        self._exact = HyperbolaCriterion()
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The metric's per-dimension weights."""
+        return self._scale**2
+
+    def _to_euclidean(self, sphere: Hypersphere) -> Hypersphere:
+        if sphere.dimension != self._scale.shape[0]:
+            raise DimensionalityMismatchError(
+                self._scale.shape[0], sphere.dimension
+            )
+        return Hypersphere(sphere.center * self._scale, sphere.radius)
+
+    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        self.check_dimensions(sa, sb, sq)
+        return self._exact.dominates(
+            self._to_euclidean(sa),
+            self._to_euclidean(sb),
+            self._to_euclidean(sq),
+        )

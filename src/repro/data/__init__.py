@@ -1,0 +1,28 @@
+"""Datasets: the paper's synthetic generators and real-data surrogates.
+
+- :mod:`repro.data.synthetic` — Section 7's generators (Gaussian
+  centers N(100, 25), radii N(mu, mu/4), and the Uniform [0, 200]
+  variants used in Figure 12).
+- :mod:`repro.data.real` — seeded surrogates for the four real datasets
+  (NBA, Color, Texture, Forest) with matching cardinality and
+  dimensionality; genuine files are loaded instead when present (see
+  DESIGN.md Section 3 for the substitution rationale).
+- :mod:`repro.data.workload` — the 10,000-random-triple dominance
+  workloads and kNN query workloads the experiments consume.
+"""
+
+from repro.data.io import load_dataset, save_dataset
+from repro.data.synthetic import Dataset, synthetic_dataset
+from repro.data.real import REAL_DATASET_SPECS, real_dataset
+from repro.data.workload import DominanceWorkload, knn_queries
+
+__all__ = [
+    "Dataset",
+    "synthetic_dataset",
+    "real_dataset",
+    "REAL_DATASET_SPECS",
+    "DominanceWorkload",
+    "knn_queries",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,58 @@
+"""Dataset persistence: save/load hypersphere datasets as ``.npz``.
+
+The experiment harness regenerates datasets from seeds, but downstream
+users of the library typically have *their* hyperspheres on disk.  This
+module fixes a tiny, stable on-disk contract:
+
+- ``centers`` — float64 array of shape ``(n, d)``;
+- ``radii``   — float64 array of shape ``(n,)``, non-negative;
+- ``name``    — the dataset's display name.
+
+NumPy's ``.npz`` keeps this dependency-free and memory-mappable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.exceptions import DatasetError
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset: Dataset, path: "str | Path") -> Path:
+    """Write *dataset* to *path* (``.npz`` appended if missing).
+
+    Returns the path actually written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        centers=dataset.centers,
+        radii=dataset.radii,
+        name=np.array(dataset.name),
+    )
+    return path
+
+
+def load_dataset(path: "str | Path") -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no dataset file at {path}")
+    with np.load(path, allow_pickle=False) as payload:
+        try:
+            centers = payload["centers"]
+            radii = payload["radii"]
+        except KeyError as missing:
+            raise DatasetError(
+                f"{path} is not a repro dataset (missing array {missing})"
+            ) from None
+        name = str(payload["name"]) if "name" in payload else path.stem
+    return Dataset(name=name, centers=centers, radii=radii)

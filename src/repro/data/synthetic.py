@@ -1,0 +1,186 @@
+"""Synthetic hypersphere datasets (Section 7 of the paper).
+
+The paper generates a synthetic dataset of ``N`` hyperspheres in d
+dimensions by:
+
+1. sampling each center coordinate from a Gaussian with mean 100 and
+   standard deviation 25;
+2. sampling each radius from ``N(mu, sigma)`` with ``sigma = mu / 4``
+   by default (``mu`` is the studied "average radius" parameter).
+
+Figure 12 additionally crosses Gaussian and Uniform distributions for
+both coordinates and radii, with Uniform ranges ``[0, 200]``; the
+``center_distribution`` / ``radius_distribution`` arguments cover all
+four combinations (G-G, G-U, U-G, U-U).
+
+Radii are clipped at zero: the paper requires non-negative radii and a
+Gaussian tail can dip below zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["Dataset", "synthetic_dataset", "attach_radii"]
+
+CENTER_MEAN = 100.0
+CENTER_STD = 25.0
+UNIFORM_RANGE = (0.0, 200.0)
+
+
+@dataclass
+class Dataset:
+    """A named collection of hyperspheres in struct-of-arrays form."""
+
+    name: str
+    centers: np.ndarray  # (n, d)
+    radii: np.ndarray  # (n,)
+
+    def __post_init__(self) -> None:
+        self.centers = np.asarray(self.centers, dtype=np.float64)
+        self.radii = np.asarray(self.radii, dtype=np.float64)
+        if self.centers.ndim != 2:
+            raise DatasetError("centers must be an (n, d) array")
+        if self.radii.shape != (self.centers.shape[0],):
+            raise DatasetError("radii must be an (n,) array matching centers")
+        if np.any(self.radii < 0.0):
+            raise DatasetError("radii must be non-negative")
+
+    def __len__(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality d of the hyperspheres."""
+        return self.centers.shape[1]
+
+    def sphere(self, i: int) -> Hypersphere:
+        """The i-th hypersphere as an object."""
+        return Hypersphere(self.centers[i], float(self.radii[i]))
+
+    def items(self) -> Iterator[tuple[int, Hypersphere]]:
+        """Keyed hyperspheres, ready for index construction."""
+        for i in range(len(self)):
+            yield i, self.sphere(i)
+
+    def subset(self, size: int, *, rng: np.random.Generator) -> "Dataset":
+        """A uniform random sample (without replacement) of *size* items."""
+        if size > len(self):
+            raise DatasetError(
+                f"cannot sample {size} items from {len(self)}"
+            )
+        chosen = rng.choice(len(self), size=size, replace=False)
+        return Dataset(
+            name=f"{self.name}[{size}]",
+            centers=self.centers[chosen],
+            radii=self.radii[chosen],
+        )
+
+
+def _sample(
+    distribution: str,
+    rng: np.random.Generator,
+    size,
+    *,
+    mean: float,
+    std: float,
+) -> np.ndarray:
+    if distribution == "gaussian":
+        return rng.normal(mean, std, size)
+    if distribution == "uniform":
+        lo, hi = UNIFORM_RANGE
+        return rng.uniform(lo, hi, size)
+    raise DatasetError(
+        f"unknown distribution {distribution!r}; use 'gaussian' or 'uniform'"
+    )
+
+
+def attach_radii(
+    centers: np.ndarray,
+    *,
+    mu: float,
+    sigma: float | None = None,
+    rng: np.random.Generator,
+    distribution: str = "gaussian",
+    name: str = "dataset",
+) -> Dataset:
+    """Turn a point cloud into hyperspheres with ``N(mu, sigma)`` radii.
+
+    This is the paper's shared recipe for both real and synthetic data:
+    every point becomes a center and its radius is drawn from a Gaussian
+    with mean *mu* and standard deviation *sigma* (``mu / 4`` when
+    omitted), clipped at zero.
+    """
+    centers = np.asarray(centers, dtype=np.float64)
+    if mu < 0.0:
+        raise DatasetError(f"mu must be non-negative, got {mu}")
+    if sigma is None:
+        sigma = mu / 4.0
+    radii = _sample(
+        distribution, rng, centers.shape[0], mean=mu, std=sigma
+    )
+    return Dataset(name=name, centers=centers, radii=np.maximum(radii, 0.0))
+
+
+def synthetic_dataset(
+    n: int,
+    dimension: int,
+    *,
+    mu: float = 10.0,
+    sigma: float | None = None,
+    center_distribution: str = "gaussian",
+    radius_distribution: str = "gaussian",
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """Generate a Section-7 synthetic dataset.
+
+    Parameters
+    ----------
+    n:
+        Number of hyperspheres (the paper sweeps 20k–180k).
+    dimension:
+        Dimensionality d (the paper sweeps 2–10, and 25–100 in Fig. 11).
+    mu, sigma:
+        Radius distribution parameters; ``sigma`` defaults to ``mu/4``.
+    center_distribution, radius_distribution:
+        ``"gaussian"`` or ``"uniform"`` — the Figure 12 grid.
+    seed, rng:
+        Reproducibility controls; pass exactly one of them (or neither
+        for nondeterministic output).
+    """
+    if n < 1:
+        raise DatasetError(f"n must be positive, got {n}")
+    if dimension < 1:
+        raise DatasetError(f"dimension must be positive, got {dimension}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    elif seed is not None:
+        raise DatasetError("pass either seed or rng, not both")
+    centers = _sample(
+        center_distribution,
+        rng,
+        (n, dimension),
+        mean=CENTER_MEAN,
+        std=CENTER_STD,
+    )
+    label = {
+        ("gaussian", "gaussian"): "G-G",
+        ("gaussian", "uniform"): "G-U",
+        ("uniform", "gaussian"): "U-G",
+        ("uniform", "uniform"): "U-U",
+    }[(center_distribution, radius_distribution)]
+    return attach_radii(
+        centers,
+        mu=mu,
+        sigma=sigma,
+        rng=rng,
+        distribution=radius_distribution,
+        name=f"synthetic-{label}(n={n}, d={dimension}, mu={mu:g})",
+    )

@@ -1,0 +1,99 @@
+"""Workload builders for the experiments.
+
+Section 7.1 of the paper evaluates each dominance criterion on "a
+workload containing 10,000 random queries each involving three
+hyperspheres Sa, Sb and Sq selected from the dataset randomly".
+:class:`DominanceWorkload` materialises such a workload in
+struct-of-arrays form so both the scalar criteria (looping) and the
+vectorised batch kernels can consume it.
+
+Section 7.2 runs kNN queries; :func:`knn_queries` draws query
+hyperspheres from the dataset the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.exceptions import DatasetError
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["DominanceWorkload", "knn_queries"]
+
+DEFAULT_WORKLOAD_SIZE = 10_000
+
+
+@dataclass
+class DominanceWorkload:
+    """``n`` random ``(Sa, Sb, Sq)`` triples in struct-of-arrays form."""
+
+    ca: np.ndarray
+    cb: np.ndarray
+    cq: np.ndarray
+    ra: np.ndarray
+    rb: np.ndarray
+    rq: np.ndarray
+
+    def __len__(self) -> int:
+        return self.ca.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality d of the workload's hyperspheres."""
+        return self.ca.shape[1]
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Dataset,
+        *,
+        size: int = DEFAULT_WORKLOAD_SIZE,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> "DominanceWorkload":
+        """Draw *size* random triples from *dataset* (with replacement)."""
+        if len(dataset) < 3:
+            raise DatasetError("need at least 3 hyperspheres to form triples")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        picks = rng.integers(0, len(dataset), size=(size, 3))
+        ia, ib, iq = picks[:, 0], picks[:, 1], picks[:, 2]
+        return cls(
+            ca=dataset.centers[ia],
+            cb=dataset.centers[ib],
+            cq=dataset.centers[iq],
+            ra=dataset.radii[ia],
+            rb=dataset.radii[ib],
+            rq=dataset.radii[iq],
+        )
+
+    def triples(self) -> Iterator[tuple[Hypersphere, Hypersphere, Hypersphere]]:
+        """The workload as hypersphere objects, for the scalar criteria."""
+        for i in range(len(self)):
+            yield (
+                Hypersphere(self.ca[i], float(self.ra[i])),
+                Hypersphere(self.cb[i], float(self.rb[i])),
+                Hypersphere(self.cq[i], float(self.rq[i])),
+            )
+
+    def arrays(self) -> tuple[np.ndarray, ...]:
+        """The workload as the batch-kernel argument tuple."""
+        return self.ca, self.cb, self.cq, self.ra, self.rb, self.rq
+
+
+def knn_queries(
+    dataset: Dataset,
+    *,
+    count: int,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> list[Hypersphere]:
+    """*count* kNN query hyperspheres drawn from *dataset*."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(dataset), size=count)
+    return [dataset.sphere(int(i)) for i in picks]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """An invalid geometric object or operation (e.g. a negative radius)."""
+
+
+class DimensionalityMismatchError(GeometryError):
+    """Two geometric objects with different dimensionalities were combined."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"dimensionality mismatch: expected {expected}, got {actual}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class CriterionError(ReproError):
+    """A dominance decision criterion was invoked on unsupported input."""
+
+
+class IndexError_(ReproError):
+    """An index structure (e.g. the SS-tree) detected an invalid state.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """A query (kNN / RkNN) received invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

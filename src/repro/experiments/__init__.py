@@ -1,0 +1,40 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment of Section 7 has a runner keyed by its table/figure
+number (``table1``, ``fig8`` … ``fig16``); see
+:mod:`repro.experiments.runner` for the registry and
+``python -m repro --help`` for the command-line interface.
+
+Scaling: the paper's harness is C++ on a 2.66 GHz server; this one is
+CPython.  Every runner accepts a ``scale`` knob that shrinks dataset
+and workload sizes proportionally (default 1.0 regenerates the paper's
+sizes; the pytest benchmarks use smaller scales so the suite stays
+fast).  Shapes — who wins, how curves move with each parameter — are
+preserved at any scale; absolute times are not comparable by design.
+"""
+
+from repro.experiments.config import (
+    DOMINANCE_CRITERIA,
+    KNN_CRITERIA,
+    PaperDefaults,
+)
+from repro.experiments.dominance import (
+    DominanceMeasurement,
+    run_dominance_experiment,
+)
+from repro.experiments.knn import KNNMeasurement, run_knn_experiment
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.table1 import run_table1
+
+__all__ = [
+    "PaperDefaults",
+    "DOMINANCE_CRITERIA",
+    "KNN_CRITERIA",
+    "DominanceMeasurement",
+    "run_dominance_experiment",
+    "KNNMeasurement",
+    "run_knn_experiment",
+    "run_table1",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,127 @@
+"""The dominance-operator experiments (Section 7.1, Figures 8–12).
+
+Each measurement follows the paper's protocol: build a workload of
+random ``(Sa, Sb, Sq)`` triples from the dataset, run every criterion
+over the whole workload several times, average the per-query execution
+time, and score precision/recall against Hyperbola's answers (the paper
+uses Hyperbola as ground truth because it is the only criterion that is
+both correct and sound; the test suite independently validates it
+against the numerical oracle).
+
+Two timing modes are supported:
+
+- ``"scalar"`` (default) — one Python call per triple, the closest
+  analogue of the paper's per-operator measurements;
+- ``"batch"`` — the vectorised kernels from :mod:`repro.core.batch`,
+  used by the batch-vs-scalar ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import get_criterion
+from repro.core.batch import batch_evaluate
+from repro.data.synthetic import Dataset
+from repro.data.workload import DominanceWorkload
+from repro.exceptions import ExperimentError
+from repro.experiments.config import DOMINANCE_CRITERIA
+from repro.experiments.metrics import binary_metrics, mean_and_std, time_callable
+
+__all__ = ["DominanceMeasurement", "run_dominance_experiment"]
+
+GROUND_TRUTH_CRITERION = "hyperbola"
+
+
+@dataclass(frozen=True)
+class DominanceMeasurement:
+    """One (configuration, criterion) cell of a Figure 8–12 series."""
+
+    label: str
+    criterion: str
+    seconds_per_query: float
+    seconds_std: float
+    precision: float
+    recall: float
+    workload_size: int
+
+    def row(self) -> tuple:
+        """The cell as a report-table row."""
+        return (
+            self.label,
+            self.criterion,
+            self.seconds_per_query,
+            self.precision,
+            self.recall,
+        )
+
+
+def _scalar_predictions(criterion_name: str, workload: DominanceWorkload) -> np.ndarray:
+    criterion = get_criterion(criterion_name)
+    return np.fromiter(
+        (criterion.dominates(sa, sb, sq) for sa, sb, sq in workload.triples()),
+        dtype=bool,
+        count=len(workload),
+    )
+
+
+def run_dominance_experiment(
+    dataset: Dataset,
+    *,
+    label: str,
+    workload_size: int = 10_000,
+    repeats: int = 10,
+    criteria: tuple[str, ...] = DOMINANCE_CRITERIA,
+    timing: str = "scalar",
+    seed: int | None = 0,
+) -> list[DominanceMeasurement]:
+    """Measure every criterion on one dataset configuration.
+
+    Returns one :class:`DominanceMeasurement` per criterion, in the
+    order given.  *label* names the configuration (the x-axis value of
+    the figure this measurement belongs to).
+    """
+    if timing not in ("scalar", "batch"):
+        raise ExperimentError(f"unknown timing mode {timing!r}")
+    workload = DominanceWorkload.from_dataset(
+        dataset, size=workload_size, seed=seed
+    )
+    truth = batch_evaluate(GROUND_TRUTH_CRITERION, *workload.arrays())
+
+    measurements = []
+    for name in criteria:
+        if timing == "scalar":
+            criterion = get_criterion(name)
+            triples = list(workload.triples())
+
+            def run_workload() -> None:
+                for sa, sb, sq in triples:
+                    criterion.dominates(sa, sb, sq)
+
+            samples = time_callable(run_workload, repeats)
+            predicted = batch_evaluate(name, *workload.arrays())
+        else:
+            arrays = workload.arrays()
+
+            def run_workload() -> None:
+                batch_evaluate(name, *arrays)
+
+            samples = time_callable(run_workload, repeats)
+            predicted = batch_evaluate(name, *workload.arrays())
+
+        mean, std = mean_and_std(samples)
+        scores = binary_metrics(predicted, truth)
+        measurements.append(
+            DominanceMeasurement(
+                label=label,
+                criterion=name,
+                seconds_per_query=mean / len(workload),
+                seconds_std=std / len(workload),
+                precision=scores.precision,
+                recall=scores.recall,
+                workload_size=len(workload),
+            )
+        )
+    return measurements

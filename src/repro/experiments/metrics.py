@@ -1,0 +1,88 @@
+"""Precision / recall / timing metrics shared by the experiment runners.
+
+Section 7.1 of the paper defines, over a workload of dominance queries
+with Hyperbola as ground truth:
+
+- ``precision = TP / (TP + FP)`` — fraction of the criterion's "true"
+  answers that are genuinely true (a *correct* criterion scores 100%);
+- ``recall = TP / (TP + FN)`` — fraction of the genuinely-true answers
+  the criterion finds (a *sound* criterion scores 100%).
+
+Edge convention: when a criterion returns no positives its precision is
+reported as 100% (it made no false claims), and when the ground truth
+has no positives recall is 100%; this matches how such plots are
+conventionally drawn and keeps the figures defined for every sweep
+point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["BinaryMetrics", "binary_metrics", "time_callable", "mean_and_std"]
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Confusion-matrix summary of a criterion against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP), in percent; 100.0 when no positives claimed."""
+        claimed = self.true_positives + self.false_positives
+        if claimed == 0:
+            return 100.0
+        return 100.0 * self.true_positives / claimed
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN), in percent; 100.0 when nothing was true."""
+        actual = self.true_positives + self.false_negatives
+        if actual == 0:
+            return 100.0
+        return 100.0 * self.true_positives / actual
+
+
+def binary_metrics(predicted: np.ndarray, truth: np.ndarray) -> BinaryMetrics:
+    """Confusion counts of boolean *predicted* against boolean *truth*."""
+    predicted = np.asarray(predicted, dtype=bool)
+    truth = np.asarray(truth, dtype=bool)
+    if predicted.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: {predicted.shape} vs {truth.shape}"
+        )
+    return BinaryMetrics(
+        true_positives=int(np.count_nonzero(predicted & truth)),
+        false_positives=int(np.count_nonzero(predicted & ~truth)),
+        false_negatives=int(np.count_nonzero(~predicted & truth)),
+        true_negatives=int(np.count_nonzero(~predicted & ~truth)),
+    )
+
+
+def time_callable(fn: Callable[[], object], repeats: int) -> list[float]:
+    """Wall-clock seconds for *repeats* invocations of *fn*."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def mean_and_std(samples: Iterable[float]) -> tuple[float, float]:
+    """Mean and population standard deviation of *samples*."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("no samples")
+    return float(values.mean()), float(values.std())

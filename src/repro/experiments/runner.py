@@ -1,0 +1,365 @@
+"""Registry mapping each paper table/figure to a runnable experiment.
+
+Every runner regenerates the rows of one table or figure from
+Section 7.  The paper's x-axis values become table rows; the figure's
+plotted series become columns (or one row per series cell, for the kNN
+experiments with their eight algorithm combinations).
+
+All runners accept a ``scale`` factor: 1.0 reproduces the paper's
+dataset and workload sizes; smaller values shrink them proportionally
+(the CLI default is 0.05 so a full ``all`` run finishes on a laptop;
+pass ``--scale 1.0`` for the paper-size run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.data.real import REAL_DATASET_SPECS, real_dataset
+from repro.data.synthetic import synthetic_dataset
+from repro.exceptions import ExperimentError
+from repro.experiments.config import PaperDefaults
+from repro.experiments.dominance import run_dominance_experiment
+from repro.experiments.knn import run_knn_experiment
+from repro.experiments.report import render_table
+from repro.experiments.ablations import run_ablations
+from repro.experiments.claims import run_claims
+from repro.experiments.table1 import run_table1
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment"]
+
+DOMINANCE_HEADERS = ("config", "criterion", "sec/query", "precision %", "recall %")
+KNN_HEADERS = ("config", "algorithm", "sec/query", "precision %", "coverage %")
+
+
+@dataclass
+class ExperimentReport:
+    """The regenerated rows of one table/figure, ready for rendering."""
+
+    experiment: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The report as an aligned text table."""
+        return render_table(self.headers, self.rows, title=self.title)
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form of the report."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+        }
+
+
+def _scaled_real_size(name: str, scale: float) -> int | None:
+    if scale >= 1.0:
+        return None  # the full dataset
+    full = REAL_DATASET_SPECS[name].size
+    return max(500, int(round(full * scale)))
+
+
+def _run_ablations(
+    defaults: PaperDefaults, scale: float, seed: int
+) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment="ablations",
+        title="Ablations: solver / kernels / cascade / kNN algorithm / index",
+        headers=("study", "variant", "seconds", "note"),
+    )
+    report.rows.extend(run_ablations(scale=scale, seed=seed))
+    return report
+
+
+def _run_claims(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment="claims",
+        title="Paper claims checklist (lemmas, Table 1, Section 6 guarantees)",
+        headers=("source", "claim", "holds"),
+    )
+    size = max(300, int(round(1500 * min(1.0, scale * 10))))
+    for claim in run_claims(workload_size=size, seed=seed):
+        report.rows.append(claim.row())
+    return report
+
+
+def _run_table1(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment="table1",
+        title="Table 1: dominance criteria properties (claimed vs observed)",
+        headers=(
+            "criterion",
+            "claimed correct",
+            "observed correct",
+            "claimed sound",
+            "observed sound",
+        ),
+    )
+    size = max(400, int(round(4000 * min(1.0, scale * 10))))
+    for row in run_table1(workload_size=size, dimension=defaults.dimension, seed=seed):
+        report.rows.append(row.row())
+    return report
+
+
+def _dominance_figure(
+    experiment: str,
+    title: str,
+    configurations: "list[tuple[str, Callable[[], object]]]",
+    defaults: PaperDefaults,
+    seed: int,
+) -> ExperimentReport:
+    report = ExperimentReport(experiment, title, DOMINANCE_HEADERS)
+    for label, build in configurations:
+        dataset = build()
+        for measurement in run_dominance_experiment(
+            dataset,
+            label=label,
+            workload_size=defaults.workload_size,
+            repeats=defaults.repeats,
+            seed=seed,
+        ):
+            report.rows.append(measurement.row())
+    return report
+
+
+def _run_fig8(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    size = _scaled_real_size("nba", scale)
+    configurations = [
+        (
+            f"mu={mu:g}",
+            lambda mu=mu: real_dataset(
+                "nba", mu=mu, relative_radii=True, size=size, seed=seed
+            ),
+        )
+        for mu in defaults.mu_values
+    ]
+    return _dominance_figure(
+        "fig8",
+        "Figure 8: effect of average radius mu on the dominance problem (NBA)",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+def _run_fig9(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    configurations = [
+        (
+            f"d={d}",
+            lambda d=d: synthetic_dataset(
+                defaults.n, d, mu=defaults.mu, seed=seed
+            ),
+        )
+        for d in defaults.dimension_values
+    ]
+    return _dominance_figure(
+        "fig9",
+        "Figure 9: effect of dimensionality d on the dominance problem (synthetic)",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+def _run_fig10(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    configurations = [
+        (
+            name,
+            lambda name=name: real_dataset(
+                name,
+                mu=defaults.mu,
+                relative_radii=True,
+                size=_scaled_real_size(name, scale),
+                seed=seed,
+            ),
+        )
+        for name in ("nba", "forest", "color", "texture")
+    ]
+    return _dominance_figure(
+        "fig10",
+        "Figure 10: dominance problem on the four real datasets",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+def _run_fig11(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    configurations = [
+        (
+            f"d={d}",
+            lambda d=d: synthetic_dataset(
+                defaults.n, d, mu=defaults.mu, seed=seed
+            ),
+        )
+        for d in defaults.high_dimension_values
+    ]
+    return _dominance_figure(
+        "fig11",
+        "Figure 11: dominance execution time in high-dimensional space",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+def _run_fig12(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    labels = {"gaussian": "G", "uniform": "U"}
+    configurations = [
+        (
+            f"{labels[centers]}-{labels[radii]}",
+            lambda centers=centers, radii=radii: synthetic_dataset(
+                defaults.n,
+                defaults.dimension,
+                mu=defaults.mu,
+                center_distribution=centers,
+                radius_distribution=radii,
+                seed=seed,
+            ),
+        )
+        for centers, radii in defaults.distribution_grid
+    ]
+    return _dominance_figure(
+        "fig12",
+        "Figure 12: dominance execution time under different distributions",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+def _knn_figure(
+    experiment: str,
+    title: str,
+    configurations: "list[tuple[str, Callable[[], object], int]]",
+    defaults: PaperDefaults,
+    seed: int,
+) -> ExperimentReport:
+    report = ExperimentReport(experiment, title, KNN_HEADERS)
+    for label, build, k in configurations:
+        dataset = build()
+        for measurement in run_knn_experiment(
+            dataset,
+            label=label,
+            k=k,
+            queries=defaults.knn_queries,
+            seed=seed,
+        ):
+            report.rows.append(measurement.row())
+    return report
+
+
+def _run_fig13(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    configurations = [
+        (
+            f"mu={mu:g}",
+            lambda mu=mu: synthetic_dataset(
+                defaults.n, defaults.dimension, mu=mu, seed=seed
+            ),
+            defaults.k,
+        )
+        for mu in defaults.mu_values
+    ]
+    return _knn_figure(
+        "fig13",
+        "Figure 13: effect of average radius mu on kNN queries (synthetic)",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+def _run_fig14(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    configurations = [
+        (
+            f"k={k}",
+            lambda: synthetic_dataset(
+                defaults.n, defaults.dimension, mu=defaults.mu, seed=seed
+            ),
+            k,
+        )
+        for k in defaults.k_values
+    ]
+    return _knn_figure(
+        "fig14",
+        "Figure 14: effect of k on kNN queries (synthetic)",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+def _run_fig15(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    configurations = [
+        (
+            f"N={n}",
+            lambda n=n: synthetic_dataset(
+                n, defaults.dimension, mu=defaults.mu, seed=seed
+            ),
+            defaults.k,
+        )
+        for n in defaults.n_values
+    ]
+    return _knn_figure(
+        "fig15",
+        "Figure 15: effect of data size N on kNN queries (synthetic)",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+def _run_fig16(defaults: PaperDefaults, scale: float, seed: int) -> ExperimentReport:
+    configurations = [
+        (
+            f"d={d}",
+            lambda d=d: synthetic_dataset(
+                defaults.n, d, mu=defaults.mu, seed=seed
+            ),
+            defaults.k,
+        )
+        for d in defaults.dimension_values
+    ]
+    return _knn_figure(
+        "fig16",
+        "Figure 16: effect of dimensionality d on kNN queries (synthetic)",
+        configurations,
+        defaults,
+        seed,
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[PaperDefaults, float, int], ExperimentReport]] = {
+    "ablations": _run_ablations,
+    "claims": _run_claims,
+    "table1": _run_table1,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "fig15": _run_fig15,
+    "fig16": _run_fig16,
+}
+
+
+def run_experiment(
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Regenerate the named table/figure at the given *scale*."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(f"unknown experiment {name!r}; known: {known}") from None
+    defaults = PaperDefaults().scaled(scale)
+    return runner(defaults, scale, seed)

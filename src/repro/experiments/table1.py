@@ -1,0 +1,116 @@
+"""Empirical regeneration of Table 1 (criteria properties summary).
+
+Table 1 of the paper states, for each decision criterion, whether it is
+correct, sound and efficient.  This runner *measures* the first two
+claims on a randomised workload: a criterion is empirically correct
+when it produced no false positives against the ground truth, and
+empirically sound when it produced no false negatives.  (Efficiency —
+the O(d) claim — is demonstrated by the Figure 11 runtime sweep and the
+pytest benchmarks instead; a single workload cannot certify a
+complexity class.)
+
+The workload is deliberately adversarial: it mixes dataset-drawn
+triples with *aligned* triples (Sq placed on the far side of Sa, the
+regime of the paper's Figure 4 / Figure 5 counter-examples) so the
+unsound criteria actually exhibit their false negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import get_criterion
+from repro.core.batch import batch_evaluate
+from repro.data.synthetic import synthetic_dataset
+from repro.data.workload import DominanceWorkload
+from repro.experiments.config import DOMINANCE_CRITERIA
+from repro.experiments.metrics import binary_metrics
+
+__all__ = ["Table1Row", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One criterion's empirical and theoretical property flags."""
+
+    criterion: str
+    claimed_correct: bool
+    claimed_sound: bool
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def observed_correct(self) -> bool:
+        return self.false_positives == 0
+
+    @property
+    def observed_sound(self) -> bool:
+        return self.false_negatives == 0
+
+    def row(self) -> tuple:
+        return (
+            self.criterion,
+            self.claimed_correct,
+            self.observed_correct,
+            self.claimed_sound,
+            self.observed_sound,
+        )
+
+
+def _aligned_workload(
+    size: int, dimension: int, rng: np.random.Generator
+) -> DominanceWorkload:
+    """Triples with Sq on Sa's far side — the soundness stress regime."""
+    ca = rng.normal(100.0, 25.0, (size, dimension))
+    direction = rng.standard_normal((size, dimension))
+    direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+    ra = np.abs(rng.normal(5.0, 2.0, size))
+    rb = np.abs(rng.normal(5.0, 2.0, size))
+    rq = np.abs(rng.normal(5.0, 2.0, size))
+    gap = ra + rb + rng.uniform(1.0, 40.0, size)
+    cb = ca + direction * gap[:, None]
+    cq = ca - direction * rng.uniform(0.0, 30.0, size)[:, None]
+    return DominanceWorkload(ca=ca, cb=cb, cq=cq, ra=ra, rb=rb, rq=rq)
+
+
+def run_table1(
+    *,
+    workload_size: int = 4000,
+    dimension: int = 6,
+    seed: int = 0,
+    criteria: tuple[str, ...] = DOMINANCE_CRITERIA,
+) -> list[Table1Row]:
+    """Measure the correct/sound flags of every criterion."""
+    rng = np.random.default_rng(seed)
+    dataset = synthetic_dataset(
+        max(workload_size // 4, 100), dimension, mu=10.0, rng=rng
+    )
+    random_part = DominanceWorkload.from_dataset(
+        dataset, size=workload_size // 2, rng=rng
+    )
+    aligned_part = _aligned_workload(
+        workload_size - len(random_part), dimension, rng
+    )
+    arrays = tuple(
+        np.concatenate([a, b], axis=0)
+        for a, b in zip(random_part.arrays(), aligned_part.arrays())
+    )
+    truth = batch_evaluate("hyperbola", *arrays)
+
+    rows = []
+    for name in criteria:
+        criterion = get_criterion(name)
+        predicted = batch_evaluate(name, *arrays)
+        scores = binary_metrics(predicted, truth)
+        rows.append(
+            Table1Row(
+                criterion=name,
+                claimed_correct=criterion.is_correct,
+                claimed_sound=criterion.is_sound,
+                false_positives=scores.false_positives,
+                false_negatives=scores.false_negatives,
+            )
+        )
+    return rows

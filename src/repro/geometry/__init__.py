@@ -1,0 +1,41 @@
+"""Geometric substrate: hyperspheres, hyperrectangles, distances.
+
+This subpackage contains the building blocks every other layer of the
+library is written against:
+
+- :class:`~repro.geometry.hypersphere.Hypersphere` — the primary object
+  representation used throughout the paper.
+- :class:`~repro.geometry.hyperrectangle.Hyperrectangle` — minimum
+  bounding rectangles, needed by the adapted MBR decision criterion.
+- :mod:`~repro.geometry.distance` — Euclidean point/sphere distance
+  helpers (Equations 1, 3 and 4 of the paper).
+- :mod:`~repro.geometry.transform` — the O(d) isometric change of frame
+  used by the Hyperbola algorithm (Section 4.3.1).
+- :mod:`~repro.geometry.quartic` — real-root quartic solvers used to
+  solve the Lagrange system (Equation 14).
+"""
+
+from repro.geometry.distance import (
+    dist,
+    max_dist,
+    max_dist_point,
+    min_dist,
+    min_dist_point,
+)
+from repro.geometry.hyperrectangle import Hyperrectangle
+from repro.geometry.hypersphere import Hypersphere
+from repro.geometry.transform import FocalFrame
+from repro.geometry.quartic import solve_quartic_real, solve_quartic_real_batch
+
+__all__ = [
+    "Hypersphere",
+    "Hyperrectangle",
+    "FocalFrame",
+    "dist",
+    "min_dist",
+    "max_dist",
+    "min_dist_point",
+    "max_dist_point",
+    "solve_quartic_real",
+    "solve_quartic_real_batch",
+]

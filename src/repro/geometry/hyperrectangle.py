@@ -1,0 +1,169 @@
+"""The :class:`Hyperrectangle` value type and per-dimension distances.
+
+Hyperrectangles appear in this reproduction because the paper adapts the
+MBR decision criterion of Emrich et al. (SIGMOD 2010) to hyperspheres:
+each hypersphere is replaced by its minimum bounding hyperrectangle and
+the (optimal-for-rectangles) dominance decision is evaluated on those
+boxes.
+
+The crucial property the MBR criterion exploits is that both the maximum
+and minimum *squared* distance between a point ``q`` and a box ``R``
+decompose over dimensions::
+
+    MaxDist(R, q)^2 = sum_i maxdist_i(R, q[i])^2
+    MinDist(R, q)^2 = sum_i mindist_i(R, q[i])^2
+
+where ``maxdist_i`` / ``mindist_i`` are one-dimensional interval
+distances.  Those one-dimensional pieces are exposed here so the decision
+criterion in :mod:`repro.core.mbr` stays close to the maths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionalityMismatchError, GeometryError
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["Hyperrectangle"]
+
+
+class Hyperrectangle:
+    """An axis-aligned box ``{x : lo[i] <= x[i] <= hi[i]}`` in R^d."""
+
+    __slots__ = ("_lo", "_hi")
+
+    def __init__(
+        self,
+        lo: Sequence[float] | np.ndarray,
+        hi: Sequence[float] | np.ndarray,
+    ) -> None:
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.ndim != 1 or hi.ndim != 1:
+            raise GeometryError("lo and hi must be 1-D arrays")
+        if lo.shape != hi.shape:
+            raise DimensionalityMismatchError(lo.shape[0], hi.shape[0])
+        if lo.size == 0:
+            raise GeometryError("a hyperrectangle needs at least one dimension")
+        if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+            raise GeometryError("bounds must be finite")
+        if np.any(lo > hi):
+            raise GeometryError("every lo[i] must be <= hi[i]")
+        self._lo = lo.copy()
+        self._hi = hi.copy()
+        self._lo.flags.writeable = False
+        self._hi.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def bounding(cls, sphere: Hypersphere) -> "Hyperrectangle":
+        """The minimum bounding rectangle of a hypersphere."""
+        c, r = sphere.center, sphere.radius
+        return cls(c - r, c + r)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "Hyperrectangle":
+        """The minimum bounding rectangle of a ``(n, d)`` point array."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise GeometryError("points must be a non-empty (n, d) array")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    # ------------------------------------------------------------------
+    # Basic attributes
+    # ------------------------------------------------------------------
+    @property
+    def lo(self) -> np.ndarray:
+        """Per-dimension lower bounds (read-only)."""
+        return self._lo
+
+    @property
+    def hi(self) -> np.ndarray:
+        """Per-dimension upper bounds (read-only)."""
+        return self._hi
+
+    @property
+    def dimension(self) -> int:
+        """The dimensionality d of the ambient space."""
+        return self._lo.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        """The box midpoint."""
+        return (self._lo + self._hi) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Per-dimension side lengths."""
+        return self._hi - self._lo
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains(self, point: Sequence[float] | np.ndarray) -> bool:
+        """Whether *point* lies inside the closed box."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != self._lo.shape:
+            raise DimensionalityMismatchError(self.dimension, point.shape[-1])
+        return bool(np.all(point >= self._lo) and np.all(point <= self._hi))
+
+    def intersects(self, other: "Hyperrectangle") -> bool:
+        """Whether the two closed boxes share at least one point."""
+        if other.dimension != self.dimension:
+            raise DimensionalityMismatchError(self.dimension, other.dimension)
+        return bool(
+            np.all(self._lo <= other._hi) and np.all(other._lo <= self._hi)
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_dist_point(self, q: Sequence[float] | np.ndarray) -> float:
+        """Minimum Euclidean distance from point *q* to the box."""
+        q = np.asarray(q, dtype=np.float64)
+        gaps = np.maximum(np.maximum(self._lo - q, q - self._hi), 0.0)
+        return float(np.linalg.norm(gaps))
+
+    def max_dist_point(self, q: Sequence[float] | np.ndarray) -> float:
+        """Maximum Euclidean distance from point *q* to the box."""
+        q = np.asarray(q, dtype=np.float64)
+        gaps = np.maximum(np.abs(q - self._lo), np.abs(self._hi - q))
+        return float(np.linalg.norm(gaps))
+
+    def min_sq_dist_1d(self, i: int, coordinate: float) -> float:
+        """Squared 1-D distance from *coordinate* to interval i.
+
+        Zero when the coordinate falls inside ``[lo[i], hi[i]]``.
+        """
+        gap = max(self._lo[i] - coordinate, coordinate - self._hi[i], 0.0)
+        return gap * gap
+
+    def max_sq_dist_1d(self, i: int, coordinate: float) -> float:
+        """Squared 1-D distance from *coordinate* to the far interval end."""
+        gap = max(abs(coordinate - self._lo[i]), abs(self._hi[i] - coordinate))
+        return gap * gap
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hyperrectangle):
+            return NotImplemented
+        return (
+            self._lo.shape == other._lo.shape
+            and bool(np.all(self._lo == other._lo))
+            and bool(np.all(self._hi == other._hi))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._lo.tobytes(), self._hi.tobytes()))
+
+    def __repr__(self) -> str:
+        lo = np.array2string(self._lo, precision=4, separator=", ")
+        hi = np.array2string(self._hi, precision=4, separator=", ")
+        return f"Hyperrectangle(lo={lo}, hi={hi})"

@@ -1,0 +1,208 @@
+"""The :class:`Hypersphere` value type.
+
+A *hypersphere* (the paper's Section 2.1) is a closed Euclidean ball in
+d-dimensional space: a center point ``c`` and a non-negative radius
+``r``.  A point is the degenerate hypersphere with ``r == 0``.
+
+Instances are immutable: the center array is copied on construction and
+marked read-only, so a hypersphere can safely be shared between index
+nodes, query results and experiment workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionalityMismatchError, GeometryError
+
+__all__ = ["Hypersphere"]
+
+
+def _as_center(center: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Validate and normalise a center to a read-only 1-D float64 array."""
+    array = np.asarray(center, dtype=np.float64)
+    if array.ndim != 1:
+        raise GeometryError(
+            f"center must be a 1-D point, got array of shape {array.shape}"
+        )
+    if array.size == 0:
+        raise GeometryError("center must have at least one coordinate")
+    if not np.all(np.isfinite(array)):
+        raise GeometryError("center coordinates must be finite")
+    array = array.copy()
+    array.flags.writeable = False
+    return array
+
+
+class Hypersphere:
+    """A closed ball ``{x : ||x - center|| <= radius}`` in R^d.
+
+    Parameters
+    ----------
+    center:
+        The d-dimensional center point.
+    radius:
+        Non-negative radius.  ``radius == 0`` represents an exact point,
+        which the paper treats as a degenerate hypersphere.
+
+    Examples
+    --------
+    >>> s = Hypersphere([0.0, 0.0], 1.0)
+    >>> s.dimension
+    2
+    >>> s.contains([0.5, 0.5])
+    True
+    """
+
+    __slots__ = ("_center", "_radius")
+
+    def __init__(self, center: Sequence[float] | np.ndarray, radius: float) -> None:
+        self._center = _as_center(center)
+        radius = float(radius)
+        if not np.isfinite(radius):
+            raise GeometryError("radius must be finite")
+        if radius < 0.0:
+            raise GeometryError(f"radius must be non-negative, got {radius}")
+        self._radius = radius
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: Sequence[float] | np.ndarray) -> "Hypersphere":
+        """Build the degenerate (radius zero) hypersphere around *point*."""
+        return cls(point, 0.0)
+
+    # ------------------------------------------------------------------
+    # Basic attributes
+    # ------------------------------------------------------------------
+    @property
+    def center(self) -> np.ndarray:
+        """The (read-only) center point."""
+        return self._center
+
+    @property
+    def radius(self) -> float:
+        """The non-negative radius."""
+        return self._radius
+
+    @property
+    def dimension(self) -> int:
+        """The dimensionality d of the ambient space."""
+        return self._center.shape[0]
+
+    @property
+    def is_point(self) -> bool:
+        """True when the hypersphere degenerates to a single point."""
+        return self._radius == 0.0
+
+    # ------------------------------------------------------------------
+    # Geometric predicates
+    # ------------------------------------------------------------------
+    def require_same_dimension(self, other: "Hypersphere") -> None:
+        """Raise :class:`DimensionalityMismatchError` on a d mismatch."""
+        if other.dimension != self.dimension:
+            raise DimensionalityMismatchError(self.dimension, other.dimension)
+
+    def contains(
+        self, point: Sequence[float] | np.ndarray, *, strict: bool = False
+    ) -> bool:
+        """Whether *point* lies in the (closed, or open if *strict*) ball."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != self._center.shape:
+            raise DimensionalityMismatchError(self.dimension, point.shape[-1])
+        gap = float(np.linalg.norm(point - self._center))
+        if strict:
+            return gap < self._radius
+        return gap <= self._radius
+
+    def contains_sphere(self, other: "Hypersphere") -> bool:
+        """Whether *other* is entirely inside this closed ball."""
+        self.require_same_dimension(other)
+        gap = float(np.linalg.norm(other.center - self._center))
+        return gap + other.radius <= self._radius
+
+    def overlaps(self, other: "Hypersphere") -> bool:
+        """The paper's overlap test: ``Dist(ca, cb) <= ra + rb``.
+
+        Overlapping spheres can never dominate each other (Lemma 1).
+        Touching spheres (equality) count as overlapping because the
+        dominance definition uses a strict inequality.
+        """
+        self.require_same_dimension(other)
+        gap = float(np.linalg.norm(other.center - self._center))
+        return gap <= self._radius + other.radius
+
+    # ------------------------------------------------------------------
+    # Sampling (used by tests and the numerical oracle)
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw *size* points uniformly from the closed ball.
+
+        Uses the standard Gaussian-direction / radius^(1/d) construction,
+        which is exact for any dimension.
+        """
+        if size < 0:
+            raise GeometryError(f"sample size must be non-negative, got {size}")
+        d = self.dimension
+        directions = rng.standard_normal((size, d))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        radii = self._radius * rng.random((size, 1)) ** (1.0 / d)
+        return self._center + directions / norms * radii
+
+    def sample_surface(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw *size* points uniformly from the bounding sphere surface."""
+        if size < 0:
+            raise GeometryError(f"sample size must be non-negative, got {size}")
+        d = self.dimension
+        directions = rng.standard_normal((size, d))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return self._center + directions / norms * self._radius
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def translated(self, offset: Sequence[float] | np.ndarray) -> "Hypersphere":
+        """A copy of this hypersphere moved by *offset*."""
+        offset = np.asarray(offset, dtype=np.float64)
+        if offset.shape != self._center.shape:
+            raise DimensionalityMismatchError(self.dimension, offset.shape[-1])
+        return Hypersphere(self._center + offset, self._radius)
+
+    def scaled(self, factor: float) -> "Hypersphere":
+        """A copy with both center and radius scaled about the origin."""
+        factor = float(factor)
+        if factor < 0.0:
+            raise GeometryError("scale factor must be non-negative")
+        return Hypersphere(self._center * factor, self._radius * factor)
+
+    def with_radius(self, radius: float) -> "Hypersphere":
+        """A copy sharing the center but with a different radius."""
+        return Hypersphere(self._center, radius)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterable[float]:
+        yield from self._center
+        yield self._radius
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypersphere):
+            return NotImplemented
+        return (
+            self._radius == other._radius
+            and self._center.shape == other._center.shape
+            and bool(np.all(self._center == other._center))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._center.tobytes(), self._radius))
+
+    def __repr__(self) -> str:
+        center = np.array2string(self._center, precision=4, separator=", ")
+        return f"Hypersphere(center={center}, radius={self._radius:g})"

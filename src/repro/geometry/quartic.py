@@ -1,0 +1,266 @@
+"""Real-root solvers for polynomials up to degree four.
+
+The Hyperbola algorithm reduces the constrained minimisation of
+``Dist(cq, x)`` over the hyperbola to the quartic Equation (14) of the
+paper.  A quartic has a closed-form solution (Ferrari, 1540), which is
+what makes the whole decision O(d): the dimension only enters through a
+handful of inner products, never through an iterative solve.
+
+Two interchangeable solvers are provided:
+
+- :func:`solve_quartic_real` — the default; normalises the
+  coefficients, strips (near-)zero leading terms, and extracts the real
+  roots of the companion matrix.  This is the most robust option for the
+  wide dynamic range of coefficients the dominance kernel produces.
+- :func:`solve_quartic_real_closed` — the classical Ferrari resolvent
+  cascade.  Kept as a faithful rendering of the paper's "solutions for a
+  quartic equation can be found in O(1) time" claim and exercised by the
+  quartic ablation benchmark.
+
+plus :func:`solve_quartic_real_batch` for vectorised workloads.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "solve_quartic_real",
+    "solve_quartic_real_closed",
+    "solve_quartic_real_batch",
+]
+
+# Relative threshold below which a leading coefficient is treated as zero.
+_LEADING_EPS = 1e-13
+# Tolerance for accepting a companion-matrix eigenvalue as real.  A double
+# real root perturbs into a conjugate pair with imaginary parts around
+# sqrt(machine epsilon), so the filter must sit well above that; the
+# dominance kernel prefers a spurious near-real candidate (harmless: every
+# candidate is re-projected onto the quadric) over a missed tangency root.
+_IMAG_EPS = 1e-5
+
+
+def _normalised(coefficients: np.ndarray) -> np.ndarray:
+    """Scale coefficients so the largest magnitude is 1 (no-op on zeros)."""
+    scale = float(np.max(np.abs(coefficients)))
+    if scale == 0.0:
+        return coefficients
+    return coefficients / scale
+
+
+def _trim_leading(coefficients: np.ndarray) -> np.ndarray:
+    """Drop leading coefficients that are negligible after normalisation."""
+    trimmed = coefficients
+    while trimmed.size > 1 and abs(trimmed[0]) <= _LEADING_EPS:
+        trimmed = trimmed[1:]
+    return trimmed
+
+
+def solve_quartic_real(
+    coefficients: "np.ndarray | list[float] | tuple[float, ...]",
+) -> np.ndarray:
+    """Real roots of ``A x^4 + B x^3 + C x^2 + D x + E = 0``.
+
+    Parameters
+    ----------
+    coefficients:
+        The five coefficients ``(A, B, C, D, E)`` from highest to lowest
+        degree.  Degenerate (lower-degree) inputs are handled by trimming
+        near-zero leading coefficients, so cubics, quadratics and linear
+        equations fall out naturally.
+
+    Returns
+    -------
+    numpy.ndarray
+        The real roots in ascending order (possibly empty).  An
+        identically-zero polynomial yields an empty array: the caller
+        (the dominance kernel) always supplements the root candidates
+        with closed-form special-case candidates, so "everything is a
+        root" degeneracies never need enumerating.
+    """
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if coeffs.shape != (5,):
+        raise ValueError(f"expected 5 coefficients, got shape {coeffs.shape}")
+    if not np.all(np.isfinite(coeffs)):
+        raise ValueError("coefficients must be finite")
+    coeffs = _trim_leading(_normalised(coeffs))
+    if coeffs.size == 1:  # constant polynomial: no roots to report
+        return np.empty(0)
+    roots = np.roots(coeffs)
+    real_mask = np.abs(roots.imag) <= _IMAG_EPS * (1.0 + np.abs(roots.real))
+    return np.sort(roots[real_mask].real)
+
+
+def _real_cubic_root(b: float, c: float, d: float) -> float:
+    """One real root of the depressed-able cubic ``y^3 + b y^2 + c y + d``.
+
+    Every cubic with real coefficients has at least one real root; the
+    Ferrari cascade only needs one of them (any resolvent root works).
+    Uses the trigonometric/Cardano branches for numerical stability.
+    """
+    # Depress: y = z - b/3  ->  z^3 + p z + q = 0
+    p = c - b * b / 3.0
+    q = 2.0 * b**3 / 27.0 - b * c / 3.0 + d
+    shift = -b / 3.0
+    if p == 0.0 and q == 0.0:
+        return shift
+    discriminant = (q / 2.0) ** 2 + (p / 3.0) ** 3
+    if discriminant > 0.0:
+        sqrt_disc = math.sqrt(discriminant)
+        u = math.copysign(abs(-q / 2.0 + sqrt_disc) ** (1.0 / 3.0), -q / 2.0 + sqrt_disc)
+        v = math.copysign(abs(-q / 2.0 - sqrt_disc) ** (1.0 / 3.0), -q / 2.0 - sqrt_disc)
+        return u + v + shift
+    if p >= 0.0:  # pragma: no cover - implies discriminant > 0 unless q == p == 0
+        return shift
+    # Three real roots: trigonometric form.
+    magnitude = 2.0 * math.sqrt(-p / 3.0)
+    ratio = 3.0 * q / (p * magnitude)
+    ratio = min(1.0, max(-1.0, ratio))
+    angle = math.acos(ratio) / 3.0
+    return magnitude * math.cos(angle) + shift
+
+
+def solve_quartic_real_closed(
+    coefficients: "np.ndarray | list[float] | tuple[float, ...]",
+) -> np.ndarray:
+    """Closed-form (Ferrari) real roots of a quartic.
+
+    Functionally equivalent to :func:`solve_quartic_real`; used by the
+    quartic ablation benchmark and cross-checked against the companion
+    solver in the test suite.
+    """
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if coeffs.shape != (5,):
+        raise ValueError(f"expected 5 coefficients, got shape {coeffs.shape}")
+    if not np.all(np.isfinite(coeffs)):
+        raise ValueError("coefficients must be finite")
+    coeffs = _trim_leading(_normalised(coeffs))
+    degree = coeffs.size - 1
+    if degree <= 0:
+        return np.empty(0)
+    if degree == 1:
+        return np.array([-coeffs[1] / coeffs[0]])
+    if degree == 2:
+        a, b, c = coeffs
+        disc = b * b - 4.0 * a * c
+        if disc < 0.0:
+            return np.empty(0)
+        sqrt_disc = math.sqrt(disc)
+        return np.sort(np.array([(-b - sqrt_disc) / (2 * a), (-b + sqrt_disc) / (2 * a)]))
+    if degree == 3:
+        a, b, c, d = coeffs
+        root = _real_cubic_root(b / a, c / a, d / a)
+        # Deflate and solve the remaining quadratic.
+        quad_b = b / a + root
+        quad_c = c / a + root * quad_b
+        disc = quad_b * quad_b - 4.0 * quad_c
+        roots = [root]
+        if disc >= 0.0:
+            sqrt_disc = math.sqrt(disc)
+            roots.append((-quad_b - sqrt_disc) / 2.0)
+            roots.append((-quad_b + sqrt_disc) / 2.0)
+        return np.sort(np.array(roots))
+
+    a, b, c, d, e = coeffs
+    # Normalise to monic and depress: x = y - b/(4a).
+    p = c / a - 3.0 * (b / a) ** 2 / 8.0
+    q = (b / a) ** 3 / 8.0 - (b / a) * (c / a) / 2.0 + d / a
+    r = (
+        -3.0 * (b / a) ** 4 / 256.0
+        + (b / a) ** 2 * (c / a) / 16.0
+        - (b / a) * (d / a) / 4.0
+        + e / a
+    )
+    shift = -b / (4.0 * a)
+    roots: list[float] = []
+
+    def clamped_sqrt(disc: float, scale: float) -> float | None:
+        """sqrt of a discriminant, forgiving tiny negative round-off.
+
+        A double root makes the discriminant exactly zero in exact
+        arithmetic; in floats it can land at -1e-16 and silently drop
+        both roots, so near-zero negatives are clamped.
+        """
+        tolerance = 1e-9 * (1.0 + scale)
+        if disc < -tolerance:
+            return None
+        return math.sqrt(disc) if disc > 0.0 else 0.0
+
+    if abs(q) <= 1e-14 * (1.0 + abs(p) + abs(r)):
+        # Biquadratic: y^4 + p y^2 + r = 0.
+        sqrt_disc = clamped_sqrt(p * p - 4.0 * r, p * p + abs(r))
+        if sqrt_disc is not None:
+            for z in ((-p - sqrt_disc) / 2.0, (-p + sqrt_disc) / 2.0):
+                if z >= -1e-12 * (1.0 + abs(p)):
+                    sz = math.sqrt(max(z, 0.0))
+                    roots.extend((-sz + shift, sz + shift))
+    else:
+        # Ferrari: complete (y^2 + p/2 + m)^2 = 2m (y - q/(4m))^2, where m
+        # solves the resolvent cubic m^3 + p m^2 + (p^2/4 - r) m - q^2/8 = 0.
+        # Since q != 0 the resolvent is negative at m = 0 and has a positive
+        # real root; _real_cubic_root returns the largest real root.
+        m = _real_cubic_root(p, p * p / 4.0 - r, -q * q / 8.0)
+        if m <= 0.0:
+            # Numerical edge: fall back to the robust solver.
+            return solve_quartic_real(coefficients)
+        s = math.sqrt(2.0 * m)
+        for sign in (-1.0, 1.0):
+            # y^2 - sign*s*y + (p/2 + m + sign*q/(2s)) = 0
+            const = p / 2.0 + m + sign * q / (2.0 * s)
+            sqrt_disc = clamped_sqrt(s * s - 4.0 * const, s * s + abs(const))
+            if sqrt_disc is not None:
+                roots.append((sign * s - sqrt_disc) / 2.0 + shift)
+                roots.append((sign * s + sqrt_disc) / 2.0 + shift)
+    return np.sort(np.asarray(roots, dtype=np.float64))
+
+
+def solve_quartic_real_batch(coefficients: np.ndarray) -> np.ndarray:
+    """Real roots for a batch of quartics.
+
+    Parameters
+    ----------
+    coefficients:
+        Array of shape ``(n, 5)``; row ``i`` holds ``(A, B, C, D, E)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n, 4)`` whose rows hold the real roots of each
+        quartic, padded with ``nan`` where fewer than four real roots
+        exist.  Rows whose quartic degenerates to a lower degree are
+        solved individually.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.ndim != 2 or coefficients.shape[1] != 5:
+        raise ValueError("expected an (n, 5) coefficient array")
+    n = coefficients.shape[0]
+    out = np.full((n, 4), np.nan)
+    if n == 0:
+        return out
+
+    scale = np.max(np.abs(coefficients), axis=1, keepdims=True)
+    safe_scale = np.where(scale == 0.0, 1.0, scale)
+    normalised = coefficients / safe_scale
+    genuine = np.abs(normalised[:, 0]) > _LEADING_EPS
+
+    if np.any(genuine):
+        monic = normalised[genuine] / normalised[genuine, :1]
+        companions = np.zeros((monic.shape[0], 4, 4))
+        companions[:, 1, 0] = 1.0
+        companions[:, 2, 1] = 1.0
+        companions[:, 3, 2] = 1.0
+        companions[:, 0, :] = -monic[:, 1:]
+        eigenvalues = np.linalg.eigvals(companions)
+        real_mask = np.abs(eigenvalues.imag) <= _IMAG_EPS * (
+            1.0 + np.abs(eigenvalues.real)
+        )
+        block = np.where(real_mask, eigenvalues.real, np.nan)
+        # Sort real roots first (nan sorts last), matching the scalar API.
+        out[genuine] = np.sort(block, axis=1)
+
+    for i in np.flatnonzero(~genuine):
+        roots = solve_quartic_real(coefficients[i])
+        out[i, : min(4, roots.size)] = roots[:4]
+    return out

@@ -1,0 +1,191 @@
+"""The O(d) focal frame change used by the Hyperbola algorithm.
+
+Section 4.3.1 of the paper rewrites the hyperbola
+``Dist(cb, x) - Dist(ca, x) = ra + rb`` in a coordinate system where the
+two foci sit at ``(-alpha, 0, ..., 0)`` and ``(+alpha, 0, ..., 0)`` with
+``alpha = Dist(ca, cb) / 2``.
+
+Two observations keep this O(d):
+
+1. The frame change is an isometry (translation to the focal midpoint
+   followed by a Householder reflection mapping the focal axis onto the
+   first coordinate axis), so it preserves every distance the algorithm
+   cares about.
+2. The algorithm never needs the individual transformed coordinates
+   ``x[2..d]`` — only their squared sum.  :meth:`FocalFrame.reduce`
+   therefore maps a d-dimensional point to the pair ``(t, rho)`` where
+   ``t`` is the signed coordinate along the focal axis and ``rho >= 0``
+   is the distance to that axis.  The whole minimisation then happens in
+   this 2-D half-plane.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionalityMismatchError, GeometryError
+
+__all__ = ["FocalFrame"]
+
+
+class FocalFrame:
+    """An isometric frame with foci ``ca -> (-alpha, 0...)``, ``cb -> (+alpha, 0...)``.
+
+    Parameters
+    ----------
+    ca, cb:
+        The two (distinct) focal points as d-dimensional arrays.
+    """
+
+    __slots__ = ("_midpoint", "_axis", "_alpha", "_dimension")
+
+    def __init__(
+        self,
+        ca: Sequence[float] | np.ndarray,
+        cb: Sequence[float] | np.ndarray,
+    ) -> None:
+        ca = np.asarray(ca, dtype=np.float64)
+        cb = np.asarray(cb, dtype=np.float64)
+        if ca.shape != cb.shape:
+            raise DimensionalityMismatchError(ca.shape[-1], cb.shape[-1])
+        if ca.ndim != 1:
+            raise GeometryError("focal points must be 1-D arrays")
+        separation = float(np.linalg.norm(cb - ca))
+        if separation == 0.0:
+            raise GeometryError("focal points must be distinct")
+        self._midpoint = (ca + cb) / 2.0
+        self._axis = (cb - ca) / separation
+        self._alpha = separation / 2.0
+        self._dimension = ca.shape[0]
+
+    @property
+    def alpha(self) -> float:
+        """Half the focal separation (the paper's alpha)."""
+        return self._alpha
+
+    @property
+    def dimension(self) -> int:
+        """The dimensionality d of the ambient space."""
+        return self._dimension
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        """The focal midpoint (origin of the new frame)."""
+        return self._midpoint
+
+    @property
+    def axis(self) -> np.ndarray:
+        """The unit vector from ``ca`` to ``cb`` (the new first axis)."""
+        return self._axis
+
+    # ------------------------------------------------------------------
+    # Reduction to the 2-D half-plane
+    # ------------------------------------------------------------------
+    def reduce(self, point: Sequence[float] | np.ndarray) -> tuple[float, float]:
+        """Map *point* to its ``(t, rho)`` coordinates.
+
+        ``t`` is the signed component along the focal axis (so ``ca``
+        reduces to ``(-alpha, 0)`` and ``cb`` to ``(+alpha, 0)``);
+        ``rho`` is the non-negative distance to the focal axis.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != self._midpoint.shape:
+            raise DimensionalityMismatchError(self._dimension, point.shape[-1])
+        offset = point - self._midpoint
+        t = float(offset @ self._axis)
+        # Guard the subtraction against tiny negative round-off.
+        rho_sq = float(offset @ offset) - t * t
+        rho = float(np.sqrt(rho_sq)) if rho_sq > 0.0 else 0.0
+        return t, rho
+
+    def reduce_many(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`reduce` for a ``(n, d)`` array of points."""
+        points = np.asarray(points, dtype=np.float64)
+        offsets = points - self._midpoint
+        t = offsets @ self._axis
+        rho_sq = np.einsum("ij,ij->i", offsets, offsets) - t * t
+        rho = np.sqrt(np.maximum(rho_sq, 0.0))
+        return t, rho
+
+    # ------------------------------------------------------------------
+    # Lifting back to the ambient space (diagnostics / tests only)
+    # ------------------------------------------------------------------
+    def lift(
+        self,
+        t: float,
+        rho: float,
+        toward: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Reconstruct a d-dimensional point from ``(t, rho)`` coordinates.
+
+        ``rho`` fixes the distance from the focal axis but not the
+        direction; *toward* (a d-dimensional point) selects the
+        half-plane containing that point.  When *toward* is omitted or
+        lies on the axis, an arbitrary perpendicular direction is used.
+        """
+        if rho < 0.0:
+            raise GeometryError("rho must be non-negative")
+        base = self._midpoint + t * self._axis
+        if rho == 0.0:
+            return base
+        direction = self._perpendicular_direction(toward)
+        return base + rho * direction
+
+    def _perpendicular_direction(
+        self, toward: Sequence[float] | np.ndarray | None
+    ) -> np.ndarray:
+        """A unit vector orthogonal to the focal axis, toward *toward*."""
+        if toward is not None:
+            toward = np.asarray(toward, dtype=np.float64)
+            offset = toward - self._midpoint
+            perpendicular = offset - (offset @ self._axis) * self._axis
+            norm = float(np.linalg.norm(perpendicular))
+            if norm > 0.0:
+                return perpendicular / norm
+        # Fall back to reflecting a canonical basis vector off the axis.
+        for i in range(self._dimension):
+            candidate = np.zeros(self._dimension)
+            candidate[i] = 1.0
+            perpendicular = candidate - (candidate @ self._axis) * self._axis
+            norm = float(np.linalg.norm(perpendicular))
+            if norm > 1e-12:
+                return perpendicular / norm
+        raise GeometryError("cannot build a perpendicular direction in 1-D")
+
+    # ------------------------------------------------------------------
+    # Full orthonormal transform (used by tests to validate the reduction)
+    # ------------------------------------------------------------------
+    def to_frame(self, points: np.ndarray) -> np.ndarray:
+        """Apply the full isometry to a point or ``(n, d)`` array.
+
+        Implemented with a Householder reflection so it stays O(d) per
+        point.  The first output coordinate matches :meth:`reduce`'s
+        ``t`` and the norm of the remaining coordinates matches ``rho``.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        single = points.ndim == 1
+        offsets = np.atleast_2d(points) - self._midpoint
+        axis = self._axis
+        e1 = np.zeros(self._dimension)
+        e1[0] = 1.0
+        # Choose the numerically stable reflector and record whether it
+        # sends the axis to +e1 or -e1.
+        if axis[0] >= 0.0:
+            v = axis + e1
+            sign = -1.0
+        else:
+            v = axis - e1
+            sign = 1.0
+        vv = float(v @ v)
+        if vv < 1e-300:  # pragma: no cover - axis exactly +/- e1 handled above
+            reflected = offsets.copy()
+        else:
+            reflected = offsets - np.outer((offsets @ v) * (2.0 / vv), v)
+        # ``reflected`` maps axis -> sign * e1; normalise so axis -> +e1.
+        if sign < 0.0:
+            reflected[:, 0] = -reflected[:, 0]
+        else:
+            reflected = reflected.copy()
+        return reflected[0] if single else reflected

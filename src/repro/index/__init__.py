@@ -1,0 +1,32 @@
+"""Index substrate: the SS-tree used by the paper's kNN experiments.
+
+The paper indexes its datasets with an SS-tree (White & Jain, ICDE
+1996), a height-balanced tree whose directory entries are bounding
+*spheres* rather than rectangles — a good fit when the data objects are
+hyperspheres themselves.
+
+- :class:`~repro.index.sstree.SSTree` — insertion-built or bulk-loaded
+  SS-tree with covering-sphere directory nodes.
+- :class:`~repro.index.vptree.VPTree` — a vantage-point tree (related
+  work, Section 5.1) exposing the same node interface, so every query
+  algorithm runs on either index (extension).
+- :class:`~repro.index.mtree.MTree` — the classic dynamically balanced
+  metric tree (related work, Section 5.1), same interface (extension).
+- :class:`~repro.index.linear.LinearIndex` — a flat scan with the same
+  traversal interface, used as the exact baseline.
+"""
+
+from repro.index.linear import LinearIndex
+from repro.index.mtree import MTree, MTreeNode
+from repro.index.sstree import SSTree, SSTreeNode
+from repro.index.vptree import VPTree, VPTreeNode
+
+__all__ = [
+    "SSTree",
+    "SSTreeNode",
+    "VPTree",
+    "VPTreeNode",
+    "MTree",
+    "MTreeNode",
+    "LinearIndex",
+]

@@ -1,0 +1,53 @@
+"""A flat linear-scan "index" used as the exact baseline.
+
+The paper compares index-accelerated kNN algorithms against each other;
+this reproduction additionally needs a trivially correct reference to
+compute the *precision* of each algorithm.  :class:`LinearIndex` stores
+the dataset as dense arrays so the reference answer (Definition 2 of
+the paper) can be computed with vectorised NumPy in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import IndexError_
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["LinearIndex"]
+
+
+class LinearIndex:
+    """Dense storage of keyed hyperspheres with vectorised distance bounds."""
+
+    def __init__(self, items: Iterable[tuple[object, Hypersphere]]) -> None:
+        items = list(items)
+        if not items:
+            raise IndexError_("cannot build an index over an empty dataset")
+        self.keys = [key for key, _ in items]
+        self.spheres = [sphere for _, sphere in items]
+        dimension = self.spheres[0].dimension
+        for sphere in self.spheres:
+            if sphere.dimension != dimension:
+                raise IndexError_("all spheres must share one dimensionality")
+        self.dimension = dimension
+        self.centers = np.stack([sphere.center for sphere in self.spheres])
+        self.radii = np.array([sphere.radius for sphere in self.spheres])
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self) -> Iterator[tuple[object, Hypersphere]]:
+        yield from zip(self.keys, self.spheres)
+
+    def max_dists(self, query: Hypersphere) -> np.ndarray:
+        """``MaxDist(S_i, query)`` for every stored hypersphere."""
+        gaps = np.linalg.norm(self.centers - query.center, axis=1)
+        return gaps + self.radii + query.radius
+
+    def min_dists(self, query: Hypersphere) -> np.ndarray:
+        """``MinDist(S_i, query)`` for every stored hypersphere."""
+        gaps = np.linalg.norm(self.centers - query.center, axis=1)
+        return np.maximum(gaps - self.radii - query.radius, 0.0)

@@ -1,0 +1,73 @@
+"""Distance browsing: incremental nearest-first enumeration.
+
+Hjaltason & Samet's *distance browsing* (the paper's [15]) is the
+engine behind the HS traversal: a single priority queue holding both
+tree nodes (keyed by their distance lower bound) and data objects
+(keyed by their actual ``MinDist``), popped in nondecreasing order.
+Objects therefore stream out sorted by ``MinDist`` to the query,
+lazily — ideal when the consumer does not know k in advance (the
+incremental kNN of the paper's Section 5.3 references).
+
+Works with any of this package's tree indexes (SS-tree, VP-tree,
+M-tree) through the shared node interface, and with a
+:class:`~repro.index.linear.LinearIndex` via a one-shot sort.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+from repro.geometry.distance import min_dist
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.linear import LinearIndex
+
+__all__ = ["browse"]
+
+
+def browse(
+    index,
+    query: Hypersphere,
+) -> Iterator[tuple[object, Hypersphere, float]]:
+    """Yield ``(key, sphere, MinDist)`` in nondecreasing MinDist order.
+
+    Lazy: consuming only the first few results touches only the part of
+    the tree their distance bounds require.
+
+    >>> from repro.index import SSTree
+    >>> tree = SSTree.bulk_load([("a", Hypersphere([0.0], 0.5)),
+    ...                          ("b", Hypersphere([9.0], 0.5))])
+    >>> [key for key, _, _ in browse(tree, Hypersphere([1.0], 0.0))]
+    ['a', 'b']
+    """
+    if isinstance(index, LinearIndex):
+        gaps = index.min_dists(query)
+        for i in np.argsort(gaps, kind="stable"):
+            yield index.keys[i], index.spheres[i], float(gaps[i])
+        return
+
+    counter = itertools.count()
+    # Heap items: (distance, tiebreak, is_object, payload).  Objects at
+    # the same distance as a node must come out only once the node is
+    # expanded; the plain distance ordering already guarantees
+    # correctness because a node's bound lower-bounds its members.
+    heap: list = [(index.root.min_dist(query), next(counter), False, index.root)]
+    while heap:
+        gap, _, is_object, payload = heapq.heappop(heap)
+        if is_object:
+            key, sphere = payload
+            yield key, sphere, gap
+        elif payload.is_leaf:
+            for key, sphere in payload.entries:
+                heapq.heappush(
+                    heap,
+                    (min_dist(sphere, query), next(counter), True, (key, sphere)),
+                )
+        else:
+            for child in payload.children:
+                heapq.heappush(
+                    heap, (child.min_dist(query), next(counter), False, child)
+                )

@@ -1,0 +1,457 @@
+"""The kNN query on hypersphere databases (Section 6 of the paper).
+
+Definition 2: given a query hypersphere ``Sq`` and a database ``D``,
+let ``Sk`` be the object with the k-th smallest ``MaxDist`` to ``Sq``;
+the answer is every object of ``D`` **not dominated by** ``Sk`` with
+respect to ``Sq``.  (``Sk`` itself is always an answer, since nothing
+dominates itself.)
+
+The adapted tree algorithm maintains a best-known list ``L`` sorted by
+``MaxDist`` and, for every candidate ``S`` encountered once ``|L| >= k``
+(Lemmas 9 and 10), applies the paper's three cases against
+``distk`` (the k-th smallest ``MaxDist`` in ``L``):
+
+- Case 1 — ``distmax <= distk``: insert ``S``; with the new ``Sk``,
+  evict every list member dominated by ``Sk``.
+- Case 2 — ``distmin <= distk < distmax``: keep ``S`` only if ``Sk``
+  does *not* dominate it.
+- Case 3 — ``distmin > distk``: prune ``S`` outright (Lemma 9 — this
+  prune is valid for *any* correct criterion, because it is exactly the
+  MinMax criterion, which is correct).
+
+The dominance checks in cases 1 and 2 are delegated to the configured
+criterion: with Hyperbola the answer is exact; with a non-sound
+criterion some dominated objects survive, which is precisely the
+precision loss the paper's Figures 13–16 measure.
+
+Two traversals are provided, as in the paper's experiments:
+
+- ``"df"`` — depth-first (Roussopoulos et al.), children visited in
+  ascending ``MinDist`` order, subtrees pruned when their ``MinDist``
+  exceeds ``distk``;
+- ``"hs"`` — best-first (Hjaltason & Samet), a global priority queue on
+  ``MinDist``, terminating when the nearest pending node is prunable.
+
+A semantic note (measured in EXPERIMENTS.md): pruning against the
+*current* ``Sk`` is stronger than Definition 2, which only excludes
+objects dominated by the *final* ``Sk``.  Three properties still hold
+(the test suite asserts them):
+
+- the true ``Sk`` always survives — an anchor can never dominate it,
+  because domination implies a strictly larger ``MaxDist``;
+- hence the final cleanup filters with the true ``Sk`` and, with the
+  exact criterion, the answer is a *subset* of the Definition-2 answer
+  (precision 100%, the quantity the paper reports);
+- some Definition-2 answers may be pruned by intermediate anchors, so
+  coverage can be below 100%.  ``algorithm="two-phase"`` removes that
+  gap: it first finds ``Sk`` exactly (a classic best-first top-k by
+  ``MaxDist``), then collects every non-dominated object in a second
+  pruned traversal — exactly Definition 2 when run with Hyperbola.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import DominanceCriterion, get_criterion
+from repro.exceptions import QueryError
+from repro.geometry.distance import max_dist, min_dist
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.linear import LinearIndex
+from repro.index.sstree import SSTree, SSTreeNode
+from repro.index.vptree import VPTree
+
+__all__ = ["KNNResult", "knn_query", "knn_reference"]
+
+
+@dataclass
+class KNNResult:
+    """Answer set and traversal statistics of one kNN query."""
+
+    keys: list
+    spheres: list[Hypersphere]
+    distk: float
+    nodes_visited: int = 0
+    entries_considered: int = 0
+    dominance_checks: int = 0
+    pruned_case3: int = 0
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def key_set(self) -> set:
+        """The answer keys as a set (order is not meaningful)."""
+        return set(self.keys)
+
+
+class _BestKnownList:
+    """The list ``L``: entries sorted by ``MaxDist`` to the query."""
+
+    def __init__(
+        self, k: int, query: Hypersphere, criterion: DominanceCriterion
+    ) -> None:
+        self._k = k
+        self._query = query
+        self._criterion = criterion
+        # Parallel, maxdist-sorted storage; the tiebreaker keeps sort
+        # stability without ever comparing keys or spheres.
+        self._maxdists: list[float] = []
+        self._rows: list[tuple[float, int, object, Hypersphere]] = []
+        self._tiebreak = itertools.count()
+        self.dominance_checks = 0
+        self.pruned_case3 = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def distk(self) -> float:
+        """The k-th smallest ``MaxDist`` in L (inf while |L| < k)."""
+        if len(self._rows) < self._k:
+            return float("inf")
+        return self._maxdists[self._k - 1]
+
+    def _kth_sphere(self) -> Hypersphere:
+        return self._rows[self._k - 1][3]
+
+    def _insert(self, dist_max: float, key: object, sphere: Hypersphere) -> None:
+        row = (dist_max, next(self._tiebreak), key, sphere)
+        at = bisect.bisect_left(self._rows, row)
+        self._rows.insert(at, row)
+        self._maxdists.insert(at, dist_max)
+
+    def offer(self, key: object, sphere: Hypersphere) -> None:
+        """Process one candidate through the paper's three cases."""
+        dist_max = max_dist(sphere, self._query)
+        if len(self._rows) < self._k:
+            self._insert(dist_max, key, sphere)
+            return
+        distk = self.distk
+        dist_min = min_dist(sphere, self._query)
+        if dist_min > distk:  # Case 3
+            self.pruned_case3 += 1
+            return
+        if dist_max <= distk:  # Case 1
+            self._insert(dist_max, key, sphere)
+            self._evict_dominated()
+            return
+        # Case 2: distmin <= distk < distmax.
+        kth = self._kth_sphere()
+        self.dominance_checks += 1
+        if not self._criterion.dominates(kth, sphere, self._query):
+            self._insert(dist_max, key, sphere)
+
+    def _evict_dominated(self) -> None:
+        """Drop every member dominated by the (new) k-th hypersphere."""
+        kth = self._kth_sphere()
+        survivors = []
+        for i, row in enumerate(self._rows):
+            if i < self._k:  # the first k define distk; Sk never self-dominates
+                survivors.append(row)
+                continue
+            self.dominance_checks += 1
+            if not self._criterion.dominates(kth, row[3], self._query):
+                survivors.append(row)
+        if len(survivors) != len(self._rows):
+            self._rows = survivors
+            self._maxdists = [row[0] for row in survivors]
+
+    def finalize(self) -> tuple[list, list[Hypersphere], float]:
+        """Final cleanup pass: re-apply dominance by the final Sk."""
+        if len(self._rows) < self._k:
+            return (
+                [row[2] for row in self._rows],
+                [row[3] for row in self._rows],
+                float("inf"),
+            )
+        kth = self._kth_sphere()
+        keys, spheres = [], []
+        for i, row in enumerate(self._rows):
+            if i >= self._k:
+                self.dominance_checks += 1
+                if self._criterion.dominates(kth, row[3], self._query):
+                    continue
+            keys.append(row[2])
+            spheres.append(row[3])
+        return keys, spheres, self.distk
+
+
+def knn_query(
+    index: "SSTree | VPTree | LinearIndex",
+    query: Hypersphere,
+    k: int,
+    *,
+    criterion: "DominanceCriterion | str" = "hyperbola",
+    strategy: str = "hs",
+    algorithm: str = "incremental",
+) -> KNNResult:
+    """Answer the Definition-2 kNN query over *index*.
+
+    Parameters
+    ----------
+    index:
+        An :class:`~repro.index.sstree.SSTree` or
+        :class:`~repro.index.vptree.VPTree` (traversed with pruning), or
+        a :class:`~repro.index.linear.LinearIndex` (scanned).  Any tree
+        whose nodes expose ``is_leaf`` / ``entries`` / ``children`` /
+        ``min_dist`` / ``max_dist_lower_bound`` works.
+    query:
+        The query hypersphere ``Sq``.
+    k:
+        Number of neighbours anchoring ``Sk`` (``1 <= k <= |D|``).
+    criterion:
+        Dominance criterion instance or registry name.  Hyperbola gives
+        the exact answer; correct-but-unsound criteria return supersets.
+    strategy:
+        ``"hs"`` (best-first) or ``"df"`` (depth-first); ignored for a
+        linear index.
+    algorithm:
+        ``"incremental"`` — the paper's single-pass best-known list
+        (Section 6), or ``"two-phase"`` — the Definition-2-exact
+        variant (find ``Sk`` first, then collect survivors).
+    """
+    if k < 1:
+        raise QueryError(f"k must be positive, got {k}")
+    if len(index) < k:
+        raise QueryError(f"k={k} exceeds the dataset size {len(index)}")
+    if isinstance(criterion, str):
+        criterion = get_criterion(criterion)
+    if algorithm == "two-phase":
+        return _knn_two_phase(index, query, k, criterion, strategy)
+    if algorithm != "incremental":
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; use 'incremental' or 'two-phase'"
+        )
+
+    best = _BestKnownList(k, query, criterion)
+    result = KNNResult(keys=[], spheres=[], distk=float("inf"))
+
+    if isinstance(index, LinearIndex):
+        for key, sphere in index:
+            result.entries_considered += 1
+            best.offer(key, sphere)
+    elif strategy == "df":
+        _depth_first(index.root, query, best, result)
+    elif strategy == "hs":
+        _best_first(index.root, query, best, result)
+    else:
+        raise QueryError(f"unknown strategy {strategy!r}; use 'df' or 'hs'")
+
+    result.keys, result.spheres, result.distk = best.finalize()
+    result.dominance_checks = best.dominance_checks
+    result.pruned_case3 = best.pruned_case3
+    return result
+
+
+def _depth_first(
+    node: SSTreeNode,
+    query: Hypersphere,
+    best: _BestKnownList,
+    result: KNNResult,
+) -> None:
+    result.nodes_visited += 1
+    if node.is_leaf:
+        for key, sphere in node.entries:
+            result.entries_considered += 1
+            best.offer(key, sphere)
+        return
+    children = sorted(node.children, key=lambda child: child.min_dist(query))
+    for child in children:
+        # Subtree version of Case 3: every object below has at least this
+        # MinDist, so the whole branch is prunable.
+        if child.min_dist(query) > best.distk:
+            continue
+        _depth_first(child, query, best, result)
+
+
+def _best_first(
+    root: SSTreeNode,
+    query: Hypersphere,
+    best: _BestKnownList,
+    result: KNNResult,
+) -> None:
+    counter = itertools.count()
+    heap: list[tuple[float, int, SSTreeNode]] = [
+        (root.min_dist(query), next(counter), root)
+    ]
+    while heap:
+        lower_bound, _, node = heapq.heappop(heap)
+        if lower_bound > best.distk:
+            break  # every remaining node is at least this far: all prunable
+        result.nodes_visited += 1
+        if node.is_leaf:
+            for key, sphere in node.entries:
+                result.entries_considered += 1
+                best.offer(key, sphere)
+        else:
+            for child in node.children:
+                gap = child.min_dist(query)
+                if gap <= best.distk:
+                    heapq.heappush(heap, (gap, next(counter), child))
+
+
+def _knn_two_phase(
+    index: "SSTree | VPTree | LinearIndex",
+    query: Hypersphere,
+    k: int,
+    criterion: DominanceCriterion,
+    strategy: str,
+) -> KNNResult:
+    """The Definition-2-exact variant: find ``Sk`` first, then collect."""
+    result = KNNResult(keys=[], spheres=[], distk=float("inf"))
+
+    if isinstance(index, LinearIndex):
+        maxdists = index.max_dists(query)
+        distk = float(np.partition(maxdists, k - 1)[k - 1])
+        anchors = [index.spheres[i] for i in np.flatnonzero(maxdists == distk)]
+        result.entries_considered = len(index)
+        candidates = zip(index.keys, index.spheres, maxdists)
+        for key, sphere, dist_max in candidates:
+            if dist_max <= distk:
+                result.keys.append(key)
+                result.spheres.append(sphere)
+                continue
+            result.dominance_checks += len(anchors)
+            if not any(criterion.dominates(sk, sphere, query) for sk in anchors):
+                result.keys.append(key)
+                result.spheres.append(sphere)
+        result.distk = distk
+        return result
+
+    if strategy not in ("hs", "df"):
+        raise QueryError(f"unknown strategy {strategy!r}; use 'df' or 'hs'")
+
+    # Phase 1: the k-th smallest MaxDist via best-first search on the
+    # MaxDist lower bound (exact regardless of the dominance criterion).
+    counter = itertools.count()
+    heap: list[tuple[float, int, SSTreeNode]] = [
+        (index.root.max_dist_lower_bound(query), next(counter), index.root)
+    ]
+    top: list[tuple[float, int, Hypersphere]] = []  # max-heap via negation
+    while heap:
+        bound, _, node = heapq.heappop(heap)
+        if len(top) == k and bound > -top[0][0]:
+            break
+        result.nodes_visited += 1
+        if node.is_leaf:
+            for _, sphere in node.entries:
+                dist_max = max_dist(sphere, query)
+                if len(top) < k:
+                    heapq.heappush(top, (-dist_max, next(counter), sphere))
+                elif dist_max < -top[0][0]:
+                    heapq.heapreplace(top, (-dist_max, next(counter), sphere))
+        else:
+            for child in node.children:
+                child_bound = child.max_dist_lower_bound(query)
+                if len(top) < k or child_bound <= -top[0][0]:
+                    heapq.heappush(heap, (child_bound, next(counter), child))
+    distk = -top[0][0]
+    anchors = [sphere for neg, _, sphere in top if -neg == distk]
+
+    # Phase 2: collect every object not dominated by Sk.  A subtree with
+    # MinDist > distk is entirely dominated via MinMax (Lemma 9).
+    stack = [index.root]
+    while stack:
+        node = stack.pop()
+        if node.min_dist(query) > distk:
+            result.pruned_case3 += 1
+            continue
+        result.nodes_visited += 1
+        if node.is_leaf:
+            for key, sphere in node.entries:
+                result.entries_considered += 1
+                dist_max = max_dist(sphere, query)
+                if dist_max <= distk:
+                    result.keys.append(key)
+                    result.spheres.append(sphere)
+                    continue
+                if min_dist(sphere, query) > distk:
+                    result.pruned_case3 += 1
+                    continue
+                result.dominance_checks += len(anchors)
+                if not any(
+                    criterion.dominates(sk, sphere, query) for sk in anchors
+                ):
+                    result.keys.append(key)
+                    result.spheres.append(sphere)
+        else:
+            stack.extend(node.children)
+    result.distk = distk
+    return result
+
+
+def knn_reference(
+    dataset: "LinearIndex | Sequence[tuple[object, Hypersphere]]",
+    query: Hypersphere,
+    k: int,
+    *,
+    criterion: "DominanceCriterion | str" = "hyperbola",
+) -> KNNResult:
+    """The exact Definition-2 answer, computed by direct evaluation.
+
+    Finds ``distk`` (the k-th smallest ``MaxDist``) vectorised, takes
+    every object attaining it as ``Sk`` (the paper keeps all ties), and
+    returns the objects not dominated by any ``Sk``.
+
+    When *criterion* is given by name and has a batch kernel, the
+    dominance checks run vectorised (the reference is evaluated once
+    per query in every kNN experiment, so it is the harness
+    bottleneck); a criterion *instance* falls back to per-object calls.
+    """
+    if not isinstance(dataset, LinearIndex):
+        dataset = LinearIndex(dataset)
+    if k < 1:
+        raise QueryError(f"k must be positive, got {k}")
+    if len(dataset) < k:
+        raise QueryError(f"k={k} exceeds the dataset size {len(dataset)}")
+    batch_name = criterion if isinstance(criterion, str) else None
+    if isinstance(criterion, str):
+        criterion = get_criterion(criterion)
+
+    maxdists = dataset.max_dists(query)
+    distk = float(np.partition(maxdists, k - 1)[k - 1])
+    anchor_rows = np.flatnonzero(maxdists == distk)
+    anchors = [dataset.spheres[i] for i in anchor_rows]
+
+    candidate_rows = np.flatnonzero(maxdists > distk)
+    dominated = np.zeros(len(dataset), dtype=bool)
+    checks = len(anchors) * int(candidate_rows.size)
+    if candidate_rows.size and batch_name is not None:
+        from repro.core.batch import batch_evaluate
+
+        n = int(candidate_rows.size)
+        cq = np.broadcast_to(query.center, (n, dataset.dimension))
+        rq = np.full(n, query.radius)
+        cb = dataset.centers[candidate_rows]
+        rb = dataset.radii[candidate_rows]
+        for anchor_row in anchor_rows:
+            ca = np.broadcast_to(dataset.centers[anchor_row], (n, dataset.dimension))
+            ra = np.full(n, dataset.radii[anchor_row])
+            dominated[candidate_rows] |= batch_evaluate(
+                batch_name, ca, cb, cq, ra, rb, rq
+            )
+    elif candidate_rows.size:
+        for i in candidate_rows:
+            sphere = dataset.spheres[i]
+            dominated[i] = any(
+                criterion.dominates(sk, sphere, query) for sk in anchors
+            )
+
+    keys, spheres = [], []
+    for i, (key, sphere) in enumerate(zip(dataset.keys, dataset.spheres)):
+        if not dominated[i]:
+            keys.append(key)
+            spheres.append(sphere)
+    return KNNResult(
+        keys=keys,
+        spheres=spheres,
+        distk=distk,
+        entries_considered=len(dataset),
+        dominance_checks=checks,
+    )

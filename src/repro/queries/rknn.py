@@ -1,0 +1,92 @@
+"""Reverse nearest-neighbour candidates via dominance pruning (extension).
+
+The paper's introduction names RkNN queries as a second application of
+the dominance operator: for ``k = 1``, an object ``Sb`` can be
+discarded from the reverse-NN answer of a query ``Sq`` as soon as some
+other object ``Sa`` dominates ``Sq`` with respect to ``Sb`` — every
+realisation of ``Sa`` is then strictly closer to every realisation of
+``Sb`` than ``Sq`` is, so ``Sq`` cannot be ``Sb``'s nearest neighbour.
+
+The paper evaluates only the kNN application; this module is the
+natural RNN counterpart, provided as an extension and exercised by the
+test suite.  Note the asymmetric argument order: the *roles* rotate —
+``dominates(Sa, Sq, Sb)`` asks whether ``Sa`` beats ``Sq`` from ``Sb``'s
+point of view.
+
+With an exact criterion the returned set is the exact set of objects
+whose reverse-NN membership *cannot be refuted* by dominance (objects
+whose uncertainty regions leave the outcome undecided remain
+candidates); a correct-but-unsound criterion refutes less and returns a
+superset, mirroring the kNN precision experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import DominanceCriterion, get_criterion
+from repro.exceptions import QueryError
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.linear import LinearIndex
+
+__all__ = ["rnn_candidates"]
+
+
+def rnn_candidates(
+    dataset: "LinearIndex | Sequence[tuple[object, Hypersphere]]",
+    query: Hypersphere,
+    *,
+    criterion: "DominanceCriterion | str" = "hyperbola",
+) -> list:
+    """Keys of objects that may have *query* as their nearest neighbour.
+
+    An object ``Sb`` is pruned iff some other dataset object ``Sa``
+    dominates the query with respect to ``Sb``.  Candidate generation
+    uses a cheap vectorised MinMax pre-filter before falling back to the
+    configured criterion, so the exact operator only runs on the
+    undecided pairs.
+    """
+    if not isinstance(dataset, LinearIndex):
+        dataset = LinearIndex(dataset)
+    if query.dimension != dataset.dimension:
+        raise QueryError(
+            f"query dimension {query.dimension} != dataset dimension "
+            f"{dataset.dimension}"
+        )
+    if isinstance(criterion, str):
+        criterion = get_criterion(criterion)
+
+    centers = dataset.centers
+    radii = dataset.radii
+    keys = dataset.keys
+    spheres = dataset.spheres
+    survivors: list = []
+    for b, (key, sphere_b) in enumerate(zip(keys, spheres)):
+        # Vectorised MinMax pre-filter (correct, so pruning is safe):
+        # Sa dominates Sq wrt Sb when MaxDist(Sa, Sb) < MinDist(Sq, Sb).
+        gap_qb = float(np.linalg.norm(query.center - sphere_b.center))
+        min_dist_q = max(gap_qb - query.radius - sphere_b.radius, 0.0)
+        gaps = np.linalg.norm(centers - sphere_b.center, axis=1)
+        max_dists = gaps + radii + sphere_b.radius
+        max_dists[b] = np.inf  # an object never competes against itself
+        if bool(np.any(max_dists < min_dist_q)):
+            continue  # refuted already by the pre-filter
+        # Exact pass over the plausible competitors only.  Dominance of Sq
+        # wrt Sb needs MinDist(Sa, Sb) <= MaxDist(Sq, Sb) (a necessary
+        # condition), so anything farther can be skipped safely.
+        plausible = np.flatnonzero(
+            gaps - radii - sphere_b.radius
+            <= gap_qb + query.radius + sphere_b.radius
+        )
+        refuted = False
+        for a in plausible:
+            if a == b:
+                continue
+            if criterion.dominates(spheres[a], query, sphere_b):
+                refuted = True
+                break
+        if not refuted:
+            survivors.append(key)
+    return survivors

@@ -1,0 +1,56 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+
+from repro.geometry.hypersphere import Hypersphere
+
+# Property-based tests call the numerical oracle, whose runtime is data
+# dependent; a wall-clock deadline would make them flaky.
+hypothesis.settings.register_profile(
+    "repro", deadline=None, max_examples=60, derandomize=True
+)
+hypothesis.settings.load_profile("repro")
+
+# Bounded, well-conditioned coordinates keep the geometry away from
+# float overflow while still exercising sign/scale variety.
+finite_coordinates = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+small_radii = st.floats(
+    min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False
+)
+dimensions = st.integers(min_value=1, max_value=7)
+
+
+@st.composite
+def hyperspheres(draw, dimension: int | None = None) -> Hypersphere:
+    """A random well-conditioned hypersphere."""
+    if dimension is None:
+        dimension = draw(dimensions)
+    center = draw(
+        st.lists(finite_coordinates, min_size=dimension, max_size=dimension)
+    )
+    radius = draw(small_radii)
+    return Hypersphere(center, radius)
+
+
+@st.composite
+def sphere_triples(draw) -> tuple[Hypersphere, Hypersphere, Hypersphere]:
+    """Three hyperspheres sharing one dimensionality (Sa, Sb, Sq)."""
+    dimension = draw(dimensions)
+    return (
+        draw(hyperspheres(dimension)),
+        draw(hyperspheres(dimension)),
+        draw(hyperspheres(dimension)),
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for non-hypothesis tests."""
+    return np.random.default_rng(20140622)  # SIGMOD'14 opening day

@@ -1,0 +1,125 @@
+"""The vectorised kernels must agree with the scalar criteria exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core import get_criterion
+from repro.core.batch import (
+    batch_evaluate,
+    batch_gp,
+    batch_hyperbola,
+    batch_mbr,
+    batch_minmax,
+    batch_trigonometric,
+)
+from repro.geometry.hypersphere import Hypersphere
+
+ALL_KERNELS = ("hyperbola", "minmax", "mbr", "gp", "trigonometric")
+
+
+def random_workload(rng, n: int, d: int):
+    """A mixed workload: raw random, aligned, overlapping, degenerate."""
+    ca = rng.normal(0.0, 10.0, (n, d))
+    cb = rng.normal(0.0, 10.0, (n, d))
+    cq = rng.normal(0.0, 10.0, (n, d))
+    ra = np.abs(rng.normal(0.0, 2.0, n))
+    rb = np.abs(rng.normal(0.0, 2.0, n))
+    rq = np.abs(rng.normal(0.0, 2.0, n))
+    # Mix in structured sub-populations that stress specific paths:
+    quarter = n // 4
+    if quarter:
+        # aligned triples (dominance plausible)
+        direction = rng.normal(0.0, 1.0, (quarter, d))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        cb[:quarter] = ca[:quarter] + direction * (
+            ra[:quarter] + rb[:quarter] + rng.uniform(0.5, 8.0, quarter)
+        )[:, None]
+        cq[:quarter] = ca[:quarter] - direction * rng.uniform(
+            0.0, 6.0, (quarter, 1)
+        )
+        # exact duplicates of Sa as Sb (overlap path)
+        cb[quarter : quarter + quarter // 2] = ca[quarter : quarter + quarter // 2]
+        # point spheres (rab == 0 bisector path)
+        ra[2 * quarter : 3 * quarter] = 0.0
+        rb[2 * quarter : 3 * quarter] = 0.0
+        rq[3 * quarter :] = 0.0  # point queries
+    return ca, cb, cq, ra, rb, rq
+
+
+def scalar_answers(name: str, arrays) -> np.ndarray:
+    criterion = get_criterion(name)
+    ca, cb, cq, ra, rb, rq = arrays
+    out = np.zeros(ca.shape[0], dtype=bool)
+    for i in range(ca.shape[0]):
+        out[i] = criterion.dominates(
+            Hypersphere(ca[i], float(ra[i])),
+            Hypersphere(cb[i], float(rb[i])),
+            Hypersphere(cq[i], float(rq[i])),
+        )
+    return out
+
+
+class TestScalarAgreement:
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    @pytest.mark.parametrize("d", (1, 2, 3, 6))
+    def test_mixed_workload(self, name, d, rng):
+        arrays = random_workload(rng, 200, d)
+        vectorised = batch_evaluate(name, *arrays)
+        scalar = scalar_answers(name, arrays)
+        disagree = np.flatnonzero(vectorised != scalar)
+        assert disagree.size == 0, f"rows {disagree[:5]} disagree for {name}"
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(1, 5))
+    def test_hyperbola_single_rows(self, seed, d):
+        rng = np.random.default_rng(seed)
+        arrays = random_workload(rng, 8, d)
+        assert np.array_equal(
+            batch_hyperbola(*arrays), scalar_answers("hyperbola", arrays)
+        )
+
+
+class TestInterface:
+    def test_unknown_kernel(self):
+        arrays = random_workload(np.random.default_rng(0), 4, 2)
+        with pytest.raises(ValueError, match="no batch kernel"):
+            batch_evaluate("bogus", *arrays)
+
+    def test_shape_validation(self):
+        ca = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            batch_minmax(ca, ca, np.zeros((5, 2)), *(np.zeros(4),) * 3)
+        with pytest.raises(ValueError):
+            batch_minmax(ca, ca, ca, np.zeros(3), np.zeros(4), np.zeros(4))
+
+    def test_empty_workload(self):
+        empty = (np.zeros((0, 3)),) * 3 + (np.zeros(0),) * 3
+        for kernel in (batch_minmax, batch_mbr, batch_gp, batch_trigonometric,
+                       batch_hyperbola):
+            assert kernel(*empty).shape == (0,)
+
+    def test_result_dtype_is_bool(self, rng):
+        arrays = random_workload(rng, 16, 3)
+        for name in ALL_KERNELS:
+            assert batch_evaluate(name, *arrays).dtype == np.bool_
+
+
+class TestKnownAnswers:
+    def test_clear_dominance_row(self):
+        ca = np.array([[0.0, 0.0]])
+        cb = np.array([[100.0, 0.0]])
+        cq = np.array([[-2.0, 0.0]])
+        radii = (np.array([1.0]), np.array([1.0]), np.array([0.5]))
+        for name in ALL_KERNELS:
+            assert batch_evaluate(name, ca, cb, cq, *radii)[0], name
+
+    def test_overlap_row_false_for_correct_kernels(self):
+        ca = np.array([[0.0, 0.0]])
+        cb = np.array([[0.5, 0.0]])
+        cq = np.array([[-2.0, 0.0]])
+        radii = (np.array([1.0]), np.array([1.0]), np.array([0.5]))
+        for name in ("hyperbola", "minmax", "mbr", "gp"):
+            assert not batch_evaluate(name, ca, cb, cq, *radii)[0], name

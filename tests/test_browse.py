@@ -1,0 +1,72 @@
+"""Tests for incremental distance browsing."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_dataset
+from repro.geometry.hypersphere import Hypersphere
+from repro.index import LinearIndex, MTree, SSTree, VPTree
+from repro.queries import browse
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = synthetic_dataset(400, 3, mu=5.0, seed=6)
+    query = dataset.sphere(123).with_radius(2.0)
+    return dataset, query
+
+
+def indexes(dataset):
+    items = list(dataset.items())
+    return {
+        "sstree": SSTree.bulk_load(items),
+        "vptree": VPTree.build(items),
+        "mtree": MTree.build(items),
+        "linear": LinearIndex(items),
+    }
+
+
+class TestOrdering:
+    def test_nondecreasing_and_complete(self, world):
+        dataset, query = world
+        flat = LinearIndex(dataset.items())
+        expected_gaps = np.sort(flat.min_dists(query))
+        for name, index in indexes(dataset).items():
+            out = list(browse(index, query))
+            assert len(out) == len(dataset), name
+            gaps = [gap for _, _, gap in out]
+            assert all(a <= b + 1e-12 for a, b in zip(gaps, gaps[1:])), name
+            assert np.allclose(gaps, expected_gaps), name
+
+    def test_reported_gap_matches_geometry(self, world):
+        from repro.geometry.distance import min_dist
+
+        dataset, query = world
+        tree = SSTree.bulk_load(dataset.items())
+        for key, sphere, gap in itertools.islice(browse(tree, query), 25):
+            assert gap == pytest.approx(min_dist(sphere, query))
+
+    def test_lazy_prefix_is_cheap(self, world):
+        """Taking the first item must not enumerate the whole tree."""
+        dataset, query = world
+        tree = SSTree.bulk_load(dataset.items(), max_entries=8)
+        iterator = browse(tree, query)
+        first_key, first_sphere, first_gap = next(iterator)
+        flat = LinearIndex(dataset.items())
+        assert first_gap == pytest.approx(float(flat.min_dists(query).min()))
+
+    def test_matches_knn_by_maxdist_prefix_semantics(self, world):
+        """browse is ordered by MinDist — the pruning order of Section 6."""
+        dataset, query = world
+        tree = SSTree.bulk_load(dataset.items())
+        prefix = [key for key, _, _ in itertools.islice(browse(tree, query), 10)]
+        flat = LinearIndex(dataset.items())
+        best10 = set(np.argsort(flat.min_dists(query), kind="stable")[:10])
+        # Ties at equal MinDist may reorder; compare as multisets of gaps.
+        got = sorted(flat.min_dists(query)[list(map(flat.keys.index, prefix))])
+        want = sorted(flat.min_dists(query)[list(best10)])
+        assert np.allclose(got, want)

@@ -1,0 +1,69 @@
+"""The cascade criterion must be decision-identical to Hyperbola."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core import get_criterion
+from repro.core.cascade import CascadeCriterion
+from repro.geometry.hypersphere import Hypersphere
+
+from conftest import sphere_triples
+
+
+class TestEquivalence:
+    @given(sphere_triples())
+    def test_matches_hyperbola_on_uniform_triples(self, triple):
+        sa, sb, sq = triple
+        assert CascadeCriterion().dominates(sa, sb, sq) == get_criterion(
+            "hyperbola"
+        ).dominates(sa, sb, sq)
+
+    def test_matches_hyperbola_on_structured_workload(self, rng):
+        cascade = CascadeCriterion()
+        hyperbola = get_criterion("hyperbola")
+        for _ in range(400):
+            d = int(rng.integers(1, 6))
+            ca = rng.normal(0, 8, d)
+            direction = rng.normal(0, 1, d)
+            direction /= np.linalg.norm(direction)
+            ra = float(abs(rng.normal(0, 1.5)))
+            rb = float(abs(rng.normal(0, 1.5)))
+            sa = Hypersphere(ca, ra)
+            sb = Hypersphere(ca + direction * (ra + rb + rng.uniform(0, 6)), rb)
+            sq = Hypersphere(
+                ca - direction * rng.uniform(0, 6) + rng.normal(0, 1, d),
+                float(abs(rng.normal(0, 2))),
+            )
+            assert cascade.dominates(sa, sb, sq) == hyperbola.dominates(sa, sb, sq)
+
+
+class TestFastPaths:
+    def test_fast_accept_configuration(self):
+        # MaxDist(Sa,Sq) = 4 < MinDist(Sb,Sq) = 96: the accept shortcut.
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([100.0, 0.0], 1.0)
+        sq = Hypersphere([-1.0, 0.0], 1.0)
+        assert CascadeCriterion().dominates(sa, sb, sq)
+
+    def test_fast_reject_configuration(self):
+        # Roles reversed: MinDist(Sa,Sq) >= MaxDist(Sb,Sq).
+        sa = Hypersphere([100.0, 0.0], 1.0)
+        sb = Hypersphere([0.0, 0.0], 1.0)
+        sq = Hypersphere([-1.0, 0.0], 1.0)
+        assert not CascadeCriterion().dominates(sa, sb, sq)
+
+    def test_registered_flags(self):
+        cascade = get_criterion("cascade")
+        assert cascade.is_correct and cascade.is_sound
+
+    def test_ambiguous_band_falls_through(self):
+        # Neither shortcut fires; the exact decision must still be right.
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        sq = Hypersphere([3.0, 0.0], 0.5)  # near the boundary at x = 4
+        assert CascadeCriterion().dominates(sa, sb, sq) == get_criterion(
+            "hyperbola"
+        ).dominates(sa, sb, sq)

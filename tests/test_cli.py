@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiments == ["table1"]
+        assert args.scale == pytest.approx(0.05)
+        assert args.seed == 0
+        assert args.json is None
+
+    def test_multiple_experiments(self):
+        args = build_parser().parse_args(["fig8", "fig9", "--scale", "0.5"])
+        assert args.experiments == ["fig8", "fig9"]
+        assert args.scale == 0.5
+
+
+class TestMain:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["table1", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "hyperbola" in out
+
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["table1", "--scale", "0.01", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert isinstance(payload, list)
+        assert payload[0]["experiment"] == "table1"
+        assert payload[0]["rows"]
+
+    def test_seed_changes_workload_but_not_flags(self, capsys):
+        assert main(["table1", "--scale", "0.01", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        # The empirical flags are invariant to the seed.
+        assert out.count("yes") >= 8

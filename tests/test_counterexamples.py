@@ -1,0 +1,182 @@
+"""The paper's lemma constructions, as executable regression tests.
+
+Each test builds the exact geometric configuration used in a proof from
+the paper and checks that our implementations exhibit the behaviour the
+lemma claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_criterion, min_margin, oracle_dominates
+from repro.geometry.hypersphere import Hypersphere
+
+
+class TestLemma1Overlap:
+    """Overlapping Sa, Sb never dominate — for any query."""
+
+    @pytest.mark.parametrize(
+        "name", ("hyperbola", "minmax", "mbr", "gp")
+    )
+    def test_overlap_forces_false(self, name, rng):
+        criterion = get_criterion(name)
+        for _ in range(50):
+            d = int(rng.integers(1, 5))
+            ca = rng.normal(0, 5, d)
+            ra = float(abs(rng.normal(0, 2))) + 0.1
+            rb = float(abs(rng.normal(0, 2))) + 0.1
+            # Place cb so the spheres overlap.
+            direction = rng.normal(0, 1, d)
+            direction /= np.linalg.norm(direction)
+            cb = ca + direction * float(rng.uniform(0, ra + rb))
+            sq = Hypersphere(rng.normal(0, 5, d), float(abs(rng.normal(0, 1))))
+            assert not criterion.dominates(
+                Hypersphere(ca, ra), Hypersphere(cb, rb), sq
+            )
+
+
+class TestLemma3MinMaxNotSound:
+    """Figure 4: two points, a fat query above the bisector."""
+
+    SA = Hypersphere([0.0, 2.0], 0.0)
+    SB = Hypersphere([0.0, -2.0], 0.0)
+    SQ = Hypersphere([0.0, 6.0], 3.0)
+
+    def test_dominance_actually_holds(self):
+        assert oracle_dominates(self.SA, self.SB, self.SQ)
+        assert get_criterion("hyperbola").dominates(self.SA, self.SB, self.SQ)
+
+    def test_minmax_misses_it(self):
+        assert not get_criterion("minmax").dominates(self.SA, self.SB, self.SQ)
+
+    def test_minmax_bounds_really_cross(self):
+        from repro.geometry.distance import max_dist, min_dist
+
+        assert max_dist(self.SA, self.SQ) > min_dist(self.SB, self.SQ)
+
+
+class TestLemma5MBRNotSound:
+    """Figure 5: three equal spheres on a diagonal; MBRs of Sa, Sb meet."""
+
+    @staticmethod
+    def build(r: float = 1.0, delta: float = 0.05):
+        diag = np.array([1.0, 1.0]) / np.sqrt(2.0)
+        sa = Hypersphere(diag * 4.0 * r, r)
+        sb = Hypersphere(diag * (6.0 * r + delta), r)
+        sq = Hypersphere([0.0, 0.0], r)
+        return sa, sb, sq
+
+    def test_dominance_actually_holds(self):
+        sa, sb, sq = self.build()
+        assert oracle_dominates(sa, sb, sq)
+        assert get_criterion("hyperbola").dominates(sa, sb, sq)
+
+    def test_mbrs_intersect(self):
+        from repro.geometry.hyperrectangle import Hyperrectangle
+
+        sa, sb, _ = self.build()
+        assert Hyperrectangle.bounding(sa).intersects(Hyperrectangle.bounding(sb))
+        assert not sa.overlaps(sb)
+
+    def test_mbr_misses_it(self):
+        sa, sb, sq = self.build()
+        assert not get_criterion("mbr").dominates(sa, sb, sq)
+
+
+class TestGPNotSound:
+    """The d > 2 projection loses information and misses dominances."""
+
+    def test_gp_misses_dominances_in_3d(self):
+        # Random 3-D configurations in the dominance-plausible regime:
+        # the projection must lose at least some of them (empirically it
+        # loses most), while never inventing one.
+        gp = get_criterion("gp")
+        hyperbola = get_criterion("hyperbola")
+        rng = np.random.default_rng(7)
+        missed = invented = 0
+        for _ in range(300):
+            ca = rng.normal(0.0, 5.0, 3)
+            ra = float(abs(rng.normal(0.0, 1.0)))
+            rb = float(abs(rng.normal(0.0, 1.0)))
+            direction = rng.normal(0.0, 1.0, 3)
+            direction /= np.linalg.norm(direction)
+            sa = Hypersphere(ca, ra)
+            sb = Hypersphere(ca + direction * (ra + rb + 3.0), rb)
+            sq = Hypersphere(
+                ca - direction * 2.0 + rng.normal(0.0, 1.0, 3), 0.5
+            )
+            exact = hyperbola.dominates(sa, sb, sq)
+            approx = gp.dominates(sa, sb, sq)
+            if exact and not approx:
+                missed += 1
+            if approx and not exact:
+                invented += 1
+        assert invented == 0  # GP stays correct
+        assert missed > 0  # ... but is demonstrably not sound
+
+    def test_gp_equals_hyperbola_in_2d(self, rng):
+        """GP is exact for d <= 2 (it delegates to the exact method)."""
+        gp = get_criterion("gp")
+        hyperbola = get_criterion("hyperbola")
+        for _ in range(100):
+            spheres = [
+                Hypersphere(rng.normal(0, 8, 2), float(abs(rng.normal(0, 2))))
+                for _ in range(3)
+            ]
+            assert gp.dominates(*spheres) == hyperbola.dominates(*spheres)
+
+
+class TestTrigonometricNotCorrect:
+    """Lemma 11 regime: both probes negative -> spurious 'true'."""
+
+    def test_constructed_false_positive(self):
+        sa = Hypersphere([10.0, 0.0], 0.5)
+        sb = Hypersphere([0.0, 0.0], 0.5)
+        sq = Hypersphere([0.0, 1.0], 0.3)
+        assert not oracle_dominates(sa, sb, sq)
+        assert get_criterion("trigonometric").dominates(sa, sb, sq)
+
+    def test_found_false_positive_instance(self):
+        """A randomly discovered robust false positive (margin < -6)."""
+        sa = Hypersphere([19.6167067755246, 13.710839689613895], 1.4430)
+        sb = Hypersphere([13.009185525356326, 13.768934611418802], 1.0507)
+        sq = Hypersphere([7.778428479582075, 2.7019301004482243], 0.6205)
+        margin = min_margin(sa, sb, sq) - (sa.radius + sb.radius)
+        assert margin < -1.0  # decisively not a dominance
+        assert get_criterion("trigonometric").dominates(sa, sb, sq)
+
+    def test_paper_lemma11_numbers_are_not_dominance(self):
+        """The sketch's numbers: genuinely not a dominance (our probe
+        realisation detects the sign change, so it answers false)."""
+        sa = Hypersphere([20.0, 8.0], 0.4)
+        sb = Hypersphere([8.0, 10.0], 0.3)
+        sq = Hypersphere([16.0, 16.0], 0.3)
+        assert not oracle_dominates(sa, sb, sq)
+        assert not get_criterion("trigonometric").dominates(sa, sb, sq)
+
+
+class TestLemma10KNNCase:
+    """Figure 7: distk >= MinDist(S, Sq) yet S is dominated."""
+
+    def test_construction(self):
+        # The sketch needs Dist(cq, ck) >> rq for the dominance to hold
+        # against off-axis query realisations (the margin shrinks like
+        # (rk + delta) * cos(theta) with theta up to ~ rq / L).
+        rk, rq, r_s = 1.0, 2.0, 1e-6
+        delta = 0.01
+        ck = np.array([100.0, 0.0])
+        cq = np.array([0.0, 0.0])
+        c_s = ck + np.array([rk + delta, 0.0])
+        sk = Hypersphere(ck, rk)
+        sq = Hypersphere(cq, rq)
+        s = Hypersphere(c_s, r_s)
+
+        from repro.geometry.distance import max_dist, min_dist
+
+        distk = max_dist(sk, sq)
+        assert distk >= min_dist(s, sq)  # the traditional rule can't prune
+        # ... yet Sk dominates S, so S is not a kNN answer:
+        assert get_criterion("hyperbola").dominates(sk, s, sq)
+        assert oracle_dominates(sk, s, sq)

@@ -1,0 +1,145 @@
+"""Interface-level tests for the criterion registry and each criterion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import dominates
+from repro.core import available_criteria, get_criterion, register_criterion
+from repro.core.base import DominanceCriterion
+from repro.exceptions import CriterionError, DimensionalityMismatchError
+from repro.geometry.hypersphere import Hypersphere
+
+ALL_CRITERIA = ("hyperbola", "minmax", "mbr", "gp", "trigonometric")
+
+# An unambiguous dominance: Sa near the query, Sb far away on the axis.
+SA = Hypersphere([0.0, 0.0], 1.0)
+SB = Hypersphere([100.0, 0.0], 1.0)
+SQ = Hypersphere([-2.0, 0.0], 0.5)
+
+
+class TestRegistry:
+    def test_all_paper_criteria_registered(self):
+        assert set(ALL_CRITERIA) <= set(available_criteria())
+
+    def test_get_criterion_unknown_name(self):
+        with pytest.raises(CriterionError, match="unknown criterion"):
+            get_criterion("nope")
+
+    def test_get_criterion_returns_fresh_instances(self):
+        assert get_criterion("minmax") is not get_criterion("minmax")
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate(DominanceCriterion):
+            name = "minmax"
+
+            def dominates(self, sa, sb, sq):  # pragma: no cover
+                return False
+
+        with pytest.raises(CriterionError, match="registered twice"):
+            register_criterion(Duplicate)
+
+    def test_unnamed_registration_rejected(self):
+        class Nameless(DominanceCriterion):
+            def dominates(self, sa, sb, sq):  # pragma: no cover
+                return False
+
+        with pytest.raises(CriterionError, match="without a name"):
+            register_criterion(Nameless)
+
+    def test_repr_shows_flags(self):
+        assert "correct" in repr(get_criterion("hyperbola"))
+        assert "sound" in repr(get_criterion("hyperbola"))
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("name", ALL_CRITERIA)
+    def test_clear_dominance_detected(self, name):
+        assert get_criterion(name).dominates(SA, SB, SQ)
+
+    @pytest.mark.parametrize("name", ("hyperbola", "minmax", "mbr", "gp"))
+    def test_clear_non_dominance_detected(self, name):
+        # Roles of Sa and Sb swapped: Sb is obviously closer now.  Only
+        # the *correct* criteria are obliged to answer False here; the
+        # Trigonometric criterion famously answers True (its probes both
+        # see a negative margin — see TestTrigonometricQuirks).
+        assert not get_criterion(name).dominates(SB, SA, SQ)
+
+    @pytest.mark.parametrize("name", ("hyperbola", "minmax", "mbr", "gp"))
+    def test_overlapping_pair_never_dominates(self, name):
+        a = Hypersphere([0.0, 0.0], 2.0)
+        b = Hypersphere([1.0, 0.0], 2.0)
+        assert not get_criterion(name).dominates(a, b, SQ)
+
+    @pytest.mark.parametrize("name", ("hyperbola", "minmax", "mbr", "gp"))
+    def test_self_dominance_is_false(self, name):
+        assert not get_criterion(name).dominates(SA, SA, SQ)
+
+    @pytest.mark.parametrize("name", ALL_CRITERIA)
+    def test_dimension_mismatch_rejected(self, name):
+        with pytest.raises(DimensionalityMismatchError):
+            get_criterion(name).dominates(SA, SB, Hypersphere([0.0], 1.0))
+
+    @pytest.mark.parametrize("name", ALL_CRITERIA)
+    def test_callable_protocol(self, name):
+        criterion = get_criterion(name)
+        assert criterion(SA, SB, SQ) == criterion.dominates(SA, SB, SQ)
+
+    @pytest.mark.parametrize("name", ALL_CRITERIA)
+    def test_one_dimensional_space(self, name):
+        a = Hypersphere([0.0], 0.5)
+        b = Hypersphere([50.0], 0.5)
+        q = Hypersphere([-1.0], 0.25)
+        assert get_criterion(name).dominates(a, b, q)
+
+    @pytest.mark.parametrize("name", ALL_CRITERIA)
+    def test_point_spheres(self, name):
+        a = Hypersphere([0.0, 0.0], 0.0)
+        b = Hypersphere([10.0, 0.0], 0.0)
+        q = Hypersphere([-1.0, 0.0], 0.0)
+        assert get_criterion(name).dominates(a, b, q)
+
+
+class TestTrigonometricQuirks:
+    """The non-correct criterion's characteristic false positives."""
+
+    def test_true_on_reversed_roles(self):
+        # Both probes see a strongly negative margin -> same sign ->
+        # the procedure answers True although Sb is clearly closer.
+        assert get_criterion("trigonometric").dominates(SB, SA, SQ)
+
+    def test_true_on_self_dominance(self):
+        # ca == cb degenerates the surrogate to a constant; the single
+        # probe's nonzero (negative) margin maps to True.
+        assert get_criterion("trigonometric").dominates(SA, SA, SQ)
+
+    def test_false_on_degenerate_zero_margin(self):
+        a = Hypersphere([0.0, 0.0], 0.0)
+        assert not get_criterion("trigonometric").dominates(a, a, SQ)
+
+
+class TestConvenienceFunction:
+    def test_default_method_is_hyperbola(self):
+        assert dominates(SA, SB, SQ) is True
+
+    def test_named_method(self):
+        assert dominates(SA, SB, SQ, method="minmax") is True
+
+    def test_unknown_method(self):
+        with pytest.raises(CriterionError):
+            dominates(SA, SB, SQ, method="bogus")
+
+
+class TestTheoreticalFlags:
+    def test_flags_match_table1(self):
+        expected = {
+            "hyperbola": (True, True),
+            "minmax": (True, False),
+            "mbr": (True, False),
+            "gp": (True, False),
+            "trigonometric": (False, True),
+        }
+        for name, (correct, sound) in expected.items():
+            criterion = get_criterion(name)
+            assert criterion.is_correct == correct, name
+            assert criterion.is_sound == sound, name

@@ -1,0 +1,146 @@
+"""Property-based verification of Table 1 (correct / sound flags).
+
+Every test here validates a criterion against the *numerical oracle*
+(:mod:`repro.core.oracle`), never against Hyperbola itself, so the suite
+cannot circularly certify the main contribution.  Configurations whose
+true margin is within numerical tolerance of the decision boundary are
+skipped — no floating-point method can decide those consistently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+import hypothesis.strategies as st
+
+from repro.core import find_witness, get_criterion, min_margin
+from repro.geometry.hypersphere import Hypersphere
+
+from conftest import sphere_triples
+
+BOUNDARY_TOLERANCE = 1e-6
+CORRECT_CRITERIA = ("hyperbola", "minmax", "mbr", "gp")
+SOUND_CRITERIA = ("hyperbola", "trigonometric")
+
+
+def true_dominance(sa, sb, sq) -> bool | None:
+    """Oracle verdict, or None when the margin is too close to call."""
+    margin = min_margin(sa, sb, sq, resolution=1024) - (sa.radius + sb.radius)
+    if abs(margin) <= BOUNDARY_TOLERANCE:
+        return None
+    return (not sa.overlaps(sb)) and margin > 0.0
+
+
+@st.composite
+def biased_triples(draw):
+    """Triples biased toward the interesting (dominance-plausible) regime."""
+    d = draw(st.integers(min_value=1, max_value=6))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    ra = float(abs(rng.normal(0.0, 1.5)))
+    rb = float(abs(rng.normal(0.0, 1.5)))
+    rq = float(abs(rng.normal(0.0, 2.0)))
+    ca = rng.normal(0.0, 8.0, d)
+    direction = rng.normal(0.0, 1.0, d)
+    direction /= np.linalg.norm(direction)
+    cb = ca + direction * (ra + rb + float(rng.uniform(0.05, 10.0)))
+    cq = ca - direction * float(rng.uniform(0.0, 8.0)) + rng.normal(0.0, 2.0, d)
+    return Hypersphere(ca, ra), Hypersphere(cb, rb), Hypersphere(cq, rq)
+
+
+class TestHyperbolaOptimality:
+    """Hyperbola must agree with the oracle in *both* directions."""
+
+    @given(biased_triples())
+    @settings(max_examples=120)
+    def test_exactness_on_biased_workload(self, triple):
+        sa, sb, sq = triple
+        truth = true_dominance(sa, sb, sq)
+        assume(truth is not None)
+        assert get_criterion("hyperbola").dominates(sa, sb, sq) == truth
+
+    @given(sphere_triples())
+    def test_exactness_on_uniform_workload(self, triple):
+        sa, sb, sq = triple
+        truth = true_dominance(sa, sb, sq)
+        assume(truth is not None)
+        assert get_criterion("hyperbola").dominates(sa, sb, sq) == truth
+
+
+class TestCorrectness:
+    """Correct criteria may never produce a false positive."""
+
+    @pytest.mark.parametrize("name", CORRECT_CRITERIA)
+    def test_no_false_positive_randomised(self, name, rng):
+        criterion = get_criterion(name)
+        for _ in range(150):
+            d = int(rng.integers(1, 7))
+            sa = Hypersphere(rng.normal(0, 8, d), float(abs(rng.normal(0, 2))))
+            sb = Hypersphere(rng.normal(0, 8, d), float(abs(rng.normal(0, 2))))
+            sq = Hypersphere(rng.normal(0, 8, d), float(abs(rng.normal(0, 2))))
+            if not criterion.dominates(sa, sb, sq):
+                continue
+            truth = true_dominance(sa, sb, sq)
+            if truth is None:
+                continue
+            assert truth, f"{name} produced a false positive"
+
+    @given(biased_triples())
+    def test_claimed_dominance_has_no_witness(self, triple):
+        """A positive answer from a correct criterion is refutation-free."""
+        sa, sb, sq = triple
+        for name in CORRECT_CRITERIA:
+            if get_criterion(name).dominates(sa, sb, sq):
+                witness = find_witness(sa, sb, sq)
+                if witness is not None:
+                    q, a, b = witness
+                    # The "witness" must itself be borderline (numerics).
+                    violation = np.linalg.norm(a - q) - np.linalg.norm(b - q)
+                    assert violation <= BOUNDARY_TOLERANCE, name
+
+
+class TestSoundness:
+    """Sound criteria may never produce a false negative."""
+
+    @pytest.mark.parametrize("name", SOUND_CRITERIA)
+    @given(triple=biased_triples())
+    def test_no_false_negative(self, name, triple):
+        sa, sb, sq = triple
+        criterion = get_criterion(name)
+        if criterion.dominates(sa, sb, sq):
+            return
+        truth = true_dominance(sa, sb, sq)
+        assume(truth is not None)
+        assert not truth, f"{name} produced a false negative"
+
+
+class TestPairwiseImplications:
+    """Structural implications between the criteria."""
+
+    @given(biased_triples())
+    def test_correct_criterion_implies_hyperbola(self, triple):
+        """Any correct criterion's True must be Hyperbola's True."""
+        sa, sb, sq = triple
+        hyperbola = get_criterion("hyperbola").dominates(sa, sb, sq)
+        for name in ("minmax", "mbr", "gp"):
+            if get_criterion(name).dominates(sa, sb, sq):
+                assert hyperbola, f"{name} true but hyperbola false"
+
+    @given(biased_triples())
+    def test_hyperbola_implies_sound_criteria(self, triple):
+        """Hyperbola's True must be accepted by every sound criterion."""
+        sa, sb, sq = triple
+        if get_criterion("hyperbola").dominates(sa, sb, sq):
+            assert get_criterion("trigonometric").dominates(sa, sb, sq)
+
+    def test_minmax_sound_for_point_queries(self, rng):
+        """The paper: MinMax is sound when Sq is a point."""
+        minmax = get_criterion("minmax")
+        hyperbola = get_criterion("hyperbola")
+        for _ in range(300):
+            d = int(rng.integers(1, 6))
+            sa = Hypersphere(rng.normal(0, 5, d), float(abs(rng.normal(0, 1))))
+            sb = Hypersphere(rng.normal(0, 5, d), float(abs(rng.normal(0, 1))))
+            sq = Hypersphere(rng.normal(0, 5, d), 0.0)
+            if hyperbola.dominates(sa, sb, sq):
+                assert minmax.dominates(sa, sb, sq)

@@ -1,0 +1,227 @@
+"""Tests for the dataset generators and workload builders (Section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.real import REAL_DATASET_SPECS, real_dataset, real_points
+from repro.data.synthetic import Dataset, attach_radii, synthetic_dataset
+from repro.data.workload import DominanceWorkload, knn_queries
+from repro.exceptions import DatasetError
+
+
+class TestDataset:
+    def test_basic_accessors(self, rng):
+        ds = Dataset("x", rng.normal(0, 1, (10, 3)), np.abs(rng.normal(0, 1, 10)))
+        assert len(ds) == 10
+        assert ds.dimension == 3
+        sphere = ds.sphere(4)
+        assert np.array_equal(sphere.center, ds.centers[4])
+        items = list(ds.items())
+        assert items[0][0] == 0 and len(items) == 10
+
+    def test_validation(self, rng):
+        with pytest.raises(DatasetError):
+            Dataset("x", rng.normal(0, 1, (10,)), np.ones(10))
+        with pytest.raises(DatasetError):
+            Dataset("x", rng.normal(0, 1, (10, 2)), np.ones(9))
+        with pytest.raises(DatasetError):
+            Dataset("x", rng.normal(0, 1, (10, 2)), -np.ones(10))
+
+    def test_subset(self, rng):
+        ds = synthetic_dataset(100, 2, seed=0)
+        sub = ds.subset(30, rng=rng)
+        assert len(sub) == 30
+        with pytest.raises(DatasetError):
+            ds.subset(101, rng=rng)
+
+
+class TestSyntheticGenerator:
+    def test_shapes_and_determinism(self):
+        a = synthetic_dataset(500, 4, mu=10.0, seed=3)
+        b = synthetic_dataset(500, 4, mu=10.0, seed=3)
+        assert a.centers.shape == (500, 4)
+        assert np.array_equal(a.centers, b.centers)
+        assert np.array_equal(a.radii, b.radii)
+
+    def test_gaussian_center_statistics(self):
+        ds = synthetic_dataset(20_000, 3, seed=1)
+        assert ds.centers.mean() == pytest.approx(100.0, abs=1.0)
+        assert ds.centers.std() == pytest.approx(25.0, abs=1.0)
+
+    def test_radius_statistics(self):
+        ds = synthetic_dataset(20_000, 2, mu=50.0, seed=2)
+        assert ds.radii.mean() == pytest.approx(50.0, rel=0.05)
+        assert ds.radii.std() == pytest.approx(12.5, rel=0.1)
+        assert np.all(ds.radii >= 0.0)
+
+    def test_radii_clipped_at_zero(self):
+        # mu = 1, sigma = 10: many raw draws are negative.
+        ds = synthetic_dataset(5_000, 2, mu=1.0, sigma=10.0, seed=4)
+        assert np.all(ds.radii >= 0.0)
+        assert np.any(ds.radii == 0.0)
+
+    def test_uniform_distributions(self):
+        ds = synthetic_dataset(
+            10_000,
+            2,
+            center_distribution="uniform",
+            radius_distribution="uniform",
+            seed=5,
+        )
+        assert ds.centers.min() >= 0.0 and ds.centers.max() <= 200.0
+        assert ds.radii.min() >= 0.0 and ds.radii.max() <= 200.0
+        assert "U-U" in ds.name
+
+    def test_distribution_grid_labels(self):
+        for centers, radii, label in (
+            ("gaussian", "gaussian", "G-G"),
+            ("gaussian", "uniform", "G-U"),
+            ("uniform", "gaussian", "U-G"),
+        ):
+            ds = synthetic_dataset(
+                10,
+                2,
+                center_distribution=centers,
+                radius_distribution=radii,
+                seed=0,
+            )
+            assert label in ds.name
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            synthetic_dataset(0, 2)
+        with pytest.raises(DatasetError):
+            synthetic_dataset(10, 0)
+        with pytest.raises(DatasetError):
+            synthetic_dataset(10, 2, center_distribution="zipf")
+        with pytest.raises(DatasetError):
+            synthetic_dataset(10, 2, seed=1, rng=np.random.default_rng(0))
+
+    def test_attach_radii_validates_mu(self, rng):
+        with pytest.raises(DatasetError):
+            attach_radii(np.zeros((5, 2)), mu=-1.0, rng=rng)
+
+
+class TestRealSurrogates:
+    def test_specs_match_the_paper(self):
+        assert REAL_DATASET_SPECS["nba"].size == 17_265
+        assert REAL_DATASET_SPECS["nba"].dimension == 17
+        assert REAL_DATASET_SPECS["color"].size == 68_040
+        assert REAL_DATASET_SPECS["color"].dimension == 9
+        assert REAL_DATASET_SPECS["texture"].size == 68_040
+        assert REAL_DATASET_SPECS["texture"].dimension == 16
+        assert REAL_DATASET_SPECS["forest"].size == 82_012
+        assert REAL_DATASET_SPECS["forest"].dimension == 10
+
+    @pytest.mark.parametrize("name", sorted(REAL_DATASET_SPECS))
+    def test_sliced_generation(self, name):
+        points = real_points(name, size=1000)
+        assert points.shape == (1000, REAL_DATASET_SPECS[name].dimension)
+        assert np.all(np.isfinite(points))
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            real_points("nba", size=500), real_points("nba", size=500)
+        )
+
+    def test_color_features_bounded(self):
+        points = real_points("color", size=2000)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_nba_counts_nonnegative_and_skewed(self):
+        points = real_points("nba", size=5000)
+        assert points.min() >= 0.0
+        # Skew: mean above median for count-like columns.
+        assert np.mean(points) > np.median(points)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            real_points("imagenet")
+
+    def test_oversized_slice(self):
+        with pytest.raises(DatasetError):
+            real_points("nba", size=100_000)
+
+    def test_genuine_file_preferred(self, tmp_path):
+        genuine = np.arange(34.0).reshape(2, 17)
+        np.save(tmp_path / "nba.npy", genuine)
+        assert np.array_equal(real_points("nba", data_dir=tmp_path), genuine)
+
+    def test_genuine_file_shape_checked(self, tmp_path):
+        np.save(tmp_path / "nba.npy", np.zeros((5, 3)))
+        with pytest.raises(DatasetError):
+            real_points("nba", data_dir=tmp_path)
+
+    def test_real_dataset_attaches_radii(self):
+        ds = real_dataset("color", mu=5.0, size=800)
+        assert len(ds) == 800
+        assert ds.radii.mean() == pytest.approx(5.0, rel=0.1)
+
+
+class TestWorkloads:
+    def test_dominance_workload_shape(self):
+        ds = synthetic_dataset(100, 3, seed=0)
+        workload = DominanceWorkload.from_dataset(ds, size=500, seed=1)
+        assert len(workload) == 500
+        assert workload.dimension == 3
+        for array in workload.arrays()[:3]:
+            assert array.shape == (500, 3)
+        for array in workload.arrays()[3:]:
+            assert array.shape == (500,)
+
+    def test_triples_match_arrays(self):
+        ds = synthetic_dataset(50, 2, seed=0)
+        workload = DominanceWorkload.from_dataset(ds, size=10, seed=1)
+        for i, (sa, sb, sq) in enumerate(workload.triples()):
+            assert np.array_equal(sa.center, workload.ca[i])
+            assert sb.radius == workload.rb[i]
+            assert np.array_equal(sq.center, workload.cq[i])
+
+    def test_members_come_from_dataset(self):
+        ds = synthetic_dataset(30, 2, seed=0)
+        workload = DominanceWorkload.from_dataset(ds, size=100, seed=2)
+        centers = {tuple(c) for c in ds.centers}
+        for row in workload.ca:
+            assert tuple(row) in centers
+
+    def test_too_small_dataset_rejected(self):
+        ds = synthetic_dataset(2, 2, seed=0)
+        with pytest.raises(DatasetError):
+            DominanceWorkload.from_dataset(ds, size=10)
+
+    def test_knn_queries_drawn_from_dataset(self):
+        ds = synthetic_dataset(40, 2, seed=0)
+        queries = knn_queries(ds, count=12, seed=3)
+        assert len(queries) == 12
+        centers = {tuple(c) for c in ds.centers}
+        for query in queries:
+            assert tuple(query.center) in centers
+
+
+class TestRelativeMu:
+    def test_relative_mu_scales_with_spread(self):
+        from repro.data.real import REFERENCE_SPREAD, relative_mu
+
+        wide = np.random.default_rng(0).normal(0.0, 50.0, (1000, 2))
+        narrow = wide / 100.0
+        assert relative_mu(wide, 10.0) == pytest.approx(
+            10.0 * wide.std() / REFERENCE_SPREAD
+        )
+        assert relative_mu(narrow, 10.0) == pytest.approx(
+            relative_mu(wide, 10.0) / 100.0
+        )
+
+    def test_zero_spread_passthrough(self):
+        from repro.data.real import relative_mu
+
+        assert relative_mu(np.ones((5, 2)), 7.0) == 7.0
+
+    def test_real_dataset_relative_mode(self):
+        ds_abs = real_dataset("color", mu=10.0, size=500)
+        ds_rel = real_dataset("color", mu=10.0, relative_radii=True, size=500)
+        # Absolute mu = 10 swallows the [0, 1] feature space; the
+        # relative mode keeps radii commensurate with the data.
+        assert ds_rel.radii.mean() < 0.2 < ds_abs.radii.mean()

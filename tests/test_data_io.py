@@ -1,0 +1,56 @@
+"""Tests for dataset persistence (.npz save/load)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, save_dataset, synthetic_dataset
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        original = synthetic_dataset(120, 4, mu=7.0, seed=1)
+        path = save_dataset(original, tmp_path / "ds.npz")
+        loaded = load_dataset(path)
+        assert loaded.name == original.name
+        assert np.array_equal(loaded.centers, original.centers)
+        assert np.array_equal(loaded.radii, original.radii)
+
+    def test_suffix_appended(self, tmp_path):
+        original = synthetic_dataset(10, 2, seed=0)
+        path = save_dataset(original, tmp_path / "plain")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_directories_created(self, tmp_path):
+        original = synthetic_dataset(10, 2, seed=0)
+        path = save_dataset(original, tmp_path / "deep" / "nested" / "ds")
+        assert path.exists()
+
+    def test_loaded_dataset_is_usable(self, tmp_path):
+        from repro.index import SSTree
+
+        original = synthetic_dataset(60, 3, seed=2)
+        loaded = load_dataset(save_dataset(original, tmp_path / "d"))
+        tree = SSTree.bulk_load(loaded.items())
+        assert len(tree) == 60
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "absent.npz")
+
+    def test_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_invalid_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, centers=np.zeros((3, 2)), radii=-np.ones(3))
+        with pytest.raises(DatasetError):
+            load_dataset(path)  # Dataset validation fires

@@ -1,0 +1,80 @@
+"""Tests for the Equation 1/3/4 distance helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.exceptions import DimensionalityMismatchError
+from repro.geometry.distance import (
+    dist,
+    max_dist,
+    max_dist_point,
+    min_dist,
+    min_dist_point,
+)
+from repro.geometry.hypersphere import Hypersphere
+
+from conftest import hyperspheres, sphere_triples
+
+
+class TestDist:
+    def test_euclidean(self):
+        assert dist([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert dist([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            dist([0.0], [0.0, 0.0])
+
+
+class TestSphereDistances:
+    def test_max_dist_formula(self):
+        a = Hypersphere([0.0, 0.0], 1.0)
+        b = Hypersphere([3.0, 4.0], 2.0)
+        assert max_dist(a, b) == pytest.approx(8.0)  # 5 + 1 + 2
+
+    def test_min_dist_formula(self):
+        a = Hypersphere([0.0, 0.0], 1.0)
+        b = Hypersphere([3.0, 4.0], 2.0)
+        assert min_dist(a, b) == pytest.approx(2.0)  # 5 - 1 - 2
+
+    def test_min_dist_overlapping_is_zero(self):
+        a = Hypersphere([0.0], 2.0)
+        b = Hypersphere([1.0], 2.0)
+        assert min_dist(a, b) == 0.0
+
+    def test_point_helpers(self):
+        a = Hypersphere([0.0, 0.0], 1.0)
+        assert max_dist_point(a, [3.0, 4.0]) == pytest.approx(6.0)
+        assert min_dist_point(a, [3.0, 4.0]) == pytest.approx(4.0)
+        assert min_dist_point(a, [0.5, 0.0]) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            max_dist(Hypersphere([0.0], 1.0), Hypersphere([0.0, 0.0], 1.0))
+
+    @given(sphere_triples())
+    def test_symmetry(self, triple):
+        a, b, _ = triple
+        assert max_dist(a, b) == pytest.approx(max_dist(b, a))
+        assert min_dist(a, b) == pytest.approx(min_dist(b, a))
+
+    @given(sphere_triples())
+    def test_bounds_bracket_sampled_realisations(self, triple):
+        """MinDist <= Dist(a, b) <= MaxDist for sampled realisations."""
+        a, b, _ = triple
+        rng = np.random.default_rng(0)
+        points_a = a.sample(rng, 16)
+        points_b = b.sample(rng, 16)
+        gaps = np.linalg.norm(points_a - points_b, axis=1)
+        assert np.all(gaps <= max_dist(a, b) + 1e-9)
+        assert np.all(gaps >= min_dist(a, b) - 1e-9)
+
+    @given(hyperspheres())
+    def test_self_distances(self, s):
+        assert min_dist(s, s) == 0.0
+        assert max_dist(s, s) == pytest.approx(2.0 * s.radius)

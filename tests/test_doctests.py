@@ -1,0 +1,24 @@
+"""Run every doctest in the package so docstring examples stay honest."""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_all_doctests_pass():
+    attempted = 0
+    for module in iter_modules():
+        result = doctest.testmod(module, verbose=False)
+        attempted += result.attempted
+        assert result.failed == 0, f"doctest failure in {module.__name__}"
+    assert attempted >= 8  # the package does ship examples

@@ -1,0 +1,98 @@
+"""Tests for the top-k dominating query (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_criterion
+from repro.exceptions import QueryError
+from repro.geometry.hypersphere import Hypersphere
+from repro.queries.dominating import dominance_scores, top_k_dominating
+
+
+def line_dataset():
+    """Objects marching away from the query along one axis."""
+    return [
+        (i, Hypersphere([float(5 * i), 0.0], 0.2)) for i in range(6)
+    ]
+
+
+class TestScores:
+    def test_scores_match_pairwise_criterion(self, rng):
+        data = [
+            (
+                i,
+                Hypersphere(
+                    rng.normal(0.0, 5.0, 2), float(abs(rng.normal(0.0, 0.5)))
+                ),
+            )
+            for i in range(25)
+        ]
+        query = Hypersphere([0.0, 0.0], 0.5)
+        criterion = get_criterion("hyperbola")
+        scores = dominance_scores(data, query)
+        for i, (key, sphere) in enumerate(data):
+            expected = sum(
+                criterion.dominates(sphere, other, query)
+                for j, (_, other) in enumerate(data)
+                if j != i
+            )
+            assert scores[i].key == key
+            assert scores[i].score == expected
+
+    def test_line_ordering(self):
+        # Nearer objects dominate all farther ones with respect to a
+        # query at the origin.
+        query = Hypersphere([0.0, 0.0], 0.2)
+        scores = dominance_scores(line_dataset(), query)
+        values = [s.score for s in scores]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 5  # the closest object dominates all others
+        assert values[-1] == 0
+
+    def test_unsound_criterion_gives_lower_bounds(self, rng):
+        data = [
+            (
+                i,
+                Hypersphere(
+                    rng.normal(0.0, 5.0, 3), float(abs(rng.normal(0.0, 0.5)))
+                ),
+            )
+            for i in range(30)
+        ]
+        query = Hypersphere(rng.normal(0.0, 5.0, 3), 0.5)
+        exact = dominance_scores(data, query, criterion="hyperbola")
+        loose = dominance_scores(data, query, criterion="minmax")
+        for e, l in zip(exact, loose):
+            assert l.score <= e.score
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(QueryError):
+            dominance_scores(line_dataset(), Hypersphere([0.0], 0.1))
+
+
+class TestTopK:
+    def test_top_k_returns_best(self):
+        query = Hypersphere([0.0, 0.0], 0.2)
+        top = top_k_dominating(line_dataset(), query, 2)
+        assert [entry.key for entry in top] == [0, 1]
+        assert top[0].score >= top[1].score
+
+    def test_invalid_k(self):
+        query = Hypersphere([0.0, 0.0], 0.2)
+        with pytest.raises(QueryError):
+            top_k_dominating(line_dataset(), query, 0)
+        with pytest.raises(QueryError):
+            top_k_dominating(line_dataset(), query, 7)
+
+    def test_tie_break_by_dataset_order(self):
+        # Two coincident best objects: stable order wins.
+        data = [
+            ("first", Hypersphere([0.0, 0.0], 0.1)),
+            ("second", Hypersphere([0.0, 0.0], 0.1)),
+            ("far", Hypersphere([50.0, 0.0], 0.1)),
+        ]
+        query = Hypersphere([0.0, 0.0], 0.1)
+        top = top_k_dominating(data, query, 2)
+        assert [entry.key for entry in top] == ["first", "second"]

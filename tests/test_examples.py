@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example must run and tell a true story."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "dominates(Sa, Sb, Sq) = True" in out
+        assert "hyperbola" in out
+
+    def test_criteria_comparison(self, capsys):
+        out = run_example("criteria_comparison.py", capsys)
+        assert "FALSE POSITIVE" in out  # trigonometric's lemma-11 regime
+        assert "false negative" in out  # minmax / mbr misses
+        assert out.count("ground truth (numerical oracle)") == 3
+
+    def test_uncertain_gps_knn(self, capsys):
+        out = run_example("uncertain_gps_knn.py", capsys)
+        assert "exact answer (Hyperbola)" in out
+        assert "Definition-2 ground truth" in out
+
+    def test_image_retrieval(self, capsys):
+        out = run_example("image_retrieval_sstree.py", capsys)
+        assert "SS-tree: height" in out
+        assert "hyperbola" in out
+
+    def test_robust_ranking(self, capsys):
+        out = run_example("robust_ranking.py", capsys)
+        assert "dominates" in out
+        assert "monte-carlo" in out
+
+    def test_drifting_uncertainty(self, capsys):
+        out = run_example("drifting_uncertainty.py", capsys)
+        assert "guarantee survives" in out
+        assert "river-weighted" in out

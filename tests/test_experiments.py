@@ -1,0 +1,205 @@
+"""Tests for the experiment harness (metrics, runners, reports)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_dataset
+from repro.exceptions import ExperimentError
+from repro.experiments.config import PaperDefaults
+from repro.experiments.dominance import run_dominance_experiment
+from repro.experiments.knn import run_knn_experiment
+from repro.experiments.metrics import (
+    BinaryMetrics,
+    binary_metrics,
+    mean_and_std,
+    time_callable,
+)
+from repro.experiments.report import format_value, render_table
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.table1 import run_table1
+
+
+class TestMetrics:
+    def test_confusion_counts(self):
+        predicted = np.array([True, True, False, False])
+        truth = np.array([True, False, True, False])
+        scores = binary_metrics(predicted, truth)
+        assert (
+            scores.true_positives,
+            scores.false_positives,
+            scores.false_negatives,
+            scores.true_negatives,
+        ) == (1, 1, 1, 1)
+        assert scores.precision == 50.0
+        assert scores.recall == 50.0
+
+    def test_edge_conventions(self):
+        no_claims = BinaryMetrics(0, 0, 3, 7)
+        assert no_claims.precision == 100.0
+        nothing_true = BinaryMetrics(0, 2, 0, 8)
+        assert nothing_true.recall == 100.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_metrics(np.ones(3, dtype=bool), np.ones(4, dtype=bool))
+
+    def test_time_callable(self):
+        samples = time_callable(lambda: sum(range(100)), repeats=3)
+        assert len(samples) == 3
+        assert all(s >= 0.0 for s in samples)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == 2.0 and std == 1.0
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+
+class TestReport:
+    def test_render_alignment(self):
+        table = render_table(
+            ("name", "value"),
+            [("alpha", 1.0), ("a-much-longer-name", 123456.0)],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert len({len(l) for l in lines[2:4]}) == 1  # aligned widths
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [("only-one",)])
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(0.0) == "0"
+        assert format_value(1.5e-06) == "1.500e-06"
+        assert format_value("x") == "x"
+        assert format_value(12) == "12"
+
+
+class TestDominanceExperiment:
+    def test_measurements_shape_and_flags(self):
+        dataset = synthetic_dataset(300, 3, mu=10.0, seed=0)
+        measurements = run_dominance_experiment(
+            dataset, label="t", workload_size=300, repeats=1, seed=0
+        )
+        by_name = {m.criterion: m for m in measurements}
+        assert set(by_name) == {"hyperbola", "minmax", "mbr", "gp", "trigonometric"}
+        # The ground truth is hyperbola, so its scores are perfect.
+        assert by_name["hyperbola"].precision == 100.0
+        assert by_name["hyperbola"].recall == 100.0
+        # Correct criteria never lose precision; sound ones never recall.
+        for name in ("minmax", "mbr", "gp"):
+            assert by_name[name].precision == 100.0
+        assert by_name["trigonometric"].recall == 100.0
+        for m in measurements:
+            assert m.seconds_per_query > 0.0
+            assert m.workload_size == 300
+
+    def test_batch_timing_mode(self):
+        dataset = synthetic_dataset(200, 2, mu=5.0, seed=0)
+        measurements = run_dominance_experiment(
+            dataset,
+            label="t",
+            workload_size=200,
+            repeats=1,
+            timing="batch",
+            criteria=("hyperbola", "minmax"),
+            seed=0,
+        )
+        assert len(measurements) == 2
+
+    def test_invalid_timing_mode(self):
+        dataset = synthetic_dataset(50, 2, seed=0)
+        with pytest.raises(ExperimentError):
+            run_dominance_experiment(
+                dataset, label="t", workload_size=10, repeats=1, timing="gpu"
+            )
+
+
+class TestKNNExperiment:
+    def test_measurement_grid(self):
+        dataset = synthetic_dataset(400, 3, mu=8.0, seed=0)
+        measurements = run_knn_experiment(
+            dataset, label="t", k=5, queries=3, seed=0
+        )
+        assert len(measurements) == 8  # 2 strategies x 4 criteria
+        by_algo = {m.algorithm: m for m in measurements}
+        assert by_algo["HS(Hyper)"].precision == 100.0
+        assert by_algo["DF(Hyper)"].precision == 100.0
+        for m in measurements:
+            assert 0.0 < m.seconds_per_query
+            assert 0.0 <= m.precision <= 100.0
+            assert 0.0 <= m.coverage <= 100.0
+            assert m.queries == 3
+
+    def test_requires_queries(self):
+        dataset = synthetic_dataset(50, 2, seed=0)
+        with pytest.raises(ExperimentError):
+            run_knn_experiment(dataset, label="t", queries=0)
+
+
+class TestTable1:
+    def test_flags_match_claims(self):
+        rows = run_table1(workload_size=600, dimension=4, seed=0)
+        assert len(rows) == 5
+        for row in rows:
+            assert row.observed_correct == row.claimed_correct, row.criterion
+            assert row.observed_sound == row.claimed_sound, row.criterion
+
+
+class TestRunnerRegistry:
+    def test_every_paper_artifact_has_a_runner(self):
+        expected = {"table1", "claims", "ablations"} | {
+            f"fig{i}" for i in range(8, 17)
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_defaults_scaling(self):
+        scaled = PaperDefaults().scaled(0.01)
+        assert scaled.n == 1000
+        assert scaled.workload_size == 100
+        assert scaled.n_values[0] == 200
+        with pytest.raises(ValueError):
+            PaperDefaults().scaled(0.0)
+
+    def test_claims_runner_all_hold(self):
+        report = run_experiment("claims", scale=0.02, seed=0)
+        assert report.rows
+        assert all(row[2] for row in report.rows)  # every claim holds
+
+    @pytest.mark.parametrize("name", ("table1", "fig9", "fig12"))
+    def test_dominance_runners_smoke(self, name):
+        report = run_experiment(name, scale=0.002, seed=0)
+        assert report.experiment == name
+        assert report.rows
+        rendered = report.render()
+        assert report.title in rendered
+        payload = report.to_dict()
+        assert payload["experiment"] == name
+        assert len(payload["rows"]) == len(report.rows)
+
+    def test_knn_runner_smoke(self):
+        report = run_experiment("fig14", scale=0.001, seed=0)
+        # 4 k-values x 8 algorithm combinations
+        assert len(report.rows) == 32
+        hyper_rows = [r for r in report.rows if r[1] == "HS(Hyper)"]
+        assert all(row[3] == 100.0 for row in hyper_rows)  # precision
+
+    def test_ablations_runner_smoke(self):
+        report = run_experiment("ablations", scale=0.01, seed=0)
+        studies = {row[0] for row in report.rows}
+        assert studies == {"quartic", "kernels", "cascade", "knn-algorithm", "index"}
+        two_phase = [r for r in report.rows if r[1] == "two-phase"]
+        assert two_phase and "coverage 100.0%" in two_phase[0][3]

@@ -1,0 +1,57 @@
+"""Properties of the GP criterion's 2-D projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.gp import project_to_plane
+
+from conftest import finite_coordinates
+
+
+@st.composite
+def point_pairs(draw):
+    d = draw(st.integers(min_value=2, max_value=8))
+    coords = st.lists(finite_coordinates, min_size=d, max_size=d)
+    return (
+        np.array(draw(coords)),
+        np.array(draw(coords)),
+        np.array(draw(coords)),
+    )
+
+
+class TestProjection:
+    def test_anchor_maps_to_origin(self):
+        anchor = np.array([3.0, -1.0, 2.0])
+        assert np.allclose(project_to_plane(anchor, anchor), [0.0, 0.0])
+
+    def test_output_is_2d(self):
+        out = project_to_plane(np.arange(7.0), np.zeros(7))
+        assert out.shape == (2,)
+        assert out[0] >= 0.0  # the collapsed block is a norm
+
+    @given(point_pairs())
+    def test_contraction(self, points):
+        """Projected distances never exceed the original distances."""
+        anchor, x, y = points
+        px = project_to_plane(x, anchor)
+        py = project_to_plane(y, anchor)
+        original = float(np.linalg.norm(x - y))
+        projected = float(np.linalg.norm(px - py))
+        assert projected <= original + 1e-9 * (1.0 + original)
+
+    @given(point_pairs())
+    def test_anchor_distances_exact(self, points):
+        """Distances *to the anchor* are preserved exactly.
+
+        This is the property that makes the anchored adaptation correct:
+        the dominator side of the comparison is never shrunk.
+        """
+        anchor, x, _ = points
+        projected = project_to_plane(x, anchor)
+        assert float(np.linalg.norm(projected)) == pytest.approx(
+            float(np.linalg.norm(x - anchor)), abs=1e-9 * (1 + np.abs(x).max())
+        )

@@ -1,0 +1,274 @@
+"""In-depth tests of the Hyperbola algorithm (Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+import hypothesis.strategies as st
+
+from repro.core.hyperbola import (
+    HyperbolaCriterion,
+    boundary_margin,
+    min_distance_to_boundary,
+)
+from repro.core.oracle import min_margin
+from repro.exceptions import CriterionError
+from repro.geometry.hypersphere import Hypersphere
+from repro.geometry.transform import FocalFrame
+
+from conftest import dimensions, finite_coordinates, small_radii
+
+HYPERBOLA = HyperbolaCriterion()
+
+
+def brute_force_boundary_distance(
+    sa: Hypersphere, sb: Hypersphere, point: np.ndarray, samples: int = 200_000
+) -> float:
+    """Distance from *point* to the margin-zero level set, by 2-D scan.
+
+    Works in the reduced plane: scans hyperbola branch points
+    parametrised as x = -A*cosh(u), y = B*sinh(u) (the branch bounding
+    Ra) plus the mirrored branch, and returns the closest.
+    """
+    frame = FocalFrame(sa.center, sb.center)
+    t, rho = frame.reduce(point)
+    rab = sa.radius + sb.radius
+    alpha = frame.alpha
+    if rab == 0.0:
+        return abs(t)
+    a = rab / 2.0
+    b = np.sqrt(alpha * alpha - a * a)
+    u = np.linspace(-30.0, 30.0, samples)
+    # cosh overflows beyond ~700; clip the parameter range accordingly.
+    x = a * np.cosh(np.clip(u, -30, 30))
+    y = b * np.sinh(np.clip(u, -30, 30))
+    best = np.inf
+    for branch_x in (x, -x):
+        dist = np.hypot(t - branch_x, rho - y)
+        best = min(best, float(dist.min()))
+    return best
+
+
+class TestBoundaryDistance:
+    def test_simple_2d_case(self):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        point = np.array([-3.0, 0.0])
+        exact = min_distance_to_boundary(sa, sb, point)
+        brute = brute_force_boundary_distance(sa, sb, point)
+        assert exact == pytest.approx(brute, rel=1e-3)
+
+    def test_point_on_boundary_gives_zero(self):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        # Find a boundary point: on the axis, margin(x) = 0 at x where
+        # (10 - x) - (-x ... on-axis between: (10-x) - x = 2 -> x = 4.
+        point = np.array([4.0, 0.0])
+        assert boundary_margin(sa, sb, point) == pytest.approx(0.0)
+        assert min_distance_to_boundary(sa, sb, point) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_bisector_degenerate_case(self):
+        sa = Hypersphere([0.0, 0.0], 0.0)
+        sb = Hypersphere([4.0, 0.0], 0.0)
+        assert min_distance_to_boundary(sa, sb, [1.0, 7.0]) == pytest.approx(1.0)
+
+    def test_overlapping_pair_rejected(self):
+        sa = Hypersphere([0.0], 2.0)
+        sb = Hypersphere([1.0], 2.0)
+        with pytest.raises(CriterionError):
+            min_distance_to_boundary(sa, sb, [0.0])
+
+    @given(
+        st.floats(min_value=-20, max_value=20),
+        st.floats(min_value=-20, max_value=20),
+        st.floats(min_value=0, max_value=3),
+        st.floats(min_value=0, max_value=3),
+        st.floats(min_value=0.2, max_value=15),
+    )
+    def test_matches_brute_force_2d(self, px, py, ra, rb, extra_gap):
+        sa = Hypersphere([0.0, 0.0], ra)
+        sb = Hypersphere([ra + rb + extra_gap, 0.0], rb)
+        point = np.array([px, py])
+        exact = min_distance_to_boundary(sa, sb, point)
+        brute = brute_force_boundary_distance(sa, sb, point)
+        # The brute scan is itself approximate: relative slack needed.
+        assert exact == pytest.approx(brute, rel=2e-2, abs=2e-2)
+
+    def test_query_on_focal_axis_ring_case(self):
+        # cq exactly on the focal axis: the generic Lagrange branch
+        # degenerates and the answer comes from the critical ring.
+        sa = Hypersphere([0.0, 0.0], 0.2)
+        sb = Hypersphere([2.05, 0.0], 0.2)  # barely separated
+        point = np.array([-3.0, 0.0])
+        exact = min_distance_to_boundary(sa, sb, point)
+        brute = brute_force_boundary_distance(sa, sb, point)
+        assert exact == pytest.approx(brute, rel=1e-3, abs=1e-3)
+
+    def test_lemma5_regression(self):
+        """The configuration that exposed the off-quadric candidate bug."""
+        r, delta = 1.0, 0.05
+        diag = np.array([1.0, 1.0]) / np.sqrt(2.0)
+        sa = Hypersphere(diag * 4.0 * r, r)
+        sb = Hypersphere(diag * (6.0 * r + delta), r)
+        sq = Hypersphere([0.0, 0.0], r)
+        assert HYPERBOLA.dominates(sa, sb, sq)
+
+
+class TestDecisionLogic:
+    def test_query_center_outside_region_fails_fast(self):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        sq = Hypersphere([20.0, 0.0], 0.1)  # on Sb's side
+        assert not HYPERBOLA.dominates(sa, sb, sq)
+
+    def test_point_query_inside_region(self):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        assert HYPERBOLA.dominates(sa, sb, Hypersphere([-1.0, 0.0], 0.0))
+
+    def test_query_sphere_crossing_boundary(self):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        # Boundary on the axis at x = 4; a query at 3 with radius 2 crosses.
+        assert not HYPERBOLA.dominates(sa, sb, Hypersphere([3.0, 0.0], 2.0))
+        # Radius 0.5 stays clear.
+        assert HYPERBOLA.dominates(sa, sb, Hypersphere([3.0, 0.0], 0.5))
+
+    def test_touching_spheres_never_dominate(self):
+        sa = Hypersphere([0.0], 1.0)
+        sb = Hypersphere([2.0], 1.0)
+        assert not HYPERBOLA.dominates(sa, sb, Hypersphere([-5.0], 0.1))
+
+    def test_equal_centers_never_dominate(self):
+        sa = Hypersphere([1.0, 1.0], 0.5)
+        sb = Hypersphere([1.0, 1.0], 0.7)
+        assert not HYPERBOLA.dominates(sa, sb, Hypersphere([9.0, 9.0], 0.1))
+
+    def test_high_dimensional_decision(self):
+        d = 64
+        sa = Hypersphere(np.zeros(d), 1.0)
+        center_b = np.zeros(d)
+        center_b[0] = 50.0
+        sb = Hypersphere(center_b, 1.0)
+        center_q = np.zeros(d)
+        center_q[0] = -5.0
+        center_q[1] = 2.0
+        assert HYPERBOLA.dominates(sa, sb, Hypersphere(center_q, 1.0))
+
+    @given(
+        dimensions,
+        st.floats(min_value=0.0, max_value=4.0),
+        st.floats(min_value=0.0, max_value=4.0),
+        st.floats(min_value=0.05, max_value=10.0),
+        st.floats(min_value=0.0, max_value=6.0),
+    )
+    def test_agrees_with_mdd_condition(self, d, ra, rb, gap_extra, rq):
+        """Hyperbola's verdict must equal the raw MDD condition (Eq. 7)."""
+        rng = np.random.default_rng(42)
+        ca = rng.normal(0.0, 5.0, d)
+        direction = rng.normal(0.0, 1.0, d)
+        direction /= np.linalg.norm(direction)
+        cb = ca + direction * (ra + rb + gap_extra)
+        cq = ca + rng.normal(0.0, 4.0, d)
+        sa, sb = Hypersphere(ca, ra), Hypersphere(cb, rb)
+        sq = Hypersphere(cq, rq)
+        margin = min_margin(sa, sb, sq, resolution=2048) - (ra + rb)
+        assume(abs(margin) > 1e-6)  # boundary ties are float-ambiguous
+        assert HYPERBOLA.dominates(sa, sb, sq) == (margin > 0.0)
+
+
+class TestDominatesWithMargin:
+    def test_reduces_to_plain_dominance_at_zero(self):
+        from repro.core.hyperbola import dominates_with_margin
+
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        sq = Hypersphere([3.0, 0.0], 0.5)
+        assert dominates_with_margin(sa, sb, sq, 0.0) == HYPERBOLA.dominates(
+            sa, sb, sq
+        )
+
+    def test_margin_is_monotone(self):
+        from repro.core.hyperbola import dominates_with_margin
+
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        sq = Hypersphere([-1.0, 0.0], 0.5)
+        verdicts = [
+            dominates_with_margin(sa, sb, sq, eps)
+            for eps in (0.0, 1.0, 3.0, 5.0, 7.0, 9.5)
+        ]
+        # Once lost with growing epsilon, never regained.
+        for earlier, later in zip(verdicts, verdicts[1:]):
+            assert not (later and not earlier)
+        assert verdicts[0] and not verdicts[-1]
+
+    def test_margin_threshold_matches_oracle(self):
+        from repro.core.hyperbola import dominates_with_margin
+
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        sq = Hypersphere([-1.0, 0.0], 0.5)
+        slack = min_margin(sa, sb, sq) - (sa.radius + sb.radius)
+        assert dominates_with_margin(sa, sb, sq, slack * 0.95)
+        assert not dominates_with_margin(sa, sb, sq, slack * 1.05)
+
+    def test_negative_epsilon_rejected(self):
+        from repro.core.hyperbola import dominates_with_margin
+        from repro.exceptions import CriterionError
+
+        with pytest.raises(CriterionError):
+            dominates_with_margin(
+                Hypersphere([0.0], 1.0),
+                Hypersphere([9.0], 1.0),
+                Hypersphere([1.0], 0.1),
+                -0.5,
+            )
+
+
+class TestDefinitionEquivalence:
+    """Definition 1 <=> the MDD condition, checked by sampling."""
+
+    def test_positive_verdicts_hold_on_samples(self, rng):
+        checked = 0
+        while checked < 20:
+            d = int(rng.integers(1, 5))
+            ca = rng.normal(0, 6, d)
+            direction = rng.normal(0, 1, d)
+            direction /= np.linalg.norm(direction)
+            ra, rb = abs(rng.normal(0, 1)), abs(rng.normal(0, 1))
+            sa = Hypersphere(ca, float(ra))
+            sb = Hypersphere(ca + direction * (ra + rb + rng.uniform(1, 6)), float(rb))
+            sq = Hypersphere(ca - direction * rng.uniform(0, 4), float(rng.uniform(0, 1.5)))
+            if not HYPERBOLA.dominates(sa, sb, sq):
+                continue
+            checked += 1
+            qs = sq.sample(rng, 15)
+            as_ = sa.sample(rng, 15)
+            bs = sb.sample(rng, 15)
+            for q in qs:
+                for a in as_:
+                    for b in bs:
+                        assert np.linalg.norm(a - q) < np.linalg.norm(b - q)
+
+    def test_negative_verdicts_have_witnesses(self, rng):
+        from repro.core.oracle import find_witness, min_margin as mm
+
+        checked = 0
+        while checked < 20:
+            d = int(rng.integers(1, 5))
+            mk = lambda: Hypersphere(rng.normal(0, 5, d), float(abs(rng.normal(0, 2))))
+            sa, sb, sq = mk(), mk(), mk()
+            if HYPERBOLA.dominates(sa, sb, sq):
+                continue
+            margin = mm(sa, sb, sq) - (sa.radius + sb.radius)
+            if margin > -1e-4:  # too close to the boundary to certify
+                continue
+            checked += 1
+            witness = find_witness(sa, sb, sq)
+            assert witness is not None
+            q, a, b = witness
+            assert np.linalg.norm(a - q) >= np.linalg.norm(b - q)

@@ -1,0 +1,120 @@
+"""Unit and property tests for Hyperrectangle and its distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.exceptions import DimensionalityMismatchError, GeometryError
+from repro.geometry.hyperrectangle import Hyperrectangle
+from repro.geometry.hypersphere import Hypersphere
+
+from conftest import finite_coordinates, hyperspheres
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Hyperrectangle([0.0, 0.0], [2.0, 4.0])
+        assert r.dimension == 2
+        assert np.array_equal(r.center, [1.0, 2.0])
+        assert np.array_equal(r.extents, [2.0, 4.0])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrectangle([1.0], [0.0])
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(DimensionalityMismatchError):
+            Hyperrectangle([0.0], [1.0, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrectangle([float("nan")], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrectangle([], [])
+
+    def test_bounds_read_only(self):
+        r = Hyperrectangle([0.0], [1.0])
+        with pytest.raises(ValueError):
+            r.lo[0] = 5.0
+
+    def test_bounding_sphere(self):
+        r = Hyperrectangle.bounding(Hypersphere([1.0, 2.0], 3.0))
+        assert np.array_equal(r.lo, [-2.0, -1.0])
+        assert np.array_equal(r.hi, [4.0, 5.0])
+
+    def test_from_points(self):
+        r = Hyperrectangle.from_points(np.array([[0.0, 5.0], [2.0, 1.0]]))
+        assert np.array_equal(r.lo, [0.0, 1.0])
+        assert np.array_equal(r.hi, [2.0, 5.0])
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrectangle.from_points(np.empty((0, 2)))
+
+
+class TestPredicates:
+    def test_contains(self):
+        r = Hyperrectangle([0.0, 0.0], [1.0, 1.0])
+        assert r.contains([0.5, 1.0])
+        assert not r.contains([1.5, 0.5])
+
+    def test_intersects(self):
+        a = Hyperrectangle([0.0], [1.0])
+        assert a.intersects(Hyperrectangle([1.0], [2.0]))  # touching counts
+        assert not a.intersects(Hyperrectangle([1.1], [2.0]))
+
+    def test_intersects_dimension_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            Hyperrectangle([0.0], [1.0]).intersects(
+                Hyperrectangle([0.0, 0.0], [1.0, 1.0])
+            )
+
+
+class TestDistances:
+    def test_min_dist_inside_is_zero(self):
+        r = Hyperrectangle([0.0, 0.0], [2.0, 2.0])
+        assert r.min_dist_point([1.0, 1.0]) == 0.0
+
+    def test_min_dist_outside(self):
+        r = Hyperrectangle([0.0, 0.0], [1.0, 1.0])
+        assert r.min_dist_point([4.0, 5.0]) == pytest.approx(5.0)
+
+    def test_max_dist_is_farthest_corner(self):
+        r = Hyperrectangle([0.0, 0.0], [1.0, 1.0])
+        assert r.max_dist_point([0.0, 0.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_one_dimensional_pieces_sum_to_squared_distances(self):
+        r = Hyperrectangle([0.0, -1.0, 2.0], [1.0, 1.0, 3.0])
+        q = np.array([2.0, 0.0, 0.0])
+        min_sq = sum(r.min_sq_dist_1d(i, q[i]) for i in range(3))
+        max_sq = sum(r.max_sq_dist_1d(i, q[i]) for i in range(3))
+        assert min_sq == pytest.approx(r.min_dist_point(q) ** 2)
+        assert max_sq == pytest.approx(r.max_dist_point(q) ** 2)
+
+    @given(hyperspheres(dimension=3), st.lists(finite_coordinates, min_size=3, max_size=3))
+    def test_sphere_bound_brackets_box_distances(self, sphere, q):
+        """MBR distances bracket the sphere distances from any point."""
+        box = Hyperrectangle.bounding(sphere)
+        gap = float(np.linalg.norm(np.asarray(q) - sphere.center))
+        sphere_min = max(gap - sphere.radius, 0.0)
+        sphere_max = gap + sphere.radius
+        assert box.min_dist_point(q) <= sphere_min + 1e-9
+        assert box.max_dist_point(q) >= sphere_max - 1e-9
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Hyperrectangle([0.0], [1.0])
+        b = Hyperrectangle([0.0], [1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Hyperrectangle([0.0], [2.0])
+        assert a != 42
+
+    def test_repr(self):
+        assert "lo=" in repr(Hyperrectangle([0.0], [1.0]))

@@ -1,0 +1,154 @@
+"""Unit and property tests for the Hypersphere value type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.exceptions import DimensionalityMismatchError, GeometryError
+from repro.geometry.hypersphere import Hypersphere
+
+from conftest import hyperspheres
+
+
+class TestConstruction:
+    def test_basic_attributes(self):
+        s = Hypersphere([1.0, 2.0, 3.0], 0.5)
+        assert s.dimension == 3
+        assert s.radius == 0.5
+        assert np.array_equal(s.center, [1.0, 2.0, 3.0])
+
+    def test_from_point_has_zero_radius(self):
+        s = Hypersphere.from_point([4.0, 5.0])
+        assert s.is_point
+        assert s.radius == 0.0
+
+    def test_center_is_copied_and_read_only(self):
+        source = np.array([1.0, 2.0])
+        s = Hypersphere(source, 1.0)
+        source[0] = 99.0
+        assert s.center[0] == 1.0
+        with pytest.raises(ValueError):
+            s.center[0] = 7.0
+
+    def test_accepts_lists_tuples_and_arrays(self):
+        for center in ([0.0, 1.0], (0.0, 1.0), np.array([0.0, 1.0])):
+            assert Hypersphere(center, 1.0).dimension == 2
+
+    def test_integer_input_becomes_float(self):
+        s = Hypersphere([1, 2], 3)
+        assert s.center.dtype == np.float64
+        assert isinstance(s.radius, float)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Hypersphere([0.0], -0.1)
+
+    def test_nan_center_rejected(self):
+        with pytest.raises(GeometryError):
+            Hypersphere([float("nan"), 0.0], 1.0)
+
+    def test_infinite_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Hypersphere([0.0], float("inf"))
+
+    def test_empty_center_rejected(self):
+        with pytest.raises(GeometryError):
+            Hypersphere([], 1.0)
+
+    def test_matrix_center_rejected(self):
+        with pytest.raises(GeometryError):
+            Hypersphere(np.zeros((2, 2)), 1.0)
+
+
+class TestPredicates:
+    def test_contains_boundary_point(self):
+        s = Hypersphere([0.0, 0.0], 1.0)
+        assert s.contains([1.0, 0.0])
+        assert not s.contains([1.0, 0.0], strict=True)
+
+    def test_contains_dimension_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            Hypersphere([0.0, 0.0], 1.0).contains([0.0])
+
+    def test_overlap_is_touching_inclusive(self):
+        a = Hypersphere([0.0], 1.0)
+        b = Hypersphere([2.0], 1.0)  # exactly touching
+        assert a.overlaps(b)
+        assert not a.overlaps(Hypersphere([2.5], 1.0))
+
+    def test_overlap_dimension_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            Hypersphere([0.0], 1.0).overlaps(Hypersphere([0.0, 0.0], 1.0))
+
+    def test_contains_sphere(self):
+        outer = Hypersphere([0.0, 0.0], 5.0)
+        assert outer.contains_sphere(Hypersphere([1.0, 1.0], 2.0))
+        assert not outer.contains_sphere(Hypersphere([4.0, 0.0], 2.0))
+
+    @given(hyperspheres())
+    def test_overlap_is_reflexive_and_symmetric(self, s):
+        assert s.overlaps(s)
+        other = s.translated(np.full(s.dimension, 0.1))
+        assert s.overlaps(other) == other.overlaps(s)
+
+
+class TestSampling:
+    def test_samples_lie_inside(self, rng):
+        s = Hypersphere([3.0, -2.0, 1.0], 2.5)
+        points = s.sample(rng, 500)
+        assert points.shape == (500, 3)
+        gaps = np.linalg.norm(points - s.center, axis=1)
+        assert np.all(gaps <= s.radius + 1e-12)
+
+    def test_surface_samples_on_boundary(self, rng):
+        s = Hypersphere([0.0, 0.0], 4.0)
+        points = s.sample_surface(rng, 200)
+        gaps = np.linalg.norm(points - s.center, axis=1)
+        assert np.allclose(gaps, 4.0)
+
+    def test_point_sphere_samples_are_the_point(self, rng):
+        s = Hypersphere([1.0, 2.0], 0.0)
+        assert np.allclose(s.sample(rng, 10), s.center)
+
+    def test_negative_sample_size_rejected(self, rng):
+        with pytest.raises(GeometryError):
+            Hypersphere([0.0], 1.0).sample(rng, -1)
+
+
+class TestTransformations:
+    def test_translated(self):
+        s = Hypersphere([1.0, 1.0], 2.0).translated([1.0, -1.0])
+        assert np.array_equal(s.center, [2.0, 0.0])
+        assert s.radius == 2.0
+
+    def test_scaled(self):
+        s = Hypersphere([2.0], 3.0).scaled(2.0)
+        assert s.center[0] == 4.0
+        assert s.radius == 6.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            Hypersphere([0.0], 1.0).scaled(-1.0)
+
+    def test_with_radius(self):
+        s = Hypersphere([0.0], 1.0).with_radius(9.0)
+        assert s.radius == 9.0
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Hypersphere([1.0, 2.0], 3.0)
+        b = Hypersphere([1.0, 2.0], 3.0)
+        c = Hypersphere([1.0, 2.0], 4.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a sphere"
+
+    def test_iter_yields_center_then_radius(self):
+        assert list(Hypersphere([1.0, 2.0], 3.0)) == [1.0, 2.0, 3.0]
+
+    def test_repr_mentions_radius(self):
+        assert "radius=2" in repr(Hypersphere([0.0], 2.0))

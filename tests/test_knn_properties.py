@@ -1,0 +1,85 @@
+"""Property-based tests for the kNN layer over random mini-worlds."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.linear import LinearIndex
+from repro.index.sstree import SSTree
+from repro.index.vptree import VPTree
+from repro.queries.knn import knn_query, knn_reference
+
+
+@st.composite
+def mini_worlds(draw):
+    """A small random dataset plus a query sphere and a k."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=5, max_value=60))
+    d = draw(st.integers(min_value=1, max_value=4))
+    mu = draw(st.sampled_from([0.0, 0.5, 3.0]))
+    rng = np.random.default_rng(seed)
+    items = [
+        (
+            i,
+            Hypersphere(
+                rng.normal(0.0, 10.0, d),
+                float(max(rng.normal(mu, mu / 4.0 + 0.1), 0.0)),
+            ),
+        )
+        for i in range(n)
+    ]
+    query = Hypersphere(
+        rng.normal(0.0, 10.0, d), float(max(rng.normal(mu, 1.0), 0.0))
+    )
+    k = draw(st.integers(min_value=1, max_value=min(n, 10)))
+    return items, query, k
+
+
+class TestTwoPhaseProperties:
+    @given(mini_worlds())
+    @settings(max_examples=40)
+    def test_exact_on_both_indexes(self, world):
+        items, query, k = world
+        expected = knn_reference(items, query, k).key_set()
+        ss = SSTree.bulk_load(items, max_entries=4)
+        vp = VPTree.build(items, leaf_capacity=4)
+        for index in (ss, vp, LinearIndex(items)):
+            got = knn_query(index, query, k, algorithm="two-phase")
+            assert got.key_set() == expected
+
+
+class TestIncrementalProperties:
+    @given(mini_worlds())
+    @settings(max_examples=40)
+    def test_subset_anchor_and_monotonicity(self, world):
+        items, query, k = world
+        truth = knn_reference(items, query, k)
+        tree = SSTree.bulk_load(items, max_entries=4)
+        exact = knn_query(tree, query, k)
+        # Precision-100% subset property.
+        assert exact.key_set() <= truth.key_set()
+        # The anchor distance is found exactly.
+        assert abs(exact.distk - truth.distk) <= 1e-9 * (1.0 + truth.distk)
+        # Correct-but-unsound criteria only ever add results.
+        for name in ("minmax", "mbr", "gp"):
+            loose = knn_query(tree, query, k, criterion=name)
+            assert exact.key_set() <= loose.key_set()
+
+    @given(mini_worlds())
+    @settings(max_examples=25)
+    def test_answer_contains_topk_by_maxdist(self, world):
+        """Everything with MaxDist <= distk must always be returned."""
+        items, query, k = world
+        flat = LinearIndex(items)
+        tree = SSTree.bulk_load(items, max_entries=4)
+        result = knn_query(tree, query, k)
+        maxdists = flat.max_dists(query)
+        core = {
+            key
+            for key, dist_max in zip(flat.keys, maxdists)
+            if dist_max <= result.distk
+        }
+        assert core <= result.key_set()

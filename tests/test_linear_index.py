@@ -1,0 +1,54 @@
+"""Tests for the flat LinearIndex baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.geometry.distance import max_dist, min_dist
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.linear import LinearIndex
+
+
+def make_items(rng, n: int, d: int):
+    return [
+        (f"k{i}", Hypersphere(rng.normal(0, 5, d), float(abs(rng.normal(0, 1)))))
+        for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            LinearIndex([])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(IndexError_):
+            LinearIndex(
+                [("a", Hypersphere([0.0], 1.0)), ("b", Hypersphere([0.0, 0.0], 1.0))]
+            )
+
+    def test_iteration_preserves_order(self, rng):
+        items = make_items(rng, 20, 3)
+        index = LinearIndex(items)
+        assert list(index) == items
+        assert len(index) == 20
+        assert index.dimension == 3
+
+
+class TestVectorisedDistances:
+    def test_match_scalar_helpers(self, rng):
+        items = make_items(rng, 50, 4)
+        index = LinearIndex(items)
+        query = Hypersphere(rng.normal(0, 5, 4), 1.5)
+        maxs = index.max_dists(query)
+        mins = index.min_dists(query)
+        for i, (_, sphere) in enumerate(items):
+            assert maxs[i] == pytest.approx(max_dist(sphere, query))
+            assert mins[i] == pytest.approx(min_dist(sphere, query))
+
+    def test_min_dists_clamped_at_zero(self, rng):
+        index = LinearIndex([("a", Hypersphere([0.0, 0.0], 2.0))])
+        query = Hypersphere([0.5, 0.0], 1.0)
+        assert index.min_dists(query)[0] == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the numerical ground-truth oracle itself.
+
+The oracle validates the criteria, so it needs its own validation
+against closed-form cases and against direct Monte-Carlo evaluation of
+Definition 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+
+from repro.core.oracle import find_witness, min_margin, oracle_dominates
+from repro.geometry.hypersphere import Hypersphere
+
+from conftest import sphere_triples
+
+
+class TestMinMarginClosedForms:
+    def test_point_query_on_axis(self):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([10.0, 0.0], 1.0)
+        sq = Hypersphere([-3.0, 0.0], 0.0)
+        # f(cq) = 13 - 3 = 10
+        assert min_margin(sa, sb, sq) == pytest.approx(10.0)
+
+    def test_axis_interval_left_of_both_foci(self):
+        # The margin is the constant 2*alpha on the far-left plateau.
+        sa = Hypersphere([0.0], 0.5)
+        sb = Hypersphere([10.0], 0.5)
+        sq = Hypersphere([-5.0], 2.0)
+        assert min_margin(sa, sb, sq) == pytest.approx(10.0)
+
+    def test_plateau_shortcut_beyond_cb(self):
+        # Query ball swallowing the far plateau: margin = -2*alpha.
+        sa = Hypersphere([0.0, 0.0], 0.5)
+        sb = Hypersphere([4.0, 0.0], 0.5)
+        sq = Hypersphere([6.0, 0.0], 3.0)
+        assert min_margin(sa, sb, sq) == pytest.approx(-4.0)
+
+    def test_coincident_centers_margin_zero(self):
+        sa = Hypersphere([1.0, 1.0], 0.5)
+        sb = Hypersphere([1.0, 1.0], 2.0)
+        assert min_margin(sa, sb, Hypersphere([5.0, 5.0], 1.0)) == 0.0
+
+    def test_2d_circle_case_against_dense_sampling(self, rng):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([8.0, 3.0], 0.5)
+        sq = Hypersphere([2.0, 5.0], 2.0)
+        expected = min(
+            float(np.linalg.norm(sb.center - q) - np.linalg.norm(sa.center - q))
+            for q in sq.sample(rng, 40_000)
+        )
+        got = min_margin(sa, sb, sq)
+        # Sampling can only overestimate the true minimum.
+        assert got <= expected + 1e-9
+        assert got == pytest.approx(expected, abs=5e-3)
+
+    @given(sphere_triples())
+    def test_margin_bounded_by_plateaus(self, triple):
+        sa, sb, sq = triple
+        separation = float(np.linalg.norm(sb.center - sa.center))
+        margin = min_margin(sa, sb, sq, resolution=512)
+        assert -separation - 1e-9 <= margin <= separation + 1e-9
+
+    @given(sphere_triples())
+    def test_margin_monotone_in_query_radius(self, triple):
+        """Growing Sq can only decrease (or keep) the minimum."""
+        sa, sb, sq = triple
+        grown = sq.with_radius(sq.radius + 1.0)
+        assert min_margin(sa, sb, grown, resolution=512) <= min_margin(
+            sa, sb, sq, resolution=512
+        ) + 1e-6
+
+
+class TestOracleDominates:
+    def test_respects_overlap(self):
+        sa = Hypersphere([0.0], 2.0)
+        sb = Hypersphere([1.0], 2.0)
+        assert not oracle_dominates(sa, sb, Hypersphere([-9.0], 0.1))
+
+    def test_monte_carlo_agreement(self, rng):
+        """Definition 1 by direct sampling, on decisive configurations."""
+        checked = 0
+        while checked < 25:
+            d = int(rng.integers(1, 5))
+            sa = Hypersphere(rng.normal(0, 5, d), float(abs(rng.normal(0, 1))))
+            direction = rng.normal(0, 1, d)
+            direction /= np.linalg.norm(direction)
+            rb = float(abs(rng.normal(0, 1)))
+            sb = Hypersphere(
+                sa.center + direction * (sa.radius + rb + rng.uniform(0.5, 6)), rb
+            )
+            sq = Hypersphere(
+                sa.center - direction * rng.uniform(0, 5), float(rng.uniform(0, 2))
+            )
+            margin = min_margin(sa, sb, sq) - sa.radius - sb.radius
+            if abs(margin) < 0.05:
+                continue  # only decisive cases: sampling cannot settle ties
+            checked += 1
+            verdict = oracle_dominates(sa, sb, sq)
+            qs = sq.sample(rng, 400)
+            as_ = sa.sample(rng, 40)
+            bs = sb.sample(rng, 40)
+            violated = any(
+                np.linalg.norm(a - q) >= np.linalg.norm(b - q)
+                for q in qs[:20]
+                for a in as_[:20]
+                for b in bs[:20]
+            )
+            if violated:
+                assert not verdict
+            # (no violation found does not prove dominance — skip that side)
+
+
+class TestFindWitness:
+    def test_witness_for_clear_non_dominance(self):
+        sa = Hypersphere([10.0, 0.0], 1.0)  # far from query
+        sb = Hypersphere([0.0, 0.0], 1.0)  # close to query
+        sq = Hypersphere([-2.0, 0.0], 0.5)
+        witness = find_witness(sa, sb, sq)
+        assert witness is not None
+        q, a, b = witness
+        assert sq.contains(q)
+        assert sa.contains(a, strict=False) or np.allclose(
+            np.linalg.norm(a - sa.center), sa.radius
+        )
+        assert np.linalg.norm(a - q) >= np.linalg.norm(b - q)
+
+    def test_no_witness_for_clear_dominance(self):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([100.0, 0.0], 1.0)
+        sq = Hypersphere([-2.0, 0.0], 0.5)
+        assert find_witness(sa, sb, sq) is None
+
+    def test_witness_in_1d(self):
+        sa = Hypersphere([10.0], 0.5)
+        sb = Hypersphere([0.0], 0.5)
+        sq = Hypersphere([-1.0], 0.5)
+        witness = find_witness(sa, sb, sq)
+        assert witness is not None
+
+    def test_witness_with_coincident_centers(self):
+        sa = Hypersphere([0.0, 0.0], 1.0)
+        sb = Hypersphere([0.0, 0.0], 1.0)
+        witness = find_witness(sa, sb, Hypersphere([3.0, 0.0], 0.5))
+        assert witness is not None  # shared points are equidistant
+
+    @given(sphere_triples())
+    def test_witness_points_belong_to_their_spheres(self, triple):
+        sa, sb, sq = triple
+        witness = find_witness(sa, sb, sq, resolution=512)
+        assume(witness is not None)
+        q, a, b = witness
+        tolerance = 1e-6 * (1.0 + sq.radius + float(np.linalg.norm(sq.center)))
+        assert np.linalg.norm(q - sq.center) <= sq.radius + tolerance
+        assert np.linalg.norm(a - sa.center) <= sa.radius + tolerance
+        assert np.linalg.norm(b - sb.center) <= sb.radius + tolerance
+        assert np.linalg.norm(a - q) >= np.linalg.norm(b - q) - tolerance

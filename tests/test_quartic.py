@@ -1,0 +1,176 @@
+"""Tests for the quartic solvers (Equation 14 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+import hypothesis.strategies as st
+
+from repro.geometry.quartic import (
+    solve_quartic_real,
+    solve_quartic_real_batch,
+    solve_quartic_real_closed,
+)
+
+coefficients = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+roots_strategy = st.floats(
+    min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+SOLVERS = (solve_quartic_real, solve_quartic_real_closed)
+
+
+def poly_from_roots(roots: list[float]) -> np.ndarray:
+    """Monic coefficients (highest first, padded to length 5)."""
+    coeffs = np.poly(roots)
+    return np.concatenate([np.zeros(5 - coeffs.size), coeffs])
+
+
+def assert_contains(found: np.ndarray, expected: list[float], tol: float = 1e-5):
+    for root in expected:
+        assert np.any(np.abs(found - root) <= tol * (1.0 + abs(root))), (
+            f"root {root} missing from {found}"
+        )
+
+
+class TestKnownPolynomials:
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_four_distinct_roots(self, solve):
+        # (x-1)(x-2)(x-3)(x-4)
+        found = solve(poly_from_roots([1.0, 2.0, 3.0, 4.0]))
+        assert found.size == 4
+        assert_contains(found, [1.0, 2.0, 3.0, 4.0])
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_no_real_roots(self, solve):
+        # (x^2+1)(x^2+4)
+        assert solve([1.0, 0.0, 5.0, 0.0, 4.0]).size == 0
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_two_real_two_complex(self, solve):
+        # (x-1)(x+2)(x^2+1) = x^4 + x^3 - x^2 + x - 2
+        found = solve([1.0, 1.0, -1.0, 1.0, -2.0])
+        assert_contains(found, [1.0, -2.0])
+        assert np.all((np.abs(found - 1.0) < 1e-4) | (np.abs(found + 2.0) < 1e-4))
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_repeated_roots(self, solve):
+        # (x-3)^2 (x+1)^2
+        found = solve(poly_from_roots([3.0, 3.0, -1.0, -1.0]))
+        assert_contains(found, [3.0, -1.0], tol=1e-3)
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_biquadratic(self, solve):
+        # x^4 - 5x^2 + 4 = (x^2-1)(x^2-4)
+        found = solve([1.0, 0.0, -5.0, 0.0, 4.0])
+        assert_contains(found, [-2.0, -1.0, 1.0, 2.0])
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_degenerate_cubic(self, solve):
+        # leading coefficient zero: x^3 - 6x^2 + 11x - 6
+        found = solve([0.0, 1.0, -6.0, 11.0, -6.0])
+        assert_contains(found, [1.0, 2.0, 3.0])
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_degenerate_quadratic(self, solve):
+        found = solve([0.0, 0.0, 1.0, -3.0, 2.0])
+        assert_contains(found, [1.0, 2.0])
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_degenerate_linear(self, solve):
+        found = solve([0.0, 0.0, 0.0, 2.0, -8.0])
+        assert_contains(found, [4.0])
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_constant_returns_empty(self, solve):
+        assert solve([0.0, 0.0, 0.0, 0.0, 5.0]).size == 0
+        assert solve([0.0, 0.0, 0.0, 0.0, 0.0]).size == 0
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_roots_sorted(self, solve):
+        found = solve(poly_from_roots([4.0, -3.0, 0.5, 2.0]))
+        assert np.all(np.diff(found) >= 0.0)
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_bad_shape_rejected(self, solve):
+        with pytest.raises(ValueError):
+            solve([1.0, 2.0, 3.0])
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_nan_rejected(self, solve):
+        with pytest.raises(ValueError):
+            solve([1.0, float("nan"), 0.0, 0.0, 0.0])
+
+
+class TestPropertyBased:
+    # A quadruple root perturbs into a cross of radius eps**(1/4) with
+    # ~1e-4 imaginary parts; no coefficient-based solver can recover it
+    # in float64, so the property tests require *some* spread (double
+    # and triple roots remain in scope and are covered explicitly above).
+
+    @given(st.lists(roots_strategy, min_size=4, max_size=4))
+    def test_constructed_roots_are_found(self, roots):
+        assume(max(roots) - min(roots) > 0.5)
+        coeffs = poly_from_roots(roots)
+        found = solve_quartic_real(coeffs)
+        assert_contains(found, roots, tol=1e-3)
+
+    @given(st.lists(roots_strategy, min_size=4, max_size=4))
+    def test_closed_form_agrees_with_companion(self, roots):
+        assume(max(roots) - min(roots) > 0.5)
+        coeffs = poly_from_roots(roots)
+        robust = solve_quartic_real(coeffs)
+        closed = solve_quartic_real_closed(coeffs)
+        # Same root set up to numerical tolerance (multiplicity aside).
+        for root in closed:
+            assert np.min(np.abs(robust - root)) <= 1e-3 * (1.0 + abs(root))
+        for root in robust:
+            assert np.min(np.abs(closed - root)) <= 1e-3 * (1.0 + abs(root))
+
+    @given(
+        st.lists(coefficients, min_size=5, max_size=5),
+    )
+    def test_every_returned_value_is_a_root(self, coeffs):
+        found = solve_quartic_real(coeffs)
+        scale = max(1.0, max(abs(c) for c in coeffs))
+        for x in found:
+            value = np.polyval(np.asarray(coeffs), x)
+            # The imaginary-part filter deliberately projects conjugate
+            # pairs within ~1e-5 of the real axis (double-root safety),
+            # so residuals up to ~|p'| * 1e-5 are in-contract.
+            assert abs(value) <= 1e-3 * scale * max(1.0, abs(x)) ** 4
+
+
+class TestBatch:
+    def test_matches_scalar(self, rng):
+        coeffs = rng.normal(0.0, 10.0, (50, 5))
+        batch = solve_quartic_real_batch(coeffs)
+        for i in range(coeffs.shape[0]):
+            scalar = solve_quartic_real(coeffs[i])
+            from_batch = batch[i][~np.isnan(batch[i])]
+            assert from_batch.size == scalar.size
+            assert np.allclose(np.sort(from_batch), scalar, atol=1e-6)
+
+    def test_degenerate_rows(self):
+        coeffs = np.array(
+            [
+                [0.0, 0.0, 1.0, -3.0, 2.0],  # quadratic
+                [1.0, 0.0, -5.0, 0.0, 4.0],  # biquadratic
+                [0.0, 0.0, 0.0, 0.0, 0.0],  # identically zero
+            ]
+        )
+        out = solve_quartic_real_batch(coeffs)
+        assert out.shape == (3, 4)
+        assert_contains(out[0][~np.isnan(out[0])], [1.0, 2.0])
+        assert_contains(out[1][~np.isnan(out[1])], [-2.0, -1.0, 1.0, 2.0])
+        assert np.all(np.isnan(out[2]))
+
+    def test_empty_batch(self):
+        assert solve_quartic_real_batch(np.empty((0, 5))).shape == (0, 4)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            solve_quartic_real_batch(np.zeros((3, 4)))

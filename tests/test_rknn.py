@@ -1,0 +1,103 @@
+"""Tests for the reverse-NN candidate query (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.linear import LinearIndex
+from repro.queries.rknn import rnn_candidates
+
+
+def line_of_points(n: int, spacing: float = 1.0, radius: float = 0.0):
+    return [
+        (i, Hypersphere([i * spacing, 0.0], radius)) for i in range(n)
+    ]
+
+
+class TestPointConfiguration:
+    def test_query_between_two_points(self):
+        # Objects at 0 and 10; query at 4: both objects are closer to
+        # the query than to each other? 0 <-> 10 distance is 10; object 0
+        # sees the query at 4 < 10, object 10 sees it at 6 < 10: both
+        # are RNN candidates.
+        data = [(0, Hypersphere([0.0, 0.0], 0.0)), (1, Hypersphere([10.0, 0.0], 0.0))]
+        query = Hypersphere([4.0, 0.0], 0.0)
+        assert set(rnn_candidates(data, query)) == {0, 1}
+
+    def test_far_query_prunes_everything(self):
+        # A dense cluster far from the query: each member's nearest
+        # neighbour is another member, never the query.
+        data = line_of_points(10, spacing=0.5)
+        query = Hypersphere([1000.0, 0.0], 0.0)
+        assert rnn_candidates(data, query) == []
+
+    def test_line_configuration(self):
+        # Points at 0, 1, 2, ..., 9 and query at -0.4: only point 0 can
+        # have the query as nearest neighbour (its distance to the query
+        # is 0.4 < 1, everyone else is closer to a fellow point).
+        data = line_of_points(10)
+        query = Hypersphere([-0.4, 0.0], 0.0)
+        assert rnn_candidates(data, query) == [0]
+
+    def test_agrees_with_brute_force_points(self, rng):
+        """For points, RNN candidacy is decidable exactly; compare."""
+        n = 40
+        data = [
+            (i, Hypersphere(rng.normal(0.0, 5.0, 2), 0.0)) for i in range(n)
+        ]
+        query = Hypersphere(rng.normal(0.0, 5.0, 2), 0.0)
+        got = set(rnn_candidates(data, query))
+        expected = set()
+        for i, (key, sphere) in enumerate(data):
+            to_query = float(np.linalg.norm(sphere.center - query.center))
+            to_others = min(
+                float(np.linalg.norm(sphere.center - other.center))
+                for j, (_, other) in enumerate(data)
+                if j != i
+            )
+            if to_query < to_others:
+                expected.add(key)
+        # Candidates must include every true RNN; ties may add extras.
+        assert expected <= got
+
+
+class TestUncertainConfiguration:
+    def test_uncertainty_keeps_ambiguous_objects(self):
+        # Same line as test_line_configuration but fat spheres: now
+        # point 1's region may reach closer to the query than to point 0.
+        data = line_of_points(10, radius=0.45)
+        query = Hypersphere([-0.4, 0.0], 0.45)
+        candidates = set(rnn_candidates(data, query))
+        assert 0 in candidates
+        assert len(candidates) >= 1
+
+    def test_unsound_criterion_returns_superset(self, rng):
+        data = [
+            (
+                i,
+                Hypersphere(
+                    rng.normal(0.0, 5.0, 2), float(abs(rng.normal(0.0, 0.5)))
+                ),
+            )
+            for i in range(60)
+        ]
+        query = Hypersphere(rng.normal(0.0, 5.0, 2), 0.5)
+        exact = set(rnn_candidates(data, query, criterion="hyperbola"))
+        loose = set(rnn_candidates(data, query, criterion="minmax"))
+        assert exact <= loose
+
+    def test_accepts_linear_index(self, rng):
+        data = [
+            (i, Hypersphere(rng.normal(0.0, 5.0, 2), 0.2)) for i in range(30)
+        ]
+        index = LinearIndex(data)
+        query = Hypersphere([0.0, 0.0], 0.2)
+        assert rnn_candidates(index, query) == rnn_candidates(data, query)
+
+    def test_dimension_mismatch(self):
+        data = line_of_points(5)
+        with pytest.raises(QueryError):
+            rnn_candidates(data, Hypersphere([0.0], 0.0))

@@ -1,0 +1,86 @@
+"""Tests for time-varying dominance (the paper's future-work direction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.temporal import (
+    GrowingHypersphere,
+    dominance_horizon,
+    dominates_at,
+)
+from repro.exceptions import CriterionError, GeometryError
+from repro.geometry.hypersphere import Hypersphere
+
+SA = GrowingHypersphere(Hypersphere([0.0, 0.0], 1.0), rate=0.1)
+SB = GrowingHypersphere(Hypersphere([20.0, 0.0], 1.0), rate=0.1)
+SQ = GrowingHypersphere(Hypersphere([-2.0, 0.0], 0.5), rate=0.2)
+
+
+class TestGrowingHypersphere:
+    def test_snapshot(self):
+        snap = SA.at(5.0)
+        assert snap.radius == pytest.approx(1.5)
+        assert np.array_equal(snap.center, SA.sphere.center)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(GeometryError):
+            GrowingHypersphere(Hypersphere([0.0], 1.0), rate=-0.1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(GeometryError):
+            SA.at(-1.0)
+
+    def test_static_when_rate_zero(self):
+        static = GrowingHypersphere(Hypersphere([1.0], 2.0))
+        assert static.at(100.0).radius == 2.0
+
+
+class TestHorizon:
+    def test_dominance_eventually_lost(self):
+        # Radii grow until the uncertainty swallows the separation.
+        t_star = dominance_horizon(SA, SB, SQ, horizon=500.0)
+        assert 0.0 < t_star < 500.0
+        assert dominates_at(SA, SB, SQ, t_star * 0.99)
+        assert not dominates_at(SA, SB, SQ, min(t_star * 1.01 + 1e-3, 500.0))
+
+    def test_never_dominates(self):
+        reversed_roles = dominance_horizon(SB, SA, SQ, horizon=10.0)
+        assert reversed_roles == 0.0
+
+    def test_always_dominates_within_horizon(self):
+        frozen = GrowingHypersphere(Hypersphere([0.0, 0.0], 1.0))
+        far = GrowingHypersphere(Hypersphere([1000.0, 0.0], 1.0))
+        query = GrowingHypersphere(Hypersphere([-2.0, 0.0], 0.5))
+        assert dominance_horizon(frozen, far, query, horizon=10.0) == 10.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(CriterionError):
+            dominance_horizon(SA, SB, SQ, horizon=0.0)
+        with pytest.raises(CriterionError):
+            dominance_horizon(SA, SB, SQ, horizon=1.0, tolerance=0.0)
+
+    def test_tolerance_controls_precision(self):
+        coarse = dominance_horizon(SA, SB, SQ, horizon=500.0, tolerance=1.0)
+        fine = dominance_horizon(SA, SB, SQ, horizon=500.0, tolerance=1e-9)
+        assert abs(coarse - fine) <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.5),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.floats(min_value=3.0, max_value=40.0),
+    )
+    @settings(max_examples=30)
+    def test_monotonicity(self, rate_a, rate_b, rate_q, separation):
+        """Dominance, once lost, never returns (the bisection premise)."""
+        sa = GrowingHypersphere(Hypersphere([0.0, 0.0], 0.5), rate_a)
+        sb = GrowingHypersphere(Hypersphere([separation, 0.0], 0.5), rate_b)
+        sq = GrowingHypersphere(Hypersphere([-1.0, 0.5], 0.3), rate_q)
+        verdicts = [dominates_at(sa, sb, sq, t) for t in np.linspace(0, 60, 25)]
+        # No False -> True transition anywhere.
+        for early, late in zip(verdicts, verdicts[1:]):
+            assert not (late and not early)

@@ -1,0 +1,141 @@
+"""Tests for the focal-frame isometry (Section 4.3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+import hypothesis.strategies as st
+
+from repro.exceptions import DimensionalityMismatchError, GeometryError
+from repro.geometry.transform import FocalFrame
+
+from conftest import dimensions, finite_coordinates
+
+
+@st.composite
+def frames_and_points(draw):
+    d = draw(dimensions)
+    coords = st.lists(finite_coordinates, min_size=d, max_size=d)
+    ca = np.array(draw(coords))
+    cb = np.array(draw(coords))
+    assume(float(np.linalg.norm(cb - ca)) > 1e-6)
+    point = np.array(draw(coords))
+    return FocalFrame(ca, cb), ca, cb, point
+
+
+class TestConstruction:
+    def test_alpha_is_half_separation(self):
+        frame = FocalFrame([0.0, 0.0], [6.0, 8.0])
+        assert frame.alpha == pytest.approx(5.0)
+        assert np.allclose(frame.midpoint, [3.0, 4.0])
+        assert np.allclose(frame.axis, [0.6, 0.8])
+
+    def test_identical_foci_rejected(self):
+        with pytest.raises(GeometryError):
+            FocalFrame([1.0, 2.0], [1.0, 2.0])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionalityMismatchError):
+            FocalFrame([0.0], [1.0, 2.0])
+
+
+class TestReduce:
+    def test_foci_reduce_to_axis_points(self):
+        ca, cb = np.array([1.0, 1.0, 0.0]), np.array([5.0, 1.0, 0.0])
+        frame = FocalFrame(ca, cb)
+        assert frame.reduce(ca) == pytest.approx((-2.0, 0.0))
+        assert frame.reduce(cb) == pytest.approx((2.0, 0.0))
+
+    def test_off_axis_point(self):
+        frame = FocalFrame([0.0, 0.0], [4.0, 0.0])
+        t, rho = frame.reduce([2.0, 3.0])
+        assert t == pytest.approx(0.0)
+        assert rho == pytest.approx(3.0)
+
+    def test_dimension_mismatch(self):
+        frame = FocalFrame([0.0, 0.0], [1.0, 0.0])
+        with pytest.raises(DimensionalityMismatchError):
+            frame.reduce([0.0])
+
+    @given(frames_and_points())
+    def test_reduce_preserves_focal_distances(self, setup):
+        """(t, rho) must reproduce the distances to both foci exactly."""
+        frame, ca, cb, point = setup
+        t, rho = frame.reduce(point)
+        to_ca = np.hypot(t + frame.alpha, rho)
+        to_cb = np.hypot(t - frame.alpha, rho)
+        scale = 1.0 + float(np.linalg.norm(point)) + 2 * frame.alpha
+        assert to_ca == pytest.approx(np.linalg.norm(point - ca), abs=1e-6 * scale)
+        assert to_cb == pytest.approx(np.linalg.norm(point - cb), abs=1e-6 * scale)
+
+    @given(frames_and_points())
+    def test_reduce_many_matches_scalar(self, setup):
+        frame, ca, cb, point = setup
+        stacked = np.stack([point, ca, cb])
+        t, rho = frame.reduce_many(stacked)
+        for i, p in enumerate((point, ca, cb)):
+            ts, rs = frame.reduce(p)
+            assert t[i] == pytest.approx(ts, abs=2e-6 * (1.0 + abs(ts)))
+            assert rho[i] == pytest.approx(rs, abs=2e-6 * (1.0 + abs(rs)))
+
+
+class TestFullTransform:
+    @given(frames_and_points())
+    def test_to_frame_is_an_isometry(self, setup):
+        frame, ca, cb, point = setup
+        before = np.stack([ca, cb, point])
+        after = frame.to_frame(before)
+        for i in range(3):
+            for j in range(3):
+                assert np.linalg.norm(after[i] - after[j]) == pytest.approx(
+                    np.linalg.norm(before[i] - before[j]), abs=1e-8
+                )
+
+    @given(frames_and_points())
+    def test_to_frame_places_foci_on_first_axis(self, setup):
+        frame, ca, cb, _ = setup
+        out = frame.to_frame(np.stack([ca, cb]))
+        scale = 1e-9 * (1.0 + 2 * frame.alpha)
+        assert out[0][0] == pytest.approx(-frame.alpha, abs=max(1e-9, scale))
+        assert np.allclose(out[0][1:], 0.0, atol=max(1e-9, scale))
+        assert out[1][0] == pytest.approx(frame.alpha, abs=max(1e-9, scale))
+        assert np.allclose(out[1][1:], 0.0, atol=max(1e-9, scale))
+
+    @given(frames_and_points())
+    def test_to_frame_first_coordinate_matches_reduce(self, setup):
+        frame, _, _, point = setup
+        t, rho = frame.reduce(point)
+        transformed = frame.to_frame(point)
+        # reduce() loses half the precision to sqrt cancellation when
+        # rho ~ 0; the admissible error scales with the coordinates.
+        slack = 1e-6 * (1.0 + float(np.abs(point).max()) + 2.0 * frame.alpha)
+        assert transformed[0] == pytest.approx(t, abs=slack)
+        assert float(np.linalg.norm(transformed[1:])) == pytest.approx(
+            rho, abs=slack
+        )
+
+
+class TestLift:
+    def test_round_trip_through_lift(self):
+        frame = FocalFrame([0.0, 0.0, 0.0], [2.0, 0.0, 0.0])
+        point = np.array([1.5, 2.0, -1.0])
+        t, rho = frame.reduce(point)
+        lifted = frame.lift(t, rho, toward=point)
+        assert np.allclose(lifted, point)
+
+    def test_lift_on_axis(self):
+        frame = FocalFrame([0.0, 0.0], [2.0, 0.0])
+        assert np.allclose(frame.lift(0.0, 0.0), [1.0, 0.0])
+
+    def test_lift_without_toward_is_perpendicular(self):
+        frame = FocalFrame([0.0, 0.0], [2.0, 0.0])
+        lifted = frame.lift(0.0, 3.0)
+        t, rho = frame.reduce(lifted)
+        assert t == pytest.approx(0.0)
+        assert rho == pytest.approx(3.0)
+
+    def test_negative_rho_rejected(self):
+        frame = FocalFrame([0.0], [1.0])
+        with pytest.raises(GeometryError):
+            frame.lift(0.0, -1.0)

@@ -1,0 +1,126 @@
+"""Tests for weighted-Euclidean dominance (the paper's future-work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core import get_criterion
+from repro.core.weighted import WeightedEuclideanCriterion, weighted_dist
+from repro.exceptions import CriterionError, DimensionalityMismatchError
+from repro.geometry.hypersphere import Hypersphere
+
+
+class TestWeightedDist:
+    def test_reduces_to_euclidean(self):
+        assert weighted_dist([0.0, 0.0], [3.0, 4.0], [1.0, 1.0]) == pytest.approx(5.0)
+
+    def test_weights_applied(self):
+        assert weighted_dist([0.0, 0.0], [1.0, 1.0], [4.0, 9.0]) == pytest.approx(
+            np.sqrt(13.0)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            weighted_dist([0.0], [0.0, 1.0], [1.0, 1.0])
+
+
+class TestCriterion:
+    def test_validation(self):
+        with pytest.raises(CriterionError):
+            WeightedEuclideanCriterion([])
+        with pytest.raises(CriterionError):
+            WeightedEuclideanCriterion([1.0, 0.0])
+        with pytest.raises(CriterionError):
+            WeightedEuclideanCriterion([1.0, -2.0])
+        with pytest.raises(CriterionError):
+            WeightedEuclideanCriterion([[1.0], [2.0]])
+
+    def test_weights_round_trip(self):
+        crit = WeightedEuclideanCriterion([4.0, 0.25])
+        assert np.allclose(crit.weights, [4.0, 0.25])
+
+    def test_unit_weights_match_plain_hyperbola(self, rng):
+        crit = WeightedEuclideanCriterion(np.ones(3))
+        plain = get_criterion("hyperbola")
+        for _ in range(100):
+            spheres = [
+                Hypersphere(rng.normal(0, 8, 3), float(abs(rng.normal(0, 2))))
+                for _ in range(3)
+            ]
+            assert crit.dominates(*spheres) == plain.dominates(*spheres)
+
+    def test_dimension_checked(self):
+        crit = WeightedEuclideanCriterion([1.0, 1.0])
+        with pytest.raises(DimensionalityMismatchError):
+            crit.dominates(
+                Hypersphere([0.0], 1.0),
+                Hypersphere([5.0], 1.0),
+                Hypersphere([-1.0], 0.1),
+            )
+
+    def test_weights_change_the_verdict(self):
+        # Sb is farther along axis 0 but nearer along axis 1; weighting
+        # axis 1 heavily flips which object wins.
+        sa = Hypersphere([1.0, 10.0], 0.1)
+        sb = Hypersphere([10.0, 1.0], 0.1)
+        sq = Hypersphere([0.0, 0.0], 0.1)
+        favour_axis0 = WeightedEuclideanCriterion([100.0, 0.01])
+        favour_axis1 = WeightedEuclideanCriterion([0.01, 100.0])
+        assert favour_axis0.dominates(sa, sb, sq)
+        assert favour_axis1.dominates(sb, sa, sq)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=5
+        ),
+        st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=40)
+    def test_matches_explicit_rescaling(self, weights, seed):
+        """The criterion must equal plain dominance in the scaled space."""
+        d = len(weights)
+        rng = np.random.default_rng(seed)
+        spheres = [
+            Hypersphere(rng.normal(0, 8, d), float(abs(rng.normal(0, 2))))
+            for _ in range(3)
+        ]
+        crit = WeightedEuclideanCriterion(weights)
+        scale = np.sqrt(np.asarray(weights))
+        scaled = [Hypersphere(s.center * scale, s.radius) for s in spheres]
+        plain = get_criterion("hyperbola")
+        assert crit.dominates(*spheres) == plain.dominates(*scaled)
+
+    def test_sampled_realisations_respect_verdict(self, rng):
+        """Monte-Carlo check of the weighted-metric semantics."""
+        weights = np.array([4.0, 0.5, 1.0])
+        crit = WeightedEuclideanCriterion(weights)
+        scale = np.sqrt(weights)
+        found_positive = 0
+        for _ in range(200):
+            sa = Hypersphere(rng.normal(0, 4, 3), float(rng.uniform(0, 1)))
+            direction = rng.normal(0, 1, 3)
+            direction /= np.linalg.norm(direction)
+            sb = Hypersphere(
+                sa.center + direction * rng.uniform(2, 10),
+                float(rng.uniform(0, 1)),
+            )
+            sq = Hypersphere(
+                sa.center - direction * rng.uniform(0, 4),
+                float(rng.uniform(0, 1)),
+            )
+            if not crit.dominates(sa, sb, sq):
+                continue
+            found_positive += 1
+            # Sample realisations *in the weighted metric* (scaled space).
+            def sample(s):
+                return Hypersphere(s.center * scale, s.radius).sample(rng, 8)
+
+            qs, as_, bs = sample(sq), sample(sa), sample(sb)
+            for q in qs:
+                for a in as_:
+                    for b in bs:
+                        assert np.linalg.norm(a - q) < np.linalg.norm(b - q)
+        assert found_positive > 0  # the check must actually exercise
