@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments claims clean
+.PHONY: install test bench examples experiments claims profile clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,9 @@ experiments:
 
 claims:
 	$(PYTHON) -m repro claims
+
+profile:
+	$(PYTHON) -m repro stats
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist src/*.egg-info

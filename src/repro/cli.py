@@ -9,6 +9,15 @@ Run everything at laptop scale (the default, 5% of the paper's sizes)::
 Run one figure at the paper's full sizes and save the rows as JSON::
 
     python -m repro fig9 --scale 1.0 --json fig9.json
+
+Profile an experiment (prints an instrumentation-stats table after the
+result table; the same stats land under ``"stats"`` in the JSON)::
+
+    python -m repro fig9 --profile
+
+Run the canned instrumentation workload on its own::
+
+    python -m repro stats
 """
 
 from __future__ import annotations
@@ -18,12 +27,23 @@ import json
 import sys
 from typing import Sequence
 
+from repro import obs
+from repro.core.base import get_criterion
+from repro.core.batch import batch_evaluate
+from repro.data.synthetic import synthetic_dataset
+from repro.data.workload import DominanceWorkload, knn_queries
 from repro.exceptions import ReproError
+from repro.experiments.report import render_stats
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.index.sstree import SSTree
+from repro.obs.log import configure_logging, get_logger
+from repro.queries.knn import knn_query
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "run_canned_workload"]
 
 DEFAULT_SCALE = 0.05
+
+log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="EXPERIMENT",
         help=(
-            "experiment ids ('all' or any of: "
+            "experiment ids ('all', 'stats', or any of: "
             + ", ".join(sorted(EXPERIMENTS))
             + ")"
         ),
@@ -63,34 +83,94 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write all reports as a JSON array to PATH",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "enable repro.obs instrumentation and print a stats table "
+            "after each experiment (also stored under 'stats' in --json)"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log progress at DEBUG level to stderr",
+    )
     return parser
+
+
+def run_canned_workload(*, seed: int = 0) -> dict:
+    """Exercise every instrumented subsystem once; return the stats.
+
+    The workload is small and fixed: a synthetic dataset, the scalar
+    Hyperbola and Cascade criteria over a dominance workload, one
+    vectorised batch evaluation, and a handful of SS-tree kNN queries.
+    Must be called with instrumentation enabled to record anything.
+    """
+    dataset = synthetic_dataset(400, 3, mu=0.1, seed=seed)
+    workload = DominanceWorkload.from_dataset(dataset, size=500, seed=seed)
+    with obs.trace("stats.scalar"):
+        for name in ("hyperbola", "cascade"):
+            criterion = get_criterion(name)
+            for sa, sb, sq in workload.triples():
+                criterion.dominates(sa, sb, sq)
+    with obs.trace("stats.batch"):
+        batch_evaluate("hyperbola", *workload.arrays())
+    with obs.trace("stats.knn"):
+        tree = SSTree.bulk_load(dataset.items(), max_entries=16)
+        for query in knn_queries(dataset, count=10, seed=seed):
+            knn_query(tree, query, 5, criterion="hyperbola")
+    return obs.collect()
+
+
+def _run_stats_command(args: argparse.Namespace) -> int:
+    log.debug("running canned stats workload (seed=%d)", args.seed)
+    with obs.enabled_scope(True), obs.scope():
+        stats = run_canned_workload(seed=args.seed)
+    print(render_stats(stats, title="repro stats: canned workload breakdown"))
+    if args.json is not None:
+        payload = [{"experiment": "stats", "stats": stats}]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote 1 report(s) to {args.json}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose)
 
     names = list(args.experiments)
+    if "stats" in names:
+        if len(names) > 1:
+            parser.error("'stats' runs alone; don't mix it with experiments")
+        return _run_stats_command(args)
     if "all" in names:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         parser.error(
             f"unknown experiment(s): {', '.join(unknown)}; "
-            f"choose from {', '.join(sorted(EXPERIMENTS))} or 'all'"
+            f"choose from {', '.join(sorted(EXPERIMENTS))}, 'all', or 'stats'"
         )
 
     reports = []
     for name in names:
         try:
-            report = run_experiment(name, scale=args.scale, seed=args.seed)
+            report = run_experiment(
+                name, scale=args.scale, seed=args.seed, profile=args.profile
+            )
         except ReproError as error:
             print(f"error running {name}: {error}", file=sys.stderr)
             return 1
         reports.append(report)
         print(report.render())
         print()
+        if args.profile:
+            print(render_stats(report.stats, title=f"{name}: instrumentation"))
+            print()
 
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.geometry.quartic import solve_quartic_real_batch
 
 __all__ = [
@@ -191,10 +192,18 @@ def batch_hyperbola(ca, cb, cq, ra, rb, rq) -> np.ndarray:
     result = np.zeros(gap.shape, dtype=bool)
 
     live = gap > rab  # Lemma 1 fast-path: overlapping rows stay false.
+    if obs.ENABLED:
+        obs.incr("batch.hyperbola.rows", int(gap.size))
+        obs.incr("batch.hyperbola.overlap_rows", int(gap.size - live.sum()))
     if not np.any(live):
         return result
 
     margin_cq = _row_norms(cb - cq) - _row_norms(ca - cq) - rab
+    if obs.ENABLED:
+        obs.incr(
+            "batch.hyperbola.center_outside_rows",
+            int((live & (margin_cq <= 0.0)).sum()),
+        )
     live &= margin_cq > 0.0
     if not np.any(live):
         return result
@@ -202,6 +211,8 @@ def batch_hyperbola(ca, cb, cq, ra, rb, rq) -> np.ndarray:
     # Point queries inside the open region Ra are decided already.
     point_query = live & (rq == 0.0)
     result[point_query] = True
+    if obs.ENABLED:
+        obs.incr("batch.hyperbola.point_query_rows", int(point_query.sum()))
     live &= rq > 0.0
     if not np.any(live):
         return result
@@ -222,6 +233,9 @@ def batch_hyperbola(ca, cb, cq, ra, rb, rq) -> np.ndarray:
     result[bisector] = np.abs(t[bisector]) > rq[bisector]
 
     curved = live & ~flat
+    if obs.ENABLED:
+        obs.incr("batch.hyperbola.bisector_rows", int(bisector.sum()))
+        obs.incr("batch.hyperbola.quartic_rows", int(curved.sum()))
     if np.any(curved):
         idx = np.flatnonzero(curved)
         dmin = _batch_distance_to_hyperbola(
@@ -261,4 +275,8 @@ def batch_evaluate(name: str, ca, cb, cq, ra, rb, rq) -> np.ndarray:
     except KeyError:
         known = ", ".join(sorted(_BATCH_KERNELS))
         raise ValueError(f"no batch kernel named {name!r}; known: {known}") from None
+    if obs.ENABLED:
+        obs.incr("batch.calls")
+        obs.incr(f"batch.calls.{name}")
+        obs.observe("batch.workload_rows", int(np.asarray(ca).shape[0]))
     return kernel(ca, cb, cq, ra, rb, rq)

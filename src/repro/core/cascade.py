@@ -17,6 +17,7 @@ the ablation benchmark quantifies the speed-up, which grows with how
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.base import DominanceCriterion, register_criterion
 from repro.core.hyperbola import HyperbolaCriterion
 from repro.geometry.distance import max_dist, min_dist
@@ -38,14 +39,24 @@ class CascadeCriterion(DominanceCriterion):
 
     def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         self.check_dimensions(sa, sb, sq)
+        if obs.ENABLED:
+            obs.incr("cascade.calls")
         if sa.overlaps(sb):
+            if obs.ENABLED:
+                obs.incr("cascade.overlap_reject")
             return False
         # Fast accept: the pessimistic bound already separates them.
         if max_dist(sa, sq) < min_dist(sb, sq):
+            if obs.ENABLED:
+                obs.incr("cascade.fast_accept")
             return True
         # Fast reject: MinDist(Sa,Sq) >= MaxDist(Sb,Sq) rearranges to
         # Dist(cb,cq) - Dist(ca,cq) - (ra+rb) <= -2*rq <= 0, i.e. the
         # query center itself already violates the MDD condition.
         if min_dist(sa, sq) >= max_dist(sb, sq):
+            if obs.ENABLED:
+                obs.incr("cascade.fast_reject")
             return False
+        if obs.ENABLED:
+            obs.incr("cascade.fall_through")
         return self._exact.dominates(sa, sb, sq)

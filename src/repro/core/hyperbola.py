@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import math
 
+from repro import obs
 from repro.core.base import DominanceCriterion, register_criterion
 from repro.geometry.distance import dist
 from repro.geometry.hypersphere import Hypersphere
@@ -100,6 +101,7 @@ def _distance_to_hyperbola_2d(t: float, rho: float, alpha: float, rab: float) ->
     a5 = 4.0 * rab_sq - 16.0 * alpha_sq
 
     best_sq = math.inf
+    candidates = 0
 
     def consider(x: float, y: float) -> None:
         nonlocal best_sq
@@ -122,6 +124,7 @@ def _distance_to_hyperbola_2d(t: float, rho: float, alpha: float, rab: float) ->
     half_rab = rab / 2.0
     consider(half_rab, 0.0)
     consider(-half_rab, 0.0)
+    candidates += 2
 
     # Off-axis critical ring at lambda* = -1/a4 (the other degenerate
     # branch): x is forced, y^2 follows from F(x, y) = 0.
@@ -129,6 +132,7 @@ def _distance_to_hyperbola_2d(t: float, rho: float, alpha: float, rab: float) ->
     y_ring_sq = quadric_y_sq(x_ring)
     if y_ring_sq >= 0.0:
         consider(x_ring, math.sqrt(y_ring_sq))
+        candidates += 1
 
     # Generic branch: quartic Equation (14) in the Lagrange multiplier.
     coeff_a = a2 * a4 * a4 * a5 * a5
@@ -159,7 +163,10 @@ def _distance_to_hyperbola_2d(t: float, rho: float, alpha: float, rab: float) ->
             if y_sq < 0.0:
                 continue  # |x| below the vertex: no such quadric point
             consider(x, math.sqrt(y_sq))
+            candidates += 1
 
+    if obs.ENABLED:
+        obs.incr("hyperbola.stationary_candidates", candidates)
     return math.sqrt(best_sq)
 
 
@@ -219,14 +226,22 @@ class HyperbolaCriterion(DominanceCriterion):
 
     def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         self.check_dimensions(sa, sb, sq)
+        if obs.ENABLED:
+            obs.incr("hyperbola.calls")
         # Lemma 1: overlapping spheres never dominate.
         if sa.overlaps(sb):
+            if obs.ENABLED:
+                obs.incr("hyperbola.fast_path.overlap")
             return False
         # Step 2 side test: the query center itself must be inside Ra.
         if boundary_margin(sa, sb, sq.center) <= 0.0:
+            if obs.ENABLED:
+                obs.incr("hyperbola.fast_path.center_outside")
             return False
         if sq.radius == 0.0:
             # A point query strictly inside the open region Ra is dominated.
+            if obs.ENABLED:
+                obs.incr("hyperbola.fast_path.point_query")
             return True
         # Step 1: distance from cq to the boundary of Ra.
         frame = FocalFrame(sa.center, sb.center)
@@ -235,9 +250,15 @@ class HyperbolaCriterion(DominanceCriterion):
         if sa.dimension == 1:
             # No perpendicular dimension exists: the boundary of Ra is
             # the single point at the hyperbola vertex t = -rab/2.
+            if obs.ENABLED:
+                obs.incr("hyperbola.vertex_1d")
             dmin = abs(t + rab / 2.0)
         elif rab <= _BISECTOR_THRESHOLD * frame.alpha:
+            if obs.ENABLED:
+                obs.incr("hyperbola.bisector")
             dmin = abs(t)
         else:
+            if obs.ENABLED:
+                obs.incr("hyperbola.quartic")
             dmin = _distance_to_hyperbola_2d(t, rho, frame.alpha, rab)
         return dmin > sq.radius

@@ -22,13 +22,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import get_criterion
 from repro.core.batch import batch_evaluate
 from repro.data.synthetic import Dataset
 from repro.data.workload import DominanceWorkload
 from repro.exceptions import ExperimentError
 from repro.experiments.config import DOMINANCE_CRITERIA
-from repro.experiments.metrics import binary_metrics, mean_and_std, time_callable
+from repro.experiments.metrics import binary_metrics, time_callable_stats
+from repro.obs.log import get_logger
+
+log = get_logger("experiments.dominance")
 
 __all__ = ["DominanceMeasurement", "run_dominance_experiment"]
 
@@ -46,6 +50,8 @@ class DominanceMeasurement:
     precision: float
     recall: float
     workload_size: int
+    # Per-criterion instrumentation deltas (None unless obs is enabled).
+    stats: "dict | None" = None
 
     def row(self) -> tuple:
         """The cell as a report-table row."""
@@ -85,43 +91,61 @@ def run_dominance_experiment(
     """
     if timing not in ("scalar", "batch"):
         raise ExperimentError(f"unknown timing mode {timing!r}")
-    workload = DominanceWorkload.from_dataset(
-        dataset, size=workload_size, seed=seed
+    log.debug(
+        "dominance experiment %s: workload=%d repeats=%d timing=%s",
+        label, workload_size, repeats, timing,
     )
+    with obs.trace("dominance.workload"):
+        workload = DominanceWorkload.from_dataset(
+            dataset, size=workload_size, seed=seed
+        )
     truth = batch_evaluate(GROUND_TRUTH_CRITERION, *workload.arrays())
 
     measurements = []
     for name in criteria:
-        if timing == "scalar":
-            criterion = get_criterion(name)
-            triples = list(workload.triples())
+        before = obs.collect() if obs.ENABLED else None
+        with obs.trace(f"dominance.{name}"):
+            if timing == "scalar":
+                criterion = get_criterion(name)
+                triples = list(workload.triples())
 
-            def run_workload() -> None:
-                for sa, sb, sq in triples:
-                    criterion.dominates(sa, sb, sq)
+                def run_workload() -> None:
+                    for sa, sb, sq in triples:
+                        criterion.dominates(sa, sb, sq)
 
-            samples = time_callable(run_workload, repeats)
-            predicted = batch_evaluate(name, *workload.arrays())
-        else:
-            arrays = workload.arrays()
+                stats = time_callable_stats(
+                    run_workload, repeats, calls_per_sample=len(workload)
+                )
+                predicted = batch_evaluate(name, *workload.arrays())
+            else:
+                arrays = workload.arrays()
 
-            def run_workload() -> None:
-                batch_evaluate(name, *arrays)
+                def run_workload() -> None:
+                    batch_evaluate(name, *arrays)
 
-            samples = time_callable(run_workload, repeats)
-            predicted = batch_evaluate(name, *workload.arrays())
+                stats = time_callable_stats(
+                    run_workload, repeats, calls_per_sample=len(workload)
+                )
+                predicted = batch_evaluate(name, *workload.arrays())
 
-        mean, std = mean_and_std(samples)
+        delta = (
+            obs.diff(before, obs.collect()) if before is not None else None
+        )
         scores = binary_metrics(predicted, truth)
+        log.debug(
+            "  %-14s %s: %.3es/query precision=%.1f%% recall=%.1f%%",
+            name, label, stats.per_call_mean, scores.precision, scores.recall,
+        )
         measurements.append(
             DominanceMeasurement(
                 label=label,
                 criterion=name,
-                seconds_per_query=mean / len(workload),
-                seconds_std=std / len(workload),
+                seconds_per_query=stats.per_call_mean,
+                seconds_std=stats.per_call_std,
                 precision=scores.precision,
                 recall=scores.recall,
                 workload_size=len(workload),
+                stats=delta,
             )
         )
     return measurements

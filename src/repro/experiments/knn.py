@@ -25,15 +25,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.data.synthetic import Dataset
 from repro.data.workload import knn_queries
 from repro.exceptions import ExperimentError
 from repro.experiments.config import KNN_CRITERIA, KNN_STRATEGIES
+from repro.experiments.metrics import mean_and_std
 from repro.index.linear import LinearIndex
 from repro.index.sstree import SSTree
+from repro.obs.log import get_logger
 from repro.queries.knn import knn_query, knn_reference
 
 __all__ = ["KNNMeasurement", "run_knn_experiment"]
+
+log = get_logger("experiments.knn")
 
 
 @dataclass(frozen=True)
@@ -44,11 +49,15 @@ class KNNMeasurement:
     strategy: str
     criterion: str
     seconds_per_query: float
+    # Per-query stddev over the query sample (perf_counter timings).
+    seconds_std: float
     precision: float
     coverage: float
     mean_returned: float
     mean_truth_size: float
     queries: int
+    # Per-combination instrumentation deltas (None unless obs is enabled).
+    stats: "dict | None" = None
 
     @property
     def algorithm(self) -> str:
@@ -82,51 +91,66 @@ def run_knn_experiment(
     """Measure every (strategy, criterion) pair on one configuration."""
     if queries < 1:
         raise ExperimentError(f"need at least one query, got {queries}")
+    log.debug(
+        "knn experiment %s: n=%d k=%d queries=%d", label, len(dataset), k, queries
+    )
     rng = np.random.default_rng(seed)
-    tree = SSTree.bulk_load(dataset.items(), max_entries=max_entries)
-    flat = LinearIndex(dataset.items())
+    with obs.trace("knn.build_index"):
+        tree = SSTree.bulk_load(dataset.items(), max_entries=max_entries)
+        flat = LinearIndex(dataset.items())
     query_spheres = knn_queries(dataset, count=queries, rng=rng)
-    truths = [
-        knn_reference(flat, query, k, criterion="hyperbola").key_set()
-        for query in query_spheres
-    ]
+    with obs.trace("knn.reference"):
+        truths = [
+            knn_reference(flat, query, k, criterion="hyperbola").key_set()
+            for query in query_spheres
+        ]
 
     measurements = []
     for strategy in strategies:
         for criterion in criteria:
-            elapsed = 0.0
+            before = obs.collect() if obs.ENABLED else None
+            samples = []
             precision_sum = 0.0
             coverage_sum = 0.0
             returned_sum = 0
             truth_sum = 0
-            for query, truth in zip(query_spheres, truths):
-                started = time.perf_counter()
-                result = knn_query(
-                    tree,
-                    query,
-                    k,
-                    criterion=criterion,
-                    strategy=strategy,
-                    algorithm=algorithm,
-                )
-                elapsed += time.perf_counter() - started
-                returned = result.key_set()
-                hits = len(returned & truth)
-                precision_sum += 100.0 * hits / len(returned) if returned else 100.0
-                coverage_sum += 100.0 * hits / len(truth) if truth else 100.0
-                returned_sum += len(returned)
-                truth_sum += len(truth)
+            with obs.trace(f"knn.{strategy}.{criterion}"):
+                for query, truth in zip(query_spheres, truths):
+                    started = time.perf_counter()
+                    result = knn_query(
+                        tree,
+                        query,
+                        k,
+                        criterion=criterion,
+                        strategy=strategy,
+                        algorithm=algorithm,
+                    )
+                    samples.append(time.perf_counter() - started)
+                    returned = result.key_set()
+                    hits = len(returned & truth)
+                    precision_sum += (
+                        100.0 * hits / len(returned) if returned else 100.0
+                    )
+                    coverage_sum += 100.0 * hits / len(truth) if truth else 100.0
+                    returned_sum += len(returned)
+                    truth_sum += len(truth)
+            mean_seconds, std_seconds = mean_and_std(samples)
+            delta = (
+                obs.diff(before, obs.collect()) if before is not None else None
+            )
             measurements.append(
                 KNNMeasurement(
                     label=label,
                     strategy=strategy,
                     criterion=criterion,
-                    seconds_per_query=elapsed / queries,
+                    seconds_per_query=mean_seconds,
+                    seconds_std=std_seconds,
                     precision=precision_sum / queries,
                     coverage=coverage_sum / queries,
                     mean_returned=returned_sum / queries,
                     mean_truth_size=truth_sum / queries,
                     queries=queries,
+                    stats=delta,
                 )
             )
     return measurements

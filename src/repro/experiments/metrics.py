@@ -23,7 +23,14 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-__all__ = ["BinaryMetrics", "binary_metrics", "time_callable", "mean_and_std"]
+__all__ = [
+    "BinaryMetrics",
+    "binary_metrics",
+    "TimingStats",
+    "time_callable",
+    "time_callable_stats",
+    "mean_and_std",
+]
 
 
 @dataclass(frozen=True)
@@ -69,7 +76,14 @@ def binary_metrics(predicted: np.ndarray, truth: np.ndarray) -> BinaryMetrics:
 
 
 def time_callable(fn: Callable[[], object], repeats: int) -> list[float]:
-    """Wall-clock seconds for *repeats* invocations of *fn*."""
+    """Wall-clock seconds for *repeats* invocations of *fn*.
+
+    Uses :func:`time.perf_counter` exclusively — the monotonic
+    high-resolution clock.  (``time.time`` is wall-clock and can jump
+    under NTP adjustment; an audit found no remaining ``time.time``
+    timing call-sites in this repository, and new ones should use
+    ``perf_counter`` too.)
+    """
     if repeats < 1:
         raise ValueError(f"repeats must be positive, got {repeats}")
     samples = []
@@ -78,6 +92,58 @@ def time_callable(fn: Callable[[], object], repeats: int) -> list[float]:
         fn()
         samples.append(time.perf_counter() - started)
     return samples
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Repeated-timing summary with per-call mean and stddev.
+
+    Each sample times one invocation of the measured callable; when that
+    callable internally loops over *calls_per_sample* units of work (a
+    whole workload, a batch of queries), the ``per_call_*`` properties
+    report the cost of one unit.
+    """
+
+    samples: tuple[float, ...]
+    calls_per_sample: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("no timing samples")
+        if self.calls_per_sample < 1:
+            raise ValueError(
+                f"calls_per_sample must be positive, got {self.calls_per_sample}"
+            )
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per sample."""
+        return mean_and_std(self.samples)[0]
+
+    @property
+    def std(self) -> float:
+        """Population stddev of the per-sample seconds."""
+        return mean_and_std(self.samples)[1]
+
+    @property
+    def per_call_mean(self) -> float:
+        """Mean seconds per unit of work inside one sample."""
+        return self.mean / self.calls_per_sample
+
+    @property
+    def per_call_std(self) -> float:
+        """Per-unit stddev (sample stddev scaled to one call)."""
+        return self.std / self.calls_per_sample
+
+
+def time_callable_stats(
+    fn: Callable[[], object], repeats: int, *, calls_per_sample: int = 1
+) -> TimingStats:
+    """Time *fn* like :func:`time_callable`, summarised per call."""
+    return TimingStats(
+        samples=tuple(time_callable(fn, repeats)),
+        calls_per_sample=calls_per_sample,
+    )
 
 
 def mean_and_std(samples: Iterable[float]) -> tuple[float, float]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["render_table", "format_value"]
+__all__ = ["render_table", "render_stats", "format_value"]
 
 
 def format_value(value: object) -> str:
@@ -55,3 +55,36 @@ def render_table(
     out.append(line(["-" * width for width in widths]))
     out.extend(line(row) for row in cells)
     return "\n".join(out)
+
+
+def render_stats(stats: dict, *, title: str = "instrumentation stats") -> str:
+    """Render a :func:`repro.obs.collect` snapshot as an aligned table.
+
+    Counters come first (alphabetically), then timers, then histograms,
+    so related ``a.b.c`` metrics group together visually.
+    """
+    rows: list[tuple] = []
+    for name, value in stats.get("counters", {}).items():
+        rows.append((name, "counter", value, ""))
+    for name, snap in stats.get("timers", {}).items():
+        rows.append(
+            (
+                name,
+                "timer",
+                snap["count"],
+                f"total={snap['total']:.4f}s mean={snap['mean']:.3e}s",
+            )
+        )
+    for name, snap in stats.get("histograms", {}).items():
+        rows.append(
+            (
+                name,
+                "histogram",
+                snap["count"],
+                f"mean={snap['mean']:.2f} std={snap['std']:.2f} "
+                f"min={snap['min']:g} max={snap['max']:g}",
+            )
+        )
+    if not rows:
+        rows.append(("(no metrics recorded)", "", "", ""))
+    return render_table(("metric", "kind", "count", "detail"), rows, title=title)

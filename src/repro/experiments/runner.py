@@ -13,9 +13,11 @@ pass ``--scale 1.0`` for the paper-size run).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.data.real import REAL_DATASET_SPECS, real_dataset
 from repro.data.synthetic import synthetic_dataset
 from repro.exceptions import ExperimentError
@@ -26,8 +28,11 @@ from repro.experiments.report import render_table
 from repro.experiments.ablations import run_ablations
 from repro.experiments.claims import run_claims
 from repro.experiments.table1 import run_table1
+from repro.obs.log import get_logger
 
 __all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment"]
+
+log = get_logger("experiments")
 
 DOMINANCE_HEADERS = ("config", "criterion", "sec/query", "precision %", "recall %")
 KNN_HEADERS = ("config", "algorithm", "sec/query", "precision %", "coverage %")
@@ -41,6 +46,8 @@ class ExperimentReport:
     title: str
     headers: tuple[str, ...]
     rows: list[tuple] = field(default_factory=list)
+    # Instrumentation snapshot (see repro.obs); empty without --profile.
+    stats: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """The report as an aligned text table."""
@@ -53,6 +60,7 @@ class ExperimentReport:
             "title": self.title,
             "headers": list(self.headers),
             "rows": [list(row) for row in self.rows],
+            "stats": self.stats,
         }
 
 
@@ -354,12 +362,28 @@ def run_experiment(
     *,
     scale: float = 1.0,
     seed: int = 0,
+    profile: bool = False,
 ) -> ExperimentReport:
-    """Regenerate the named table/figure at the given *scale*."""
+    """Regenerate the named table/figure at the given *scale*.
+
+    With ``profile=True`` the run executes under an enabled, private
+    :mod:`repro.obs` registry and the collected counters/timers land in
+    ``report.stats`` (and thus in the ``"stats"`` key of the JSON form).
+    Profiling perturbs the reported timings slightly; leave it off for
+    publication-quality numbers.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ExperimentError(f"unknown experiment {name!r}; known: {known}") from None
     defaults = PaperDefaults().scaled(scale)
-    return runner(defaults, scale, seed)
+    if not profile:
+        return runner(defaults, scale, seed)
+    started = time.perf_counter()
+    with obs.enabled_scope(True), obs.scope():
+        with obs.trace(name):
+            report = runner(defaults, scale, seed)
+        report.stats = obs.collect()
+    log.debug("profiled %s in %.2fs", name, time.perf_counter() - started)
+    return report

@@ -26,6 +26,8 @@ import math
 
 import numpy as np
 
+from repro import obs
+
 __all__ = [
     "solve_quartic_real",
     "solve_quartic_real_closed",
@@ -85,6 +87,8 @@ def solve_quartic_real(
         raise ValueError(f"expected 5 coefficients, got shape {coeffs.shape}")
     if not np.all(np.isfinite(coeffs)):
         raise ValueError("coefficients must be finite")
+    if obs.ENABLED:
+        obs.incr("quartic.companion_solves")
     coeffs = _trim_leading(_normalised(coeffs))
     if coeffs.size == 1:  # constant polynomial: no roots to report
         return np.empty(0)
@@ -136,6 +140,8 @@ def solve_quartic_real_closed(
         raise ValueError(f"expected 5 coefficients, got shape {coeffs.shape}")
     if not np.all(np.isfinite(coeffs)):
         raise ValueError("coefficients must be finite")
+    if obs.ENABLED:
+        obs.incr("quartic.closed_form_solves")
     coeffs = _trim_leading(_normalised(coeffs))
     degree = coeffs.size - 1
     if degree <= 0:
@@ -204,6 +210,8 @@ def solve_quartic_real_closed(
         m = _real_cubic_root(p, p * p / 4.0 - r, -q * q / 8.0)
         if m <= 0.0:
             # Numerical edge: fall back to the robust solver.
+            if obs.ENABLED:
+                obs.incr("quartic.closed_form_fallbacks")
             return solve_quartic_real(coefficients)
         s = math.sqrt(2.0 * m)
         for sign in (-1.0, 1.0):
@@ -237,6 +245,9 @@ def solve_quartic_real_batch(coefficients: np.ndarray) -> np.ndarray:
         raise ValueError("expected an (n, 5) coefficient array")
     n = coefficients.shape[0]
     out = np.full((n, 4), np.nan)
+    if obs.ENABLED:
+        obs.incr("quartic.batch_solves")
+        obs.observe("quartic.batch_rows", n)
     if n == 0:
         return out
 

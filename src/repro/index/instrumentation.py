@@ -1,0 +1,93 @@
+"""A uniform access-statistics surface shared by every index.
+
+The paper's kNN evaluation (Section 7.2) is a story about *node
+accesses*: the adapted tree algorithms win or lose by how much of the
+directory a query touches.  Every index therefore mixes in
+:class:`IndexStatsMixin`, which accumulates per-instance tallies —
+
+- ``node_accesses`` — directory/leaf nodes visited by queries (a flat
+  :class:`~repro.index.linear.LinearIndex` counts each full scan as one
+  node access: the whole structure is one "node");
+- ``entries_scanned`` — stored entries actually examined;
+- ``queries`` — traversals recorded.
+
+The mixin also forwards every recording into the process-wide
+:mod:`repro.obs` registry (``index.*`` counters) when observation is
+enabled, so CLI profiling sees index behaviour without holding a
+reference to the index object.
+
+Indexes call :meth:`IndexStatsMixin.record_query` at the end of their
+own traversals (``range_query``) and :func:`repro.queries.knn.knn_query`
+calls it with the traversal tallies it already keeps, so the hot loops
+never pay per-node bookkeeping beyond what they already did.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+__all__ = ["IndexStatsMixin"]
+
+
+class IndexStatsMixin:
+    """Per-instance query statistics with a uniform ``stats()`` dict."""
+
+    _node_accesses: int = 0
+    _entries_scanned: int = 0
+    _queries: int = 0
+
+    def _init_stats(self) -> None:
+        self._node_accesses = 0
+        self._entries_scanned = 0
+        self._queries = 0
+
+    @property
+    def node_accesses(self) -> int:
+        """Total nodes visited by queries since the last reset."""
+        return self._node_accesses
+
+    @property
+    def entries_scanned(self) -> int:
+        """Total stored entries examined by queries since the last reset."""
+        return self._entries_scanned
+
+    def record_scan(
+        self, *, node_accesses: int = 0, entries_scanned: int = 0
+    ) -> None:
+        """Tally accesses without counting a query (helper scans)."""
+        self._node_accesses += node_accesses
+        self._entries_scanned += entries_scanned
+        if obs.ENABLED:
+            obs.incr("index.node_accesses", node_accesses)
+            obs.incr("index.entries_scanned", entries_scanned)
+
+    def record_query(
+        self, *, node_accesses: int = 0, entries_scanned: int = 0
+    ) -> None:
+        """Tally one traversal (and mirror it into :mod:`repro.obs`)."""
+        self._queries += 1
+        if obs.ENABLED:
+            obs.incr("index.queries")
+        self.record_scan(
+            node_accesses=node_accesses, entries_scanned=entries_scanned
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the tallies (structure statistics are unaffected)."""
+        self._init_stats()
+
+    def stats(self) -> dict:
+        """Structure and access statistics as one plain dict.
+
+        Uniform across all four indexes: ``size``, ``height``,
+        ``node_count``, ``queries``, ``node_accesses``,
+        ``entries_scanned``.
+        """
+        return {
+            "size": len(self),  # type: ignore[arg-type]
+            "height": self.height,  # type: ignore[attr-defined]
+            "node_count": self.node_count(),  # type: ignore[attr-defined]
+            "queries": self._queries,
+            "node_accesses": self._node_accesses,
+            "entries_scanned": self._entries_scanned,
+        }

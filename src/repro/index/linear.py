@@ -15,11 +15,12 @@ import numpy as np
 
 from repro.exceptions import IndexError_
 from repro.geometry.hypersphere import Hypersphere
+from repro.index.instrumentation import IndexStatsMixin
 
 __all__ = ["LinearIndex"]
 
 
-class LinearIndex:
+class LinearIndex(IndexStatsMixin):
     """Dense storage of keyed hyperspheres with vectorised distance bounds."""
 
     def __init__(self, items: Iterable[tuple[object, Hypersphere]]) -> None:
@@ -35,12 +36,22 @@ class LinearIndex:
         self.dimension = dimension
         self.centers = np.stack([sphere.center for sphere in self.spheres])
         self.radii = np.array([sphere.radius for sphere in self.spheres])
+        self._init_stats()
 
     def __len__(self) -> int:
         return len(self.keys)
 
     def __iter__(self) -> Iterator[tuple[object, Hypersphere]]:
         yield from zip(self.keys, self.spheres)
+
+    @property
+    def height(self) -> int:
+        """A flat scan is one level deep by definition."""
+        return 1
+
+    def node_count(self) -> int:
+        """The whole structure is a single "node"."""
+        return 1
 
     def max_dists(self, query: Hypersphere) -> np.ndarray:
         """``MaxDist(S_i, query)`` for every stored hypersphere."""

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.exceptions import IndexError_
 from repro.geometry.hypersphere import Hypersphere
+from repro.index.instrumentation import IndexStatsMixin
 
 __all__ = ["MTree", "MTreeNode"]
 
@@ -88,7 +89,7 @@ class MTreeNode:
             )
 
 
-class MTree:
+class MTree(IndexStatsMixin):
     """A dynamically built M-tree over keyed hyperspheres.
 
     Examples
@@ -108,6 +109,7 @@ class MTree:
         self.dimension = dimension
         self.max_entries = max_entries
         self.root = MTreeNode(is_leaf=True)
+        self._init_stats()
 
     @classmethod
     def build(
@@ -274,12 +276,15 @@ class MTree:
     def range_query(self, query: Hypersphere) -> list[tuple[object, Hypersphere]]:
         """All entries whose hypersphere intersects *query*."""
         found: list[tuple[object, Hypersphere]] = []
+        nodes_visited = entries_scanned = 0
         stack = [self.root]
         while stack:
             node = stack.pop()
             if node.count == 0 or node.min_dist(query) > 0.0:
                 continue
+            nodes_visited += 1
             if node.is_leaf:
+                entries_scanned += len(node.entries)
                 found.extend(
                     (key, sphere)
                     for key, sphere in node.entries
@@ -287,6 +292,9 @@ class MTree:
                 )
             else:
                 stack.extend(node.children)
+        self.record_query(
+            node_accesses=nodes_visited, entries_scanned=entries_scanned
+        )
         return found
 
     # ------------------------------------------------------------------

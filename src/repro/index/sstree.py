@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.exceptions import IndexError_
 from repro.geometry.hypersphere import Hypersphere
+from repro.index.instrumentation import IndexStatsMixin
 
 __all__ = ["SSTree", "SSTreeNode"]
 
@@ -131,7 +132,7 @@ class SSTreeNode:
         return np.stack([child.centroid for child in self.children])
 
 
-class SSTree:
+class SSTree(IndexStatsMixin):
     """A dynamically grown (or bulk-loaded) SS-tree over keyed hyperspheres.
 
     Parameters
@@ -160,6 +161,7 @@ class SSTree:
         self.max_entries = max_entries
         self.min_entries = max(2, math.ceil(max_entries * 0.4))
         self.root = SSTreeNode(dimension, is_leaf=True)
+        self._init_stats()
 
     # ------------------------------------------------------------------
     # Construction
@@ -390,12 +392,15 @@ class SSTree:
     def range_query(self, query: Hypersphere) -> list[tuple[object, Hypersphere]]:
         """All entries whose hypersphere intersects *query*."""
         found: list[tuple[object, Hypersphere]] = []
+        nodes_visited = entries_scanned = 0
         stack = [self.root]
         while stack:
             node = stack.pop()
             if node.min_dist(query) > 0.0:
                 continue
+            nodes_visited += 1
             if node.is_leaf:
+                entries_scanned += len(node.entries)
                 found.extend(
                     (key, sphere)
                     for key, sphere in node.entries
@@ -403,6 +408,9 @@ class SSTree:
                 )
             else:
                 stack.extend(node.children)
+        self.record_query(
+            node_accesses=nodes_visited, entries_scanned=entries_scanned
+        )
         return found
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.exceptions import IndexError_
 from repro.geometry.hypersphere import Hypersphere
+from repro.index.instrumentation import IndexStatsMixin
 
 __all__ = ["VPTree", "VPTreeNode"]
 
@@ -66,7 +67,7 @@ class VPTreeNode:
         return self._center_gap_band(query) + query.radius
 
 
-class VPTree:
+class VPTree(IndexStatsMixin):
     """A bucketed vantage-point tree over keyed hyperspheres.
 
     Built in one shot from the full dataset (the classic VP-tree is a
@@ -84,6 +85,7 @@ class VPTree:
         self.root = root
         self.dimension = dimension
         self.leaf_capacity = leaf_capacity
+        self._init_stats()
 
     @classmethod
     def build(
@@ -194,12 +196,15 @@ class VPTree:
     def range_query(self, query: Hypersphere) -> list[tuple[object, Hypersphere]]:
         """All entries whose hypersphere intersects *query*."""
         found: list[tuple[object, Hypersphere]] = []
+        nodes_visited = entries_scanned = 0
         stack = [self.root]
         while stack:
             node = stack.pop()
             if node.min_dist(query) > 0.0:
                 continue
+            nodes_visited += 1
             if node.is_leaf:
+                entries_scanned += len(node.entries)
                 found.extend(
                     (key, sphere)
                     for key, sphere in node.entries
@@ -207,6 +212,9 @@ class VPTree:
                 )
             else:
                 stack.extend(node.children)
+        self.record_query(
+            node_accesses=nodes_visited, entries_scanned=entries_scanned
+        )
         return found
 
     # ------------------------------------------------------------------

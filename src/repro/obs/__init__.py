@@ -1,0 +1,381 @@
+"""Zero-dependency instrumentation: counters, timers, histograms, spans.
+
+The paper's evaluation (Sections 7.1-7.2) is entirely about *where time
+goes* — per-criterion decision cost, fast-path effectiveness, SS-tree
+node accesses — so the reproduction needs a way to count hot-path events
+without perturbing the timings it reports.  This module provides:
+
+- a metrics registry holding :class:`Counter`, :class:`Timer` and
+  :class:`Histogram` instruments, created on first use by name;
+- a module-level :data:`ENABLED` flag so instrumented call sites cost a
+  single attribute check + branch when observation is off (verified by
+  ``benchmarks/test_obs_overhead.py``);
+- :func:`trace` — a context manager / decorator recording nested span
+  timings (span names join into dotted paths, e.g. ``fig9.dataset``);
+- :func:`collect` / :func:`reset` — snapshot everything to a plain dict
+  / clear it;
+- :func:`scope` — push a fresh registry onto a :mod:`contextvars`
+  variable, isolating concurrent tasks (and tests) from each other.
+
+Instrumented call sites follow one idiom::
+
+    from repro import obs
+    ...
+    if obs.ENABLED:
+        obs.incr("hyperbola.fast_path.overlap")
+
+The registry is *contextvar-scoped*: by default every context shares the
+root registry, but :func:`scope` gives the current context (thread /
+asyncio task / ``contextvars.copy_context()`` run) a private one, so
+parallel experiment runners never mix their counts.
+
+Logging lives in the :mod:`repro.obs.log` submodule.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator
+
+__all__ = [
+    "ENABLED",
+    "Counter",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "enable",
+    "disable",
+    "enabled",
+    "enabled_scope",
+    "incr",
+    "observe",
+    "add_time",
+    "trace",
+    "collect",
+    "reset",
+    "scope",
+    "current_registry",
+    "diff",
+]
+
+# Fast-path guard: call sites check this before doing any metrics work.
+# Mutate only through enable()/disable() so the flag stays a plain module
+# attribute (one LOAD_ATTR + branch when disabled).
+ENABLED = False
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Timer:
+    """Accumulated wall-clock seconds over named spans."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+
+class Histogram:
+    """Streaming summary (count/sum/mean/std/min/max) of observed values."""
+
+    __slots__ = ("name", "count", "sum", "sum_sq", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.sum_sq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.sum_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "std": 0.0,
+                    "min": 0.0, "max": 0.0}
+        mean = self.sum / self.count
+        # Population variance; clamp tiny negative round-off.
+        variance = max(self.sum_sq / self.count - mean * mean, 0.0)
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": mean,
+            "std": math.sqrt(variance),
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """A bag of named instruments, each created on first use."""
+
+    __slots__ = ("counters", "timers", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.timers: dict[str, Timer] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self.timers.get(name)
+        if instrument is None:
+            instrument = self.timers[name] = Timer(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def collect(self) -> dict:
+        """Everything recorded so far, as a plain (JSON-friendly) dict."""
+        return {
+            "counters": {
+                name: c.snapshot() for name, c in sorted(self.counters.items())
+            },
+            "timers": {
+                name: t.snapshot() for name, t in sorted(self.timers.items())
+            },
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names re-create themselves on use)."""
+        self.counters.clear()
+        self.timers.clear()
+        self.histograms.clear()
+
+
+# The root registry is shared by every context that never called scope().
+_root_registry = MetricsRegistry()
+_registry_var: ContextVar["MetricsRegistry | None"] = ContextVar(
+    "repro_obs_registry", default=None
+)
+# Dotted span path of the enclosing trace() spans in this context.
+_span_var: ContextVar[tuple[str, ...]] = ContextVar("repro_obs_span", default=())
+
+
+def current_registry() -> MetricsRegistry:
+    """The registry of the current context (the root one by default)."""
+    registry = _registry_var.get()
+    return registry if registry is not None else _root_registry
+
+
+def enable() -> None:
+    """Turn instrumentation on (all mutators start recording)."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (all mutators become no-ops)."""
+    global ENABLED
+    ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return ENABLED
+
+
+@contextmanager
+def enabled_scope(flag: bool = True) -> Iterator[None]:
+    """Temporarily set the enabled flag, restoring it on exit."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = flag
+    try:
+        yield
+    finally:
+        ENABLED = previous
+
+
+@contextmanager
+def scope(registry: "MetricsRegistry | None" = None) -> Iterator[MetricsRegistry]:
+    """Give the current context a private registry until exit.
+
+    Nested scopes stack; sibling contexts (threads, copied contexts)
+    keep whatever registry their own context carries.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    token = _registry_var.set(registry)
+    try:
+        yield registry
+    finally:
+        _registry_var.reset(token)
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Add *amount* to the named counter (no-op while disabled)."""
+    if not ENABLED:
+        return
+    current_registry().counter(name).increment(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record *value* into the named histogram (no-op while disabled)."""
+    if not ENABLED:
+        return
+    current_registry().histogram(name).observe(value)
+
+
+def add_time(name: str, seconds: float) -> None:
+    """Record an externally measured duration into the named timer."""
+    if not ENABLED:
+        return
+    current_registry().timer(name).observe(seconds)
+
+
+class _Span:
+    """One ``trace(name)`` activation: context manager and decorator."""
+
+    __slots__ = ("name", "_token", "_path", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._token = None
+
+    def __enter__(self) -> "_Span":
+        if not ENABLED:
+            self._token = None
+            return self
+        path = _span_var.get() + (self.name,)
+        self._token = _span_var.set(path)
+        self._path = ".".join(path)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        if self._token is None:
+            return False
+        elapsed = time.perf_counter() - self._started
+        _span_var.reset(self._token)
+        self._token = None
+        # Record even if ENABLED flipped off mid-span: the span was
+        # opened under observation, so its timing belongs to the run.
+        current_registry().timer(self._path).observe(elapsed)
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object) -> object:
+            with _Span(self.name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def trace(name: str) -> _Span:
+    """Time a span of work under *name* (nested spans join with dots).
+
+    Usable as a context manager or a decorator::
+
+        with obs.trace("fig9"):
+            with obs.trace("dataset"):   # recorded as "fig9.dataset"
+                build()
+
+        @obs.trace("solve")
+        def solve(...): ...
+
+    While disabled the span records nothing and costs one attribute
+    check on entry and exit.
+    """
+    return _Span(name)
+
+
+def current_span_path() -> str:
+    """The dotted path of the enclosing spans ('' outside any span)."""
+    return ".".join(_span_var.get())
+
+
+def collect() -> dict:
+    """Snapshot the current context's registry to a plain dict."""
+    return current_registry().collect()
+
+
+def reset() -> None:
+    """Clear every instrument in the current context's registry."""
+    current_registry().reset()
+
+
+def diff(before: dict, after: dict) -> dict:
+    """The change between two :func:`collect` snapshots.
+
+    Counters subtract; timers and histograms subtract their ``count``
+    and ``total``/``sum`` fields (the min/max/mean fields are not
+    meaningfully diffable and are omitted).  Instruments absent from
+    *before* count from zero.  Zero-delta entries are dropped, so the
+    result shows only what the in-between work touched.
+    """
+    out: dict = {"counters": {}, "timers": {}, "histograms": {}}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0)
+        if delta:
+            out["counters"][name] = delta
+    for kind, total_key in (("timers", "total"), ("histograms", "sum")):
+        for name, snap in after.get(kind, {}).items():
+            previous = before.get(kind, {}).get(name, {})
+            count = snap["count"] - previous.get("count", 0)
+            if count:
+                out[kind][name] = {
+                    "count": count,
+                    total_key: snap[total_key] - previous.get(total_key, 0.0),
+                }
+    return out

@@ -1,0 +1,56 @@
+"""Logging wiring for the reproduction (``repro.*`` logger hierarchy).
+
+The library itself only ever *emits* records through :func:`get_logger`
+and never configures handlers (the standard library-friendly policy), so
+embedding applications keep full control.  The CLI opts into console
+output with :func:`configure_logging`, which ``--verbose`` switches to
+DEBUG level.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["LOGGER_NAME", "get_logger", "configure_logging"]
+
+LOGGER_NAME = "repro"
+
+# Library policy: emit freely, stay silent unless the app adds handlers.
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def configure_logging(*, verbose: bool = False, stream=None) -> logging.Logger:
+    """Attach one console handler to the ``repro`` logger (idempotent).
+
+    Repeated calls reconfigure the existing handler instead of stacking
+    duplicates, so tests and long-lived sessions can toggle verbosity.
+    """
+    logger = get_logger()
+    level = logging.DEBUG if verbose else logging.INFO
+    handler = next(
+        (
+            h
+            for h in logger.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

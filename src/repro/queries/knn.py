@@ -59,6 +59,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import DominanceCriterion, get_criterion
 from repro.exceptions import QueryError
 from repro.geometry.distance import max_dist, min_dist
@@ -68,6 +69,31 @@ from repro.index.sstree import SSTree, SSTreeNode
 from repro.index.vptree import VPTree
 
 __all__ = ["KNNResult", "knn_query", "knn_reference"]
+
+
+def _record_traversal(index: object, result: "KNNResult") -> None:
+    """Feed one query's tallies to the index stats and the obs registry.
+
+    Duck-typed indexes without the stats mixin are simply skipped.  A
+    flat :class:`LinearIndex` scan counts as one node access (the whole
+    structure is one "node").
+    """
+    node_accesses = result.nodes_visited
+    if node_accesses == 0 and isinstance(index, LinearIndex):
+        node_accesses = 1
+    recorder = getattr(index, "record_query", None)
+    if recorder is not None:
+        recorder(
+            node_accesses=node_accesses,
+            entries_scanned=result.entries_considered,
+        )
+    if obs.ENABLED:
+        obs.incr("knn.queries")
+        obs.incr("knn.node_accesses", node_accesses)
+        obs.incr("knn.entries_considered", result.entries_considered)
+        obs.incr("knn.dominance_checks", result.dominance_checks)
+        obs.incr("knn.pruned_case3", result.pruned_case3)
+        obs.observe("knn.answer_size", len(result.keys))
 
 
 @dataclass
@@ -246,6 +272,7 @@ def knn_query(
     result.keys, result.spheres, result.distk = best.finalize()
     result.dominance_checks = best.dominance_checks
     result.pruned_case3 = best.pruned_case3
+    _record_traversal(index, result)
     return result
 
 
@@ -322,6 +349,7 @@ def _knn_two_phase(
                 result.keys.append(key)
                 result.spheres.append(sphere)
         result.distk = distk
+        _record_traversal(index, result)
         return result
 
     if strategy not in ("hs", "df"):
@@ -383,6 +411,7 @@ def _knn_two_phase(
         else:
             stack.extend(node.children)
     result.distk = distk
+    _record_traversal(index, result)
     return result
 
 
@@ -448,6 +477,12 @@ def knn_reference(
         if not dominated[i]:
             keys.append(key)
             spheres.append(sphere)
+    # The reference scan is harness work, not a measured traversal:
+    # tally it on the index but under its own obs counter.
+    dataset.record_query(node_accesses=1, entries_scanned=len(dataset))
+    if obs.ENABLED:
+        obs.incr("knn.reference_queries")
+        obs.incr("knn.reference_dominance_checks", checks)
     return KNNResult(
         keys=keys,
         spheres=spheres,

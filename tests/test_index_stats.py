@@ -1,0 +1,126 @@
+"""Shared instrumentation-protocol test for every index structure.
+
+All four indexes (linear scan, SS-tree, M-tree, VP-tree) expose the
+same :class:`repro.index.instrumentation.IndexStatsMixin` surface:
+``stats()``, ``node_accesses``, ``entries_scanned``, ``queries`` and
+``reset_stats()``, and publish the same ``index.*`` counters through
+:mod:`repro.obs` when instrumentation is enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.linear import LinearIndex
+from repro.index.mtree import MTree
+from repro.index.sstree import SSTree
+from repro.index.vptree import VPTree
+from repro.queries.knn import knn_query
+
+STATS_KEYS = {
+    "size",
+    "height",
+    "node_count",
+    "queries",
+    "node_accesses",
+    "entries_scanned",
+}
+
+DIMENSION = 3
+N_ITEMS = 80
+
+
+def make_items(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            i,
+            Hypersphere(
+                rng.normal(0.0, 10.0, DIMENSION),
+                float(abs(rng.normal(0.0, 1.0))),
+            ),
+        )
+        for i in range(N_ITEMS)
+    ]
+
+
+def query_knn(index):
+    knn_query(index, Hypersphere([0.0] * DIMENSION, 0.5), 3, criterion="hyperbola")
+
+
+def query_range(index):
+    index.range_query(Hypersphere([0.0] * DIMENSION, 5.0))
+
+
+INDEXES = [
+    pytest.param(LinearIndex, query_knn, id="linear"),
+    pytest.param(
+        lambda items: SSTree.bulk_load(items, max_entries=8), query_range, id="sstree"
+    ),
+    pytest.param(
+        lambda items: MTree.build(items, max_entries=8), query_range, id="mtree"
+    ),
+    pytest.param(
+        lambda items: VPTree.build(items, leaf_capacity=8), query_range, id="vptree"
+    ),
+]
+
+
+@pytest.mark.parametrize("build, run_query", INDEXES)
+class TestIndexStatsProtocol:
+    def test_uniform_stats_keys(self, build, run_query):
+        index = build(make_items())
+        stats = index.stats()
+        assert set(stats) == STATS_KEYS
+        assert stats["size"] == N_ITEMS
+        assert stats["height"] >= 1
+        assert stats["node_count"] >= 1
+        assert stats["queries"] == 0
+        assert stats["node_accesses"] == 0
+        assert stats["entries_scanned"] == 0
+
+    def test_counts_grow_with_queries(self, build, run_query):
+        index = build(make_items())
+        run_query(index)
+        first = index.stats()
+        assert first["queries"] == 1
+        assert first["node_accesses"] >= 1
+        assert first["entries_scanned"] >= 1
+        run_query(index)
+        second = index.stats()
+        assert second["queries"] == 2
+        assert second["node_accesses"] >= first["node_accesses"]
+        assert index.node_accesses == second["node_accesses"]
+        assert index.entries_scanned == second["entries_scanned"]
+
+    def test_reset_stats_keeps_structure(self, build, run_query):
+        index = build(make_items())
+        run_query(index)
+        index.reset_stats()
+        stats = index.stats()
+        assert stats["queries"] == 0
+        assert stats["node_accesses"] == 0
+        assert stats["entries_scanned"] == 0
+        assert stats["size"] == N_ITEMS
+
+    def test_obs_counters_published_when_enabled(self, build, run_query):
+        index = build(make_items())
+        with obs.enabled_scope(), obs.scope():
+            run_query(index)
+            counters = obs.collect()["counters"]
+        assert counters["index.queries"] == 1
+        assert counters["index.node_accesses"] == index.node_accesses
+        assert counters["index.entries_scanned"] == index.entries_scanned
+
+    def test_no_obs_traffic_when_disabled(self, build, run_query):
+        index = build(make_items())
+        obs.disable()
+        with obs.scope():
+            run_query(index)
+            counters = obs.collect()["counters"]
+        assert counters == {}
+        # Local tallies still work without the global registry.
+        assert index.stats()["queries"] == 1

@@ -1,0 +1,230 @@
+"""Tests for the :mod:`repro.obs` instrumentation layer.
+
+Covers the metric primitives (counter/timer/histogram correctness),
+contextvar scoping (nested scopes, thread isolation, nested trace
+spans), reset semantics, snapshot diffing, and the contract that every
+mutator is a no-op while instrumentation is disabled.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Leave the global flag off and the root registry empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestCounters:
+    def test_increment(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.incr("a")
+            obs.incr("a")
+            obs.incr("b", 5)
+            counters = obs.collect()["counters"]
+        assert counters == {"a": 2, "b": 5}
+
+    def test_collect_is_json_serialisable(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.incr("a")
+            obs.observe("h", 1.5)
+            with obs.trace("t"):
+                pass
+            snapshot = obs.collect()
+        json.dumps(snapshot)  # must not raise
+
+
+class TestHistograms:
+    def test_streaming_moments(self):
+        with obs.enabled_scope(), obs.scope():
+            for value in (2.0, 4.0, 6.0):
+                obs.observe("h", value)
+            snap = obs.collect()["histograms"]["h"]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(12.0)
+        assert snap["mean"] == pytest.approx(4.0)
+        assert snap["std"] == pytest.approx((8.0 / 3.0) ** 0.5)
+        assert snap["min"] == 2.0
+        assert snap["max"] == 6.0
+
+
+class TestTimers:
+    def test_add_time_accumulates(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.add_time("t", 0.25)
+            obs.add_time("t", 0.75)
+            snap = obs.collect()["timers"]["t"]
+        assert snap["count"] == 2
+        assert snap["total"] == pytest.approx(1.0)
+        assert snap["mean"] == pytest.approx(0.5)
+        assert snap["min"] == pytest.approx(0.25)
+        assert snap["max"] == pytest.approx(0.75)
+
+    def test_trace_records_elapsed(self):
+        with obs.enabled_scope(), obs.scope():
+            with obs.trace("span"):
+                pass
+            snap = obs.collect()["timers"]["span"]
+        assert snap["count"] == 1
+        assert snap["total"] >= 0.0
+
+    def test_nested_spans_join_with_dots(self):
+        with obs.enabled_scope(), obs.scope():
+            with obs.trace("outer"):
+                assert obs.current_span_path() == "outer"
+                with obs.trace("inner"):
+                    assert obs.current_span_path() == "outer.inner"
+            assert obs.current_span_path() == ""
+            timers = obs.collect()["timers"]
+        assert set(timers) == {"outer", "outer.inner"}
+
+    def test_trace_as_decorator(self):
+        @obs.trace("work")
+        def work(x):
+            return x + 1
+
+        with obs.enabled_scope(), obs.scope():
+            assert work(1) == 2
+            assert work(2) == 3
+            timers = obs.collect()["timers"]
+        assert timers["work"]["count"] == 2
+
+
+class TestScoping:
+    def test_scope_isolates_from_enclosing_registry(self):
+        with obs.enabled_scope(), obs.scope() as outer:
+            obs.incr("outer_only")
+            with obs.scope() as inner:
+                obs.incr("inner_only")
+                assert obs.collect()["counters"] == {"inner_only": 1}
+            assert obs.collect()["counters"] == {"outer_only": 1}
+        assert inner.counters["inner_only"].value == 1
+        assert outer.counters["outer_only"].value == 1
+
+    def test_copied_context_does_not_leak_into_caller(self):
+        def in_other_context():
+            with obs.scope():
+                obs.incr("elsewhere")
+                return obs.collect()["counters"]
+
+        with obs.enabled_scope(), obs.scope():
+            obs.incr("here")
+            other = contextvars.copy_context().run(in_other_context)
+            assert obs.collect()["counters"] == {"here": 1}
+        assert other == {"elsewhere": 1}
+
+    def test_thread_records_to_its_own_context(self):
+        # A fresh thread starts with a fresh contextvar state, so it
+        # falls back to the root registry, not the caller's scope.
+        def worker():
+            obs.incr("from_thread")
+
+        with obs.enabled_scope(), obs.scope():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert "from_thread" not in obs.collect()["counters"]
+        assert obs.collect()["counters"]["from_thread"] == 1
+
+    def test_nested_trace_spans_are_context_local(self):
+        def in_other_context():
+            with obs.trace("other"):
+                return obs.current_span_path()
+
+        with obs.enabled_scope(), obs.scope():
+            with obs.trace("outer"):
+                path = contextvars.copy_context().run(in_other_context)
+                assert obs.current_span_path() == "outer"
+        assert path == "outer.other"
+
+
+class TestReset:
+    def test_reset_clears_every_instrument(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.incr("c")
+            obs.observe("h", 1.0)
+            obs.add_time("t", 0.1)
+            obs.reset()
+            snapshot = obs.collect()
+        assert snapshot == {"counters": {}, "timers": {}, "histograms": {}}
+
+    def test_names_recreate_after_reset(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.incr("c", 10)
+            obs.reset()
+            obs.incr("c")
+            assert obs.collect()["counters"]["c"] == 1
+
+
+class TestDisabled:
+    def test_mutators_are_noops(self):
+        assert not obs.enabled()
+        with obs.scope():
+            obs.incr("c")
+            obs.observe("h", 1.0)
+            obs.add_time("t", 0.1)
+            with obs.trace("span"):
+                assert obs.current_span_path() == ""
+            snapshot = obs.collect()
+        assert snapshot == {"counters": {}, "timers": {}, "histograms": {}}
+
+    def test_enabled_scope_restores_previous_state(self):
+        assert not obs.enabled()
+        with obs.enabled_scope():
+            assert obs.enabled()
+            with obs.enabled_scope(False):
+                assert not obs.enabled()
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_module_flag_matches_accessor(self):
+        assert obs.ENABLED is obs.enabled()
+        obs.enable()
+        try:
+            assert obs.ENABLED is True
+        finally:
+            obs.disable()
+        assert obs.ENABLED is False
+
+
+class TestDiff:
+    def test_counters_subtract_and_zero_deltas_drop(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.incr("unchanged", 3)
+            obs.incr("grows", 1)
+            before = obs.collect()
+            obs.incr("grows", 4)
+            obs.incr("fresh", 2)
+            delta = obs.diff(before, obs.collect())
+        assert delta["counters"] == {"grows": 4, "fresh": 2}
+
+    def test_timers_diff_count_and_total(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.add_time("t", 1.0)
+            before = obs.collect()
+            obs.add_time("t", 0.5)
+            delta = obs.diff(before, obs.collect())
+        assert delta["timers"]["t"]["count"] == 1
+        assert delta["timers"]["t"]["total"] == pytest.approx(0.5)
+
+    def test_histograms_diff_count_and_sum(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.observe("h", 2.0)
+            before = obs.collect()
+            obs.observe("h", 3.0)
+            obs.observe("h", 5.0)
+            delta = obs.diff(before, obs.collect())
+        assert delta["histograms"]["h"]["count"] == 2
+        assert delta["histograms"]["h"]["sum"] == pytest.approx(8.0)
