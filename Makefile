@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments claims profile clean
+.PHONY: install test fuzz bench examples experiments claims profile clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The long hypothesis profile plus the robustness/fault suites: many
+# more examples, fresh seeds each run.
+fuzz:
+	HYPOTHESIS_PROFILE=fuzz $(PYTHON) -m pytest -q \
+		tests/test_boundary_fuzz.py tests/test_faults.py \
+		tests/test_robust_exact.py tests/test_robust_decision.py \
+		tests/test_criteria_properties.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

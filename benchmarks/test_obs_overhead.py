@@ -32,10 +32,13 @@ MAX_OVERHEAD_RATIO = 1.05
 
 
 class _BaselineHyperbola(HyperbolaCriterion):
-    """The ``dominates`` body with every ``if obs.ENABLED`` deleted."""
+    """The ``_decide`` body with every ``if obs.ENABLED`` deleted.
 
-    def dominates(self, sa, sb, sq) -> bool:
-        self.check_dimensions(sa, sb, sq)
+    The template ``dominates`` (dimension validation) is inherited
+    unchanged, so the two variants still differ only by the guards.
+    """
+
+    def _decide(self, sa, sb, sq) -> bool:
         if sa.overlaps(sb):
             return False
         if boundary_margin(sa, sb, sq.center) <= 0.0:
@@ -93,4 +96,39 @@ def test_disabled_instrumentation_overhead_under_five_percent():
         f"disabled instrumentation costs {100.0 * (ratio - 1.0):.1f}% "
         f"(instrumented {best_instrumented:.4f}s vs baseline "
         f"{best_baseline:.4f}s over {len(triples)} triples)"
+    )
+
+
+def test_non_strict_verified_overhead_under_five_percent():
+    """``VerifiedHyperbola(strict=False)`` must not tax the fast path.
+
+    With certification off the verified criterion delegates straight to
+    the plain Hyperbola ``_decide``; the only admissible extra cost is
+    one attribute check per call.
+    """
+    from repro.robust import VerifiedHyperbola
+
+    triples = list(dominance_workload(make_synthetic()).triples())
+    plain = HyperbolaCriterion()
+    relaxed = VerifiedHyperbola(strict=False)
+
+    assert all(
+        relaxed.dominates(sa, sb, sq) == plain.dominates(sa, sb, sq)
+        for sa, sb, sq in triples[:50]
+    )
+
+    obs.disable()
+    _run_workload_seconds(relaxed, triples)
+    _run_workload_seconds(plain, triples)
+
+    best_relaxed = best_plain = float("inf")
+    for _ in range(ROUNDS):
+        best_relaxed = min(best_relaxed, _run_workload_seconds(relaxed, triples))
+        best_plain = min(best_plain, _run_workload_seconds(plain, triples))
+
+    ratio = best_relaxed / best_plain
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"non-strict verified criterion costs {100.0 * (ratio - 1.0):.1f}% "
+        f"(verified {best_relaxed:.4f}s vs hyperbola {best_plain:.4f}s "
+        f"over {len(triples)} triples)"
     )

@@ -13,6 +13,9 @@ This package implements the paper end to end:
 - :mod:`repro.core` — the Hyperbola decision plus the four baseline
   criteria (MinMax, MBR, GP, Trigonometric), a numerical ground-truth
   oracle and vectorised batch kernels;
+- :mod:`repro.robust` — certified tri-state decisions through an
+  adaptive-precision escalation ladder (float64 → extended → exact
+  rational arithmetic) plus a deterministic fault-injection harness;
 - :mod:`repro.index` — an SS-tree built from scratch;
 - :mod:`repro.queries` — the paper's kNN query (Definition 2) with DF
   and HS traversals, and a reverse-NN extension;
@@ -39,6 +42,12 @@ from repro.core import (
 )
 from repro.geometry import Hyperrectangle, Hypersphere
 
+# Imported after repro.core so the "verified" criterion (which builds on
+# the core classes) registers itself whenever the package is used; the
+# robust package must never be imported from repro.core itself or the
+# two would form an import cycle.
+from repro.robust import Decision, Verdict, VerifiedHyperbola
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -48,5 +57,8 @@ __all__ = [
     "dominates",
     "get_criterion",
     "available_criteria",
+    "Decision",
+    "Verdict",
+    "VerifiedHyperbola",
     "__version__",
 ]

@@ -104,8 +104,11 @@ def run_canned_workload(*, seed: int = 0) -> dict:
 
     The workload is small and fixed: a synthetic dataset, the scalar
     Hyperbola and Cascade criteria over a dominance workload, one
-    vectorised batch evaluation, and a handful of SS-tree kNN queries.
-    Must be called with instrumentation enabled to record anything.
+    vectorised batch evaluation, a handful of SS-tree kNN queries, the
+    certified criterion over the same triples (so the escalation-ladder
+    stage counters show up), and one fault-injected pass demonstrating
+    graceful degradation.  Must be called with instrumentation enabled
+    to record anything.
     """
     dataset = synthetic_dataset(400, 3, mu=0.1, seed=seed)
     workload = DominanceWorkload.from_dataset(dataset, size=500, seed=seed)
@@ -120,6 +123,19 @@ def run_canned_workload(*, seed: int = 0) -> dict:
         tree = SSTree.bulk_load(dataset.items(), max_entries=16)
         for query in knn_queries(dataset, count=10, seed=seed):
             knn_query(tree, query, 5, criterion="hyperbola")
+    with obs.trace("stats.verified"):
+        verified = get_criterion("verified")
+        for sa, sb, sq in workload.triples():
+            verified.dominates(sa, sb, sq)
+    with obs.trace("stats.faults"):
+        # A short demonstration that certified verdicts survive kernel
+        # corruption: the 'verified.stage.*' / 'faults.*' counters show
+        # the ladder escalating over the poisoned quartic solver.
+        from repro.robust import faults
+
+        with faults.inject("quartic", "nan"):
+            for sa, sb, sq in list(workload.triples())[:50]:
+                verified.dominates(sa, sb, sq)
     return obs.collect()
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Iterator
 
-from repro.exceptions import CriterionError
+from repro.exceptions import CriterionError, DimensionalityMismatchError
 from repro.geometry.hypersphere import Hypersphere
 
 __all__ = [
@@ -47,16 +47,37 @@ class DominanceCriterion(ABC):
     is_correct: bool = False
     is_sound: bool = False
 
-    @abstractmethod
     def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
-        """Decide whether *sa* dominates *sb* with respect to *sq*."""
+        """Decide whether *sa* dominates *sb* with respect to *sq*.
+
+        This is the single entry point of every criterion: it validates
+        that the three hyperspheres share one dimensionality (raising
+        :class:`~repro.exceptions.DimensionalityMismatchError` otherwise)
+        and then delegates to the subclass's :meth:`_decide`.  Before
+        this template existed each subclass had to remember to validate,
+        so a forgotten check could let a 2-D/3-D mix reach the kernel.
+        """
+        dimension = sa.dimension
+        if sb.dimension != dimension:
+            raise DimensionalityMismatchError(dimension, sb.dimension)
+        if sq.dimension != dimension:
+            raise DimensionalityMismatchError(dimension, sq.dimension)
+        return self._decide(sa, sb, sq)
+
+    @abstractmethod
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        """The criterion's decision body (inputs already validated)."""
 
     def __call__(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         return self.dominates(sa, sb, sq)
 
     @staticmethod
     def check_dimensions(sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> None:
-        """Raise when the three hyperspheres live in different spaces."""
+        """Raise when the three hyperspheres live in different spaces.
+
+        Retained for callers outside the class hierarchy; subclasses no
+        longer need it because :meth:`dominates` validates up front.
+        """
         sa.require_same_dimension(sb)
         sa.require_same_dimension(sq)
 

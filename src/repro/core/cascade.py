@@ -37,8 +37,7 @@ class CascadeCriterion(DominanceCriterion):
     def __init__(self) -> None:
         self._exact = HyperbolaCriterion()
 
-    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
-        self.check_dimensions(sa, sb, sq)
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         if obs.ENABLED:
             obs.incr("cascade.calls")
         if sa.overlaps(sb):
@@ -59,4 +58,5 @@ class CascadeCriterion(DominanceCriterion):
             return False
         if obs.ENABLED:
             obs.incr("cascade.fall_through")
-        return self._exact.dominates(sa, sb, sq)
+        # Dimensions were validated at this criterion's own entry point.
+        return self._exact._decide(sa, sb, sq)

@@ -62,8 +62,7 @@ class GPCriterion(DominanceCriterion):
     def __init__(self) -> None:
         self._exact_2d = HyperbolaCriterion()
 
-    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
-        self.check_dimensions(sa, sb, sq)
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         if sa.dimension <= 2:
             return self._exact_2d.dominates(sa, sb, sq)
         anchor = sa.center

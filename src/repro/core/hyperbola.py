@@ -46,9 +46,9 @@ import math
 
 from repro import obs
 from repro.core.base import DominanceCriterion, register_criterion
+from repro.geometry import quartic
 from repro.geometry.distance import dist
 from repro.geometry.hypersphere import Hypersphere
-from repro.geometry.quartic import solve_quartic_real
 from repro.geometry.transform import FocalFrame
 
 __all__ = [
@@ -83,14 +83,28 @@ def boundary_margin(sa: Hypersphere, sb: Hypersphere, point) -> float:
     )
 
 
-def _distance_to_hyperbola_2d(t: float, rho: float, alpha: float, rab: float) -> float:
+def _distance_to_hyperbola_2d(
+    t: float, rho: float, alpha: float, rab: float, solver=None
+) -> float:
     """Minimum distance from ``(t, rho)`` to the quadric ``F = 0``.
 
     Works entirely in the reduced half-plane: the quadric is
     ``x^2 / (rab/2)^2 - y^2 / (alpha^2 - (rab/2)^2) = 1`` and the query
     point is ``(t, rho)`` with ``rho >= 0``.  Requires ``0 < rab <
     2*alpha`` (the caller guarantees it via the overlap fast-path).
+
+    *solver* substitutes a different quartic root solver (used by the
+    :mod:`repro.robust` escalation ladder to drive the same candidate
+    enumeration through each precision stage); the default resolves
+    :func:`repro.geometry.quartic.solve_quartic_real` at call time.
+
+    Raises :class:`ArithmeticError` when a non-finite root or input
+    corrupts the candidate search — a silent ``nan`` would be dropped by
+    the float comparisons and *inflate* the minimum, turning numerical
+    corruption into a wrong "dominates" answer.
     """
+    if solver is None:
+        solver = quartic.solve_quartic_real
     rab_sq = rab * rab
     alpha_sq = alpha * alpha
     # Coefficients from Section 4.3.2 of the paper.
@@ -148,7 +162,10 @@ def _distance_to_hyperbola_2d(t: float, rho: float, alpha: float, rab: float) ->
     coeff_e = a1 + a2 - a3
     scale = max(abs(coeff_a), abs(coeff_b), abs(coeff_c), abs(coeff_d), abs(coeff_e))
     if scale > 0.0:
-        for lam in solve_quartic_real((coeff_a, coeff_b, coeff_c, coeff_d, coeff_e)):
+        for lam in solver((coeff_a, coeff_b, coeff_c, coeff_d, coeff_e)):
+            lam = float(lam)
+            if not math.isfinite(lam):
+                raise ArithmeticError("quartic solver produced a non-finite root")
             denom_x = 1.0 + a5 * lam
             if abs(denom_x) < _DENOM_EPS:
                 continue  # degenerate branch, handled explicitly above
@@ -167,6 +184,11 @@ def _distance_to_hyperbola_2d(t: float, rho: float, alpha: float, rab: float) ->
 
     if obs.ENABLED:
         obs.incr("hyperbola.stationary_candidates", candidates)
+    if not math.isfinite(best_sq):
+        # Only possible when t/rho/alpha/rab were themselves corrupted:
+        # nan candidates lose every `<` comparison and leave best_sq at
+        # +inf, which would certify any query radius.
+        raise ArithmeticError("non-finite inputs to the boundary-distance search")
     return math.sqrt(best_sq)
 
 
@@ -224,8 +246,7 @@ class HyperbolaCriterion(DominanceCriterion):
     is_correct = True
     is_sound = True
 
-    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
-        self.check_dimensions(sa, sb, sq)
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         if obs.ENABLED:
             obs.incr("hyperbola.calls")
         # Lemma 1: overlapping spheres never dominate.

@@ -90,8 +90,7 @@ class MBRCriterion(DominanceCriterion):
     is_correct = True
     is_sound = False
 
-    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
-        self.check_dimensions(sa, sb, sq)
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         return rectangle_dominates(
             Hyperrectangle.bounding(sa),
             Hyperrectangle.bounding(sb),

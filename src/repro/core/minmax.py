@@ -33,6 +33,5 @@ class MinMaxCriterion(DominanceCriterion):
     is_correct = True
     is_sound = False
 
-    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
-        self.check_dimensions(sa, sb, sq)
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         return max_dist(sa, sq) < min_dist(sb, sq)

@@ -50,8 +50,7 @@ class TrigonometricCriterion(DominanceCriterion):
     is_correct = False
     is_sound = True
 
-    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
-        self.check_dimensions(sa, sb, sq)
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         direction = sb.center - sa.center
         separation = float(np.linalg.norm(direction))
         if separation == 0.0:

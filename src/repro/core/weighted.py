@@ -92,8 +92,7 @@ class WeightedEuclideanCriterion(DominanceCriterion):
             )
         return Hypersphere(sphere.center * self._scale, sphere.radius)
 
-    def dominates(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
-        self.check_dimensions(sa, sb, sq)
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         return self._exact.dominates(
             self._to_euclidean(sa),
             self._to_euclidean(sb),

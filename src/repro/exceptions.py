@@ -31,12 +31,19 @@ class CriterionError(ReproError):
     """A dominance decision criterion was invoked on unsupported input."""
 
 
-class IndexError_(ReproError):
-    """An index structure (e.g. the SS-tree) detected an invalid state.
+class IndexStructureError(ReproError):
+    """An index structure (e.g. the SS-tree) detected an invalid state."""
 
-    Named with a trailing underscore to avoid shadowing the built-in
-    :class:`IndexError`.
-    """
+
+#: Deprecated alias for :class:`IndexStructureError`.  The old name carried
+#: a trailing underscore to avoid shadowing the built-in :class:`IndexError`;
+#: the new name needs no such workaround.  Kept for one release so external
+#: ``except IndexError_`` clauses keep working.
+IndexError_ = IndexStructureError
+
+
+class CertificationError(ReproError):
+    """A certified (tri-state) dominance decision could not be produced."""
 
 
 class QueryError(ReproError):

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexStructureError
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.instrumentation import IndexStatsMixin
 
@@ -26,13 +26,13 @@ class LinearIndex(IndexStatsMixin):
     def __init__(self, items: Iterable[tuple[object, Hypersphere]]) -> None:
         items = list(items)
         if not items:
-            raise IndexError_("cannot build an index over an empty dataset")
+            raise IndexStructureError("cannot build an index over an empty dataset")
         self.keys = [key for key, _ in items]
         self.spheres = [sphere for _, sphere in items]
         dimension = self.spheres[0].dimension
         for sphere in self.spheres:
             if sphere.dimension != dimension:
-                raise IndexError_("all spheres must share one dimensionality")
+                raise IndexStructureError("all spheres must share one dimensionality")
         self.dimension = dimension
         self.centers = np.stack([sphere.center for sphere in self.spheres])
         self.radii = np.array([sphere.radius for sphere in self.spheres])

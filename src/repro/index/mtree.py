@@ -29,7 +29,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexStructureError
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.instrumentation import IndexStatsMixin
 
@@ -103,9 +103,9 @@ class MTree(IndexStatsMixin):
 
     def __init__(self, dimension: int, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if dimension < 1:
-            raise IndexError_(f"dimension must be positive, got {dimension}")
+            raise IndexStructureError(f"dimension must be positive, got {dimension}")
         if max_entries < 4:
-            raise IndexError_(f"max_entries must be at least 4, got {max_entries}")
+            raise IndexStructureError(f"max_entries must be at least 4, got {max_entries}")
         self.dimension = dimension
         self.max_entries = max_entries
         self.root = MTreeNode(is_leaf=True)
@@ -121,7 +121,7 @@ class MTree(IndexStatsMixin):
         """Construct by repeated insertion (the M-tree is insert-built)."""
         items = list(items)
         if not items:
-            raise IndexError_("cannot build an index over an empty dataset")
+            raise IndexStructureError("cannot build an index over an empty dataset")
         tree = cls(items[0][1].dimension, max_entries=max_entries)
         for key, sphere in items:
             tree.insert(key, sphere)
@@ -133,7 +133,7 @@ class MTree(IndexStatsMixin):
     def insert(self, key: object, sphere: Hypersphere) -> None:
         """Insert one keyed hypersphere."""
         if sphere.dimension != self.dimension:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"sphere dimension {sphere.dimension} != tree dimension "
                 f"{self.dimension}"
             )
@@ -301,31 +301,31 @@ class MTree(IndexStatsMixin):
     # Invariants
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Raise :class:`IndexError_` on any violated invariant."""
+        """Raise :class:`IndexStructureError` on any violated invariant."""
         if self.root.count == 0:
             return
 
         def check(node: MTreeNode) -> tuple[int, int]:
             if node.routing is None:
-                raise IndexError_("node without a routing object")
+                raise IndexStructureError("node without a routing object")
             tolerance = 1e-9 * (1.0 + node.radius)
             if node.is_leaf:
                 if not node.entries:
-                    raise IndexError_("empty leaf")
+                    raise IndexStructureError("empty leaf")
                 for _, sphere in node.entries:
                     reach = (
                         float(np.linalg.norm(sphere.center - node.routing))
                         + sphere.radius
                     )
                     if reach > node.radius + tolerance:
-                        raise IndexError_("leaf covering radius violated")
+                        raise IndexStructureError("leaf covering radius violated")
                 if node.count != len(node.entries):
-                    raise IndexError_("leaf count mismatch")
+                    raise IndexStructureError("leaf count mismatch")
                 return node.count, 1
             if len(node.children) < 2:
-                raise IndexError_("inner node must have at least two children")
+                raise IndexStructureError("inner node must have at least two children")
             if len(node.children) > self.max_entries:
-                raise IndexError_("inner node overfull")
+                raise IndexStructureError("inner node overfull")
             total = 0
             depths = set()
             for child in node.children:
@@ -334,14 +334,14 @@ class MTree(IndexStatsMixin):
                     + child.radius
                 )
                 if reach > node.radius + tolerance:
-                    raise IndexError_("inner covering radius violated")
+                    raise IndexStructureError("inner covering radius violated")
                 child_count, child_depth = check(child)
                 total += child_count
                 depths.add(child_depth)
             if len(depths) != 1:
-                raise IndexError_(f"tree unbalanced: subtree depths {depths}")
+                raise IndexStructureError(f"tree unbalanced: subtree depths {depths}")
             if node.count != total:
-                raise IndexError_("inner count mismatch")
+                raise IndexStructureError("inner count mismatch")
             return total, depths.pop() + 1
 
         check(self.root)

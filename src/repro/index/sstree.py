@@ -36,7 +36,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexStructureError
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.instrumentation import IndexStatsMixin
 
@@ -154,9 +154,9 @@ class SSTree(IndexStatsMixin):
 
     def __init__(self, dimension: int, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if dimension < 1:
-            raise IndexError_(f"dimension must be positive, got {dimension}")
+            raise IndexStructureError(f"dimension must be positive, got {dimension}")
         if max_entries < 4:
-            raise IndexError_(f"max_entries must be at least 4, got {max_entries}")
+            raise IndexStructureError(f"max_entries must be at least 4, got {max_entries}")
         self.dimension = dimension
         self.max_entries = max_entries
         self.min_entries = max(2, math.ceil(max_entries * 0.4))
@@ -169,7 +169,7 @@ class SSTree(IndexStatsMixin):
     def insert(self, key: object, sphere: Hypersphere) -> None:
         """Insert one keyed hypersphere."""
         if sphere.dimension != self.dimension:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"sphere dimension {sphere.dimension} != tree dimension "
                 f"{self.dimension}"
             )
@@ -247,7 +247,7 @@ class SSTree(IndexStatsMixin):
         remaining members re-inserted.
         """
         if sphere.dimension != self.dimension:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"sphere dimension {sphere.dimension} != tree dimension "
                 f"{self.dimension}"
             )
@@ -325,7 +325,7 @@ class SSTree(IndexStatsMixin):
         """
         items = list(items)
         if not items:
-            raise IndexError_("cannot bulk-load an empty dataset")
+            raise IndexStructureError("cannot bulk-load an empty dataset")
         dimension = items[0][1].dimension
         tree = cls(dimension, max_entries=max_entries)
 
@@ -417,18 +417,18 @@ class SSTree(IndexStatsMixin):
     # Invariants (property-based tests drive this)
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Raise :class:`IndexError_` if any structural invariant fails."""
+        """Raise :class:`IndexStructureError` if any structural invariant fails."""
         self._validate_node(self.root, is_root=True)
         leaf_depths = set(self._leaf_depths(self.root, 1))
         if len(leaf_depths) > 1:
-            raise IndexError_(f"tree is unbalanced: leaf depths {leaf_depths}")
+            raise IndexStructureError(f"tree is unbalanced: leaf depths {leaf_depths}")
 
     def _validate_node(self, node: SSTreeNode, *, is_root: bool) -> None:
         size = len(node.entries) if node.is_leaf else len(node.children)
         if size > self.max_entries:
-            raise IndexError_(f"node overfull: {size} > {self.max_entries}")
+            raise IndexStructureError(f"node overfull: {size} > {self.max_entries}")
         if not is_root and size < self.min_entries and not node.is_leaf:
-            raise IndexError_(f"inner node underfull: {size} < {self.min_entries}")
+            raise IndexStructureError(f"inner node underfull: {size} < {self.min_entries}")
         tolerance = 1e-9 * (1.0 + abs(node.radius))
         if node.is_leaf:
             for _, sphere in node.entries:
@@ -437,7 +437,7 @@ class SSTree(IndexStatsMixin):
                     + sphere.radius
                 )
                 if reach > node.radius + tolerance:
-                    raise IndexError_("leaf covering radius violated")
+                    raise IndexStructureError("leaf covering radius violated")
         else:
             for child in node.children:
                 reach = (
@@ -445,7 +445,7 @@ class SSTree(IndexStatsMixin):
                     + child.radius
                 )
                 if reach > node.radius + tolerance:
-                    raise IndexError_("inner covering radius violated")
+                    raise IndexStructureError("inner covering radius violated")
                 self._validate_node(child, is_root=False)
         expected = (
             len(node.entries)
@@ -453,7 +453,7 @@ class SSTree(IndexStatsMixin):
             else sum(child.count for child in node.children)
         )
         if node.count != expected:
-            raise IndexError_(f"count mismatch: {node.count} != {expected}")
+            raise IndexStructureError(f"count mismatch: {node.count} != {expected}")
 
     def _leaf_depths(self, node: SSTreeNode, depth: int) -> Iterator[int]:
         if node.is_leaf:

@@ -26,7 +26,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexStructureError
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.instrumentation import IndexStatsMixin
 
@@ -98,15 +98,15 @@ class VPTree(IndexStatsMixin):
         """Construct the tree over *items* (``(key, Hypersphere)`` pairs)."""
         items = list(items)
         if not items:
-            raise IndexError_("cannot build an index over an empty dataset")
+            raise IndexStructureError("cannot build an index over an empty dataset")
         if leaf_capacity < 2:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"leaf_capacity must be at least 2, got {leaf_capacity}"
             )
         dimension = items[0][1].dimension
         for _, sphere in items:
             if sphere.dimension != dimension:
-                raise IndexError_("all spheres must share one dimensionality")
+                raise IndexStructureError("all spheres must share one dimensionality")
         rng = np.random.default_rng(seed)
         root = cls._build_node(items, leaf_capacity, rng)
         return cls(root, dimension, leaf_capacity)
@@ -221,34 +221,34 @@ class VPTree(IndexStatsMixin):
     # Invariants
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Raise :class:`IndexError_` on any violated invariant."""
+        """Raise :class:`IndexStructureError` on any violated invariant."""
         def check(node: VPTreeNode) -> int:
             if node.vantage is None:
-                raise IndexError_("node without a vantage point")
+                raise IndexStructureError("node without a vantage point")
             if node.lo > node.hi + 1e-12:
-                raise IndexError_("distance band inverted")
+                raise IndexStructureError("distance band inverted")
             if node.is_leaf:
                 if not node.entries:
-                    raise IndexError_("empty leaf")
+                    raise IndexStructureError("empty leaf")
                 for _, sphere in node.entries:
                     gap = float(np.linalg.norm(sphere.center - node.vantage))
                     if not (node.lo - 1e-9 <= gap <= node.hi + 1e-9):
-                        raise IndexError_("member outside the distance band")
+                        raise IndexStructureError("member outside the distance band")
                     if sphere.radius > node.r_max + 1e-12:
-                        raise IndexError_("member radius above r_max")
+                        raise IndexStructureError("member radius above r_max")
                 if node.count != len(node.entries):
-                    raise IndexError_("leaf count mismatch")
+                    raise IndexStructureError("leaf count mismatch")
                 return node.count
             if len(node.children) != 2:
-                raise IndexError_("inner node must have two children")
+                raise IndexStructureError("inner node must have two children")
             total = sum(check(child) for child in node.children)
             if node.count != total:
-                raise IndexError_("inner count mismatch")
+                raise IndexStructureError("inner count mismatch")
             # Every descendant must respect this node's own band too.
             for key, sphere in self._iter_subtree(node):
                 gap = float(np.linalg.norm(sphere.center - node.vantage))
                 if not (node.lo - 1e-9 <= gap <= node.hi + 1e-9):
-                    raise IndexError_("descendant outside the distance band")
+                    raise IndexStructureError("descendant outside the distance band")
             return total
 
         check(self.root)

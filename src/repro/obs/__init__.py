@@ -56,6 +56,7 @@ __all__ = [
     "add_time",
     "trace",
     "collect",
+    "counter_value",
     "reset",
     "scope",
     "current_registry",
@@ -348,6 +349,16 @@ def current_span_path() -> str:
 def collect() -> dict:
     """Snapshot the current context's registry to a plain dict."""
     return current_registry().collect()
+
+
+def counter_value(name: str) -> int:
+    """Current value of the named counter (0 if it never incremented).
+
+    Reads do not create the instrument, so probing a counter that never
+    fired leaves no trace in :func:`collect` output.
+    """
+    instrument = current_registry().counters.get(name)
+    return instrument.value if instrument is not None else 0
 
 
 def reset() -> None:

@@ -93,7 +93,18 @@ def _record_traversal(index: object, result: "KNNResult") -> None:
         obs.incr("knn.entries_considered", result.entries_considered)
         obs.incr("knn.dominance_checks", result.dominance_checks)
         obs.incr("knn.pruned_case3", result.pruned_case3)
+        obs.incr("knn.uncertain_decisions", result.uncertain_decisions)
         obs.observe("knn.answer_size", len(result.keys))
+
+
+def _uncertain_count(criterion: object) -> int:
+    """Running UNCERTAIN tally of a certified criterion (0 otherwise).
+
+    Duck-typed on the ``uncertain_count`` attribute of
+    :class:`~repro.robust.verified.VerifiedHyperbola`, so the query
+    layer needs no dependency on :mod:`repro.robust`.
+    """
+    return int(getattr(criterion, "uncertain_count", 0))
 
 
 @dataclass
@@ -107,6 +118,10 @@ class KNNResult:
     entries_considered: int = 0
     dominance_checks: int = 0
     pruned_case3: int = 0
+    #: Dominance checks a certified criterion (e.g. ``"verified"``)
+    #: answered UNCERTAIN during this query, falling back to its
+    #: conservative boolean; always 0 for plain boolean criteria.
+    uncertain_decisions: int = 0
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -257,6 +272,7 @@ def knn_query(
 
     best = _BestKnownList(k, query, criterion)
     result = KNNResult(keys=[], spheres=[], distk=float("inf"))
+    uncertain_before = _uncertain_count(criterion)
 
     if isinstance(index, LinearIndex):
         for key, sphere in index:
@@ -272,6 +288,7 @@ def knn_query(
     result.keys, result.spheres, result.distk = best.finalize()
     result.dominance_checks = best.dominance_checks
     result.pruned_case3 = best.pruned_case3
+    result.uncertain_decisions = _uncertain_count(criterion) - uncertain_before
     _record_traversal(index, result)
     return result
 
@@ -332,6 +349,7 @@ def _knn_two_phase(
 ) -> KNNResult:
     """The Definition-2-exact variant: find ``Sk`` first, then collect."""
     result = KNNResult(keys=[], spheres=[], distk=float("inf"))
+    uncertain_before = _uncertain_count(criterion)
 
     if isinstance(index, LinearIndex):
         maxdists = index.max_dists(query)
@@ -349,6 +367,7 @@ def _knn_two_phase(
                 result.keys.append(key)
                 result.spheres.append(sphere)
         result.distk = distk
+        result.uncertain_decisions = _uncertain_count(criterion) - uncertain_before
         _record_traversal(index, result)
         return result
 
@@ -411,6 +430,7 @@ def _knn_two_phase(
         else:
             stack.extend(node.children)
     result.distk = distk
+    result.uncertain_decisions = _uncertain_count(criterion) - uncertain_before
     _record_traversal(index, result)
     return result
 

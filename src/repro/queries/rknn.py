@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import DominanceCriterion, get_criterion
 from repro.exceptions import QueryError
 from repro.geometry.hypersphere import Hypersphere
@@ -47,6 +48,12 @@ def rnn_candidates(
     uses a cheap vectorised MinMax pre-filter before falling back to the
     configured criterion, so the exact operator only runs on the
     undecided pairs.
+
+    With the certified ``"verified"`` criterion a borderline pair is
+    never mis-pruned: an UNCERTAIN decision collapses to its
+    conservative fallback (``True`` only when a correct criterion
+    proved the prune safe) and is tallied on the
+    ``rnn.uncertain_decisions`` obs counter.
     """
     if not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
@@ -62,6 +69,8 @@ def rnn_candidates(
     radii = dataset.radii
     keys = dataset.keys
     spheres = dataset.spheres
+    # Duck-typed tally of certified-criterion abstentions (see knn.py).
+    uncertain_before = int(getattr(criterion, "uncertain_count", 0))
     survivors: list = []
     for b, (key, sphere_b) in enumerate(zip(keys, spheres)):
         # Vectorised MinMax pre-filter (correct, so pruning is safe):
@@ -89,4 +98,10 @@ def rnn_candidates(
                 break
         if not refuted:
             survivors.append(key)
+    if obs.ENABLED:
+        obs.incr("rnn.queries")
+        obs.incr(
+            "rnn.uncertain_decisions",
+            int(getattr(criterion, "uncertain_count", 0)) - uncertain_before,
+        )
     return survivors

@@ -1,0 +1,98 @@
+"""The tri-state certified dominance verdict.
+
+The paper's Hyperbola criterion is *optimal* — correct and sound — in
+exact real arithmetic, but the float64 kernel decides through a quartic
+whose coefficients contain powers up to ``rab^4``; near the decision
+boundary a rounding error can silently turn the optimal criterion into
+one that is neither correct nor sound.  The :mod:`repro.robust`
+subsystem therefore never collapses a borderline configuration into a
+bare boolean: every decision is a :class:`Decision` carrying
+
+- a :class:`Verdict` — ``TRUE`` / ``FALSE`` when some precision stage
+  certified the sign of its decision margin against that stage's error
+  bound, ``UNCERTAIN`` when the whole escalation ladder was exhausted;
+- the ``margin`` the deciding stage observed (``Dom`` holds iff the
+  exact margin is positive) and the ``bound`` it certified against;
+- the name of the ``stage`` that produced the verdict;
+- for ``UNCERTAIN`` verdicts, a conservative ``fallback`` boolean that
+  downstream pruning can use without risking a wrong prune.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = ["Verdict", "Decision"]
+
+
+class Verdict(enum.Enum):
+    """Certified outcome of a dominance decision."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNCERTAIN = "uncertain"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard, never hit in tests
+        raise TypeError(
+            "a Verdict is tri-state; compare against Verdict.TRUE/FALSE "
+            "explicitly or use Decision.as_bool()"
+        )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One certified dominance decision.
+
+    Attributes
+    ----------
+    verdict:
+        The tri-state outcome.
+    margin:
+        The decision margin observed by the certifying stage (positive
+        means dominance); ``nan`` when no stage got far enough to
+        measure one.
+    bound:
+        The error bound the margin was certified against (0 for the
+        exact arbiter, ``inf`` when nothing was certified).
+    stage:
+        Name of the ladder stage that produced the verdict (for
+        ``UNCERTAIN``: the last stage attempted).
+    fallback:
+        Conservative boolean attached to ``UNCERTAIN`` verdicts by
+        :class:`~repro.robust.verified.VerifiedHyperbola` (``None``
+        otherwise): ``True`` only when a *correct* criterion proved the
+        pruning safe, ``False`` meaning "keep — cannot certify".
+    """
+
+    verdict: Verdict
+    margin: float = math.nan
+    bound: float = math.inf
+    stage: str = ""
+    fallback: "bool | None" = None
+
+    @property
+    def certified(self) -> bool:
+        """Whether the verdict is a certified TRUE or FALSE."""
+        return self.verdict is not Verdict.UNCERTAIN
+
+    def as_bool(self) -> bool:
+        """Collapse to a pruning-safe boolean.
+
+        Certified verdicts map to themselves; ``UNCERTAIN`` maps to the
+        conservative ``fallback`` (or ``False`` — "keep" — when no
+        fallback was computed).
+        """
+        if self.verdict is Verdict.TRUE:
+            return True
+        if self.verdict is Verdict.FALSE:
+            return False
+        return bool(self.fallback)
+
+    def __repr__(self) -> str:
+        tail = "" if self.fallback is None else f", fallback={self.fallback}"
+        return (
+            f"Decision({self.verdict.name}, margin={self.margin:.3g}, "
+            f"bound={self.bound:.3g}, stage={self.stage!r}{tail})"
+        )

@@ -1,0 +1,249 @@
+"""The exact dominance arbiter: integer arithmetic, no rounding error.
+
+Final stage of the escalation ladder (see :mod:`repro.robust.ladder`).
+Every float input is a dyadic rational, so the whole decision can be
+settled in :class:`fractions.Fraction` arithmetic; this module does so
+**without ever taking a square root**, which makes the verdict exact —
+the stage cannot be wrong, only slow.
+
+Decision structure (mirrors the paper's Algorithm Hyperbola):
+
+1. *Overlap* (Lemma 1): ``Dist(ca, cb) <= ra + rb`` compares the
+   rational ``gap^2`` against ``(ra + rb)^2``.
+2. *Center side*: the sign of ``Dist(cb, cq) - Dist(ca, cq) - s`` with
+   ``s = ra + rb`` is decided by the classic two-squaring trick on
+   ``sqrt(B2) - sqrt(A2) - s`` (both radicands rational).
+3. *Boundary clearance*: ``Dom`` holds iff the closed query disk stays
+   strictly inside ``Ra``, i.e. iff the circle of radius ``rq`` around
+   the reduced query point ``(t, rho)`` does **not** meet the quadric
+
+       B2 * x^2 - A2 * y^2 = A2 * B2,
+       A2 = (s/2)^2,  B2 = (gap^2 - s^2)/4.
+
+   (The hyperbola branches are unbounded, so a disk that contains a
+   quadric point must have its bounding circle cross the quadric, and
+   the near branch — the actual boundary of ``Ra`` — is always the
+   closer one when ``cq`` lies inside ``Ra``.)
+
+   Parametrising the circle by ``(x, y) = (t + rq*cos(theta),
+   rho + rq*sin(theta))`` and substituting ``w = g*cos(theta)`` with
+   ``g = Dist(ca, cb)`` turns the intersection condition into a quartic
+   ``Phi(w) = R(w)^2 + (N^2/G)*w^2 - N^2`` with *rational* coefficients
+   (``t^2``, ``rho^2``, ``t*g`` and ``G = g^2`` are all rational even
+   though ``t``, ``rho`` and ``g`` are not).  The circle meets the
+   quadric iff ``Phi`` has a real root in ``[-g, +g]`` — decided
+   exactly by a Sturm chain whose members are evaluated at ``±sqrt(G)``
+   via even/odd coefficient splitting.
+
+The arbiter deliberately shares *no* code with the float kernel: no
+NumPy, no :class:`~repro.geometry.transform.FocalFrame`, no quartic
+solver — so the fault-injection harness cannot corrupt it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["exact_dominates"]
+
+
+# ----------------------------------------------------------------------
+# Sign arithmetic on quadratic surds
+# ----------------------------------------------------------------------
+def _sign(x: Fraction) -> int:
+    return (x > 0) - (x < 0)
+
+
+def _sign_with_sqrt(e: Fraction, o: Fraction, g_sq: Fraction) -> int:
+    """Sign of ``e + o * sqrt(g_sq)`` with every argument rational."""
+    if o == 0:
+        return _sign(e)
+    if e == 0:
+        return _sign(o)
+    if (e > 0) == (o > 0):
+        return _sign(e)
+    lhs = e * e
+    rhs = o * o * g_sq
+    if lhs == rhs:
+        return 0
+    return _sign(e) if lhs > rhs else _sign(o)
+
+
+def _margin_sign(a_sq: Fraction, b_sq: Fraction, s: Fraction) -> int:
+    """Sign of ``sqrt(b_sq) - sqrt(a_sq) - s`` for ``s >= 0``."""
+    ell = b_sq - a_sq - s * s
+    if ell < 0:
+        return -1
+    lhs = ell * ell
+    rhs = 4 * a_sq * s * s
+    if lhs == rhs:
+        return 0
+    return 1 if lhs > rhs else -1
+
+
+# ----------------------------------------------------------------------
+# Fraction polynomials (ascending coefficient lists)
+# ----------------------------------------------------------------------
+def _trim(p: list[Fraction]) -> list[Fraction]:
+    while len(p) > 1 and p[-1] == 0:
+        p = p[:-1]
+    return p
+
+
+def _mul(p: Sequence[Fraction], q: Sequence[Fraction]) -> list[Fraction]:
+    out = [Fraction(0)] * (len(p) + len(q) - 1)
+    for i, a in enumerate(p):
+        if a == 0:
+            continue
+        for j, b in enumerate(q):
+            out[i + j] += a * b
+    return out
+
+
+def _deriv(p: Sequence[Fraction]) -> list[Fraction]:
+    return [i * a for i, a in enumerate(p)][1:] or [Fraction(0)]
+
+
+def _rem(num: Sequence[Fraction], den: Sequence[Fraction]) -> list[Fraction]:
+    """Remainder of polynomial division ``num / den`` (den non-zero)."""
+    num = list(num)
+    d = len(den) - 1
+    lead = den[-1]
+    while len(num) - 1 >= d and any(c != 0 for c in num):
+        num = _trim(num)
+        if len(num) - 1 < d:
+            break
+        factor = num[-1] / lead
+        shift = len(num) - 1 - d
+        for i, b in enumerate(den):
+            num[shift + i] -= factor * b
+        num = num[:-1]
+    return _trim(num) if num else [Fraction(0)]
+
+
+def _sturm_chain(p: list[Fraction]) -> list[list[Fraction]]:
+    chain = [_trim(p), _trim(_deriv(p))]
+    while len(chain[-1]) > 1 or chain[-1][0] != 0:
+        remainder = _rem(chain[-2], chain[-1])
+        if len(remainder) == 1 and remainder[0] == 0:
+            break
+        chain.append([-c for c in remainder])
+        if len(chain[-1]) == 1:
+            break
+    return chain
+
+
+def _variations(signs: Sequence[int]) -> int:
+    count = 0
+    previous = 0
+    for sign in signs:
+        if sign == 0:
+            continue
+        if previous != 0 and sign != previous:
+            count += 1
+        previous = sign
+    return count
+
+
+def _eval_sign_at_sqrt(p: Sequence[Fraction], g_sq: Fraction, positive: bool) -> int:
+    """Sign of ``p(+-sqrt(g_sq))`` via even/odd coefficient splitting."""
+    even = Fraction(0)
+    odd = Fraction(0)
+    for i, a in enumerate(p):
+        if i % 2 == 0:
+            even += a * g_sq ** (i // 2)
+        else:
+            odd += a * g_sq ** ((i - 1) // 2)
+    return _sign_with_sqrt(even, odd if positive else -odd, g_sq)
+
+
+def _has_root_within_sqrt(p: list[Fraction], g_sq: Fraction) -> bool:
+    """Whether ``p`` has a real root in the closed ``[-sqrt(g_sq), +sqrt(g_sq)]``."""
+    p = _trim(p)
+    if len(p) == 1:
+        return p[0] == 0
+    if (
+        _eval_sign_at_sqrt(p, g_sq, positive=False) == 0
+        or _eval_sign_at_sqrt(p, g_sq, positive=True) == 0
+    ):
+        return True
+    chain = _sturm_chain(p)
+    at_lo = _variations([_eval_sign_at_sqrt(q, g_sq, positive=False) for q in chain])
+    at_hi = _variations([_eval_sign_at_sqrt(q, g_sq, positive=True) for q in chain])
+    return at_lo - at_hi > 0
+
+
+# ----------------------------------------------------------------------
+# The arbiter
+# ----------------------------------------------------------------------
+def _rationalise(sphere: Hypersphere) -> tuple[tuple[Fraction, ...], Fraction]:
+    center = tuple(Fraction(float(c)) for c in sphere.center)
+    return center, Fraction(float(sphere.radius))
+
+
+def exact_dominates(sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+    """Exact ``Dom(Sa, Sb, Sq)`` over the rationalised float inputs.
+
+    Treats every float coordinate/radius as the exact rational it is and
+    settles all signs with integer arithmetic, so the answer matches the
+    real-arithmetic Definition 1 for those rational inputs.  Orders of
+    magnitude slower than the float kernel — reserve it for borderline
+    configurations (which is exactly what the escalation ladder does).
+    """
+    ca, ra = _rationalise(sa)
+    cb, rb = _rationalise(sb)
+    cq, rq = _rationalise(sq)
+    s = ra + rb
+
+    axis = tuple(b - a for a, b in zip(ca, cb))
+    g_sq = sum(x * x for x in axis)
+    # Lemma 1: overlapping (or concentric) spheres never dominate.
+    if g_sq <= s * s:
+        return False
+
+    a_sq = sum((q - a) * (q - a) for q, a in zip(cq, ca))
+    b_sq = sum((q - b) * (q - b) for q, b in zip(cq, cb))
+    # The query center must lie strictly inside Ra.
+    if _margin_sign(a_sq, b_sq, s) <= 0:
+        return False
+    if rq == 0:
+        return True
+
+    # Reduced coordinates: t*g and rho^2 are rational even though the
+    # frame change itself involves sqrt(g_sq).
+    offset = tuple(q - (a + b) / 2 for q, a, b in zip(cq, ca, cb))
+    t_times_g = sum(o * x for o, x in zip(offset, axis))
+    offset_sq = sum(o * o for o in offset)
+    t_sq = t_times_g * t_times_g / g_sq
+    rho_sq = offset_sq - t_sq
+
+    if len(ca) == 1:
+        # 1-D: the boundary of Ra is the vertex point t = -s/2.
+        g = abs(axis[0])  # sqrt(g_sq) is rational in one dimension
+        v = t_times_g / g + s / 2
+        return v * v > rq * rq
+
+    if s == 0:
+        # Degenerate hyperbola: the perpendicular bisector hyperplane.
+        return t_sq > rq * rq
+
+    # Quadric B2*x^2 - A2*y^2 = A2*B2 in the reduced half-plane.
+    a2 = s * s / 4
+    b2 = (g_sq - s * s) / 4
+    # Substitute the circle (t + rq*cos, rho + rq*sin) with w = g*cos:
+    # the quadric residual is R(w) - N*sin(theta) with N^2 rational.
+    k = b2 * t_sq - a2 * rho_sq - a2 * b2 - a2 * rq * rq
+    r_poly = [
+        k,
+        2 * rq * b2 * t_times_g / g_sq,
+        (a2 + b2) * rq * rq / g_sq,
+    ]
+    n_sq = 4 * rq * rq * a2 * a2 * rho_sq
+    phi = _mul(r_poly, r_poly)
+    phi[2] += n_sq / g_sq
+    phi[0] -= n_sq
+    # Dom holds iff the circle misses the quadric entirely (dmin > rq).
+    return not _has_root_within_sqrt(phi, g_sq)

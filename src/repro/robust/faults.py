@@ -1,0 +1,209 @@
+"""Deterministic fault injection for the numerical dominance kernels.
+
+The escalation ladder's claim is *graceful degradation*: whatever a
+numerical kernel does — return garbage, overflow, blow up — a certified
+verdict is either right or honestly ``UNCERTAIN``.  This module makes
+that claim testable by corrupting the kernels at their seams:
+
+``"quartic"``
+    The three root solvers in :mod:`repro.geometry.quartic`
+    (:func:`~repro.geometry.quartic.solve_quartic_real`, its
+    closed-form and batch variants).
+``"frame"``
+    :meth:`repro.geometry.transform.FocalFrame.reduce`, the O(d)
+    reduction feeding ``(t, rho)`` into the 2-D kernel.
+``"distance"``
+    :func:`repro.geometry.distance.dist`, used by the overlap and
+    center-side fast paths.
+
+and four corruption modes:
+
+``"nan"``     outputs poisoned with ``nan``;
+``"overflow"``  outputs replaced by ``inf``;
+``"perturb"``   outputs scaled by ``1 + magnitude`` (default 1e-12 —
+                within the float stages' certification bounds, so a
+                robust decision absorbs it silently);
+``"raise"``     the seam raises :class:`FaultInjected`.
+
+Injection is **deterministic**: the seam fires on every ``every``-th
+call (counted from the first), so a failing test replays exactly.  Use
+as a context manager::
+
+    with faults.inject("quartic", "nan"):
+        decision = criterion.decide(sa, sb, sq)
+
+Fault activations are counted per seam/mode through :mod:`repro.obs`
+(``faults.<seam>.<mode>``) and on the returned handle's ``hits``.
+
+The exact arbiter (:mod:`repro.robust.exact`) deliberately uses none of
+these seams, which is what lets the full ladder terminate correctly no
+matter what is injected.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import ReproError
+from repro.geometry import distance as _distance
+from repro.geometry import quartic as _quartic
+from repro.geometry.transform import FocalFrame
+
+__all__ = ["FaultInjected", "InjectedFault", "inject", "SEAMS", "MODES"]
+
+SEAMS = ("quartic", "frame", "distance")
+MODES = ("nan", "overflow", "perturb", "raise")
+
+
+class FaultInjected(ArithmeticError):
+    """Raised by a seam operating in ``"raise"`` mode.
+
+    Subclasses :class:`ArithmeticError` so the escalation ladder treats
+    an injected explosion exactly like a genuine numerical failure.
+    """
+
+
+@dataclass
+class InjectedFault:
+    """Handle describing one active injection (returned by :func:`inject`)."""
+
+    seam: str
+    mode: str
+    every: int = 1
+    magnitude: float = 1e-12
+    calls: int = field(default=0, init=False)
+    hits: int = field(default=0, init=False)
+
+    def fires(self) -> bool:
+        """Advance the call counter; report whether this call is corrupted."""
+        self.calls += 1
+        if (self.calls - 1) % self.every != 0:
+            return False
+        self.hits += 1
+        if obs.ENABLED:
+            obs.incr(f"faults.{self.seam}.{self.mode}")
+        return True
+
+    def corrupt_scalar(self, value: float) -> float:
+        if self.mode == "nan":
+            return math.nan
+        if self.mode == "overflow":
+            return math.inf
+        return value * (1.0 + self.magnitude)
+
+    def corrupt_pair(self, pair: "tuple[float, float]") -> "tuple[float, float]":
+        return (self.corrupt_scalar(pair[0]), self.corrupt_scalar(pair[1]))
+
+    def corrupt_roots(self, roots: np.ndarray) -> np.ndarray:
+        if self.mode == "nan":
+            # Append a nan rather than blanking the array: the sharper
+            # failure mode is a poisoned value *alongside* real roots,
+            # which float comparisons would silently drop.
+            return np.append(roots, np.nan)
+        if self.mode == "overflow":
+            return np.append(roots, np.inf)
+        return roots * (1.0 + self.magnitude)
+
+
+def _check(seam: str, mode: str, every: int) -> None:
+    if seam not in SEAMS:
+        raise ReproError(f"unknown fault seam {seam!r}; expected one of {SEAMS}")
+    if mode not in MODES:
+        raise ReproError(f"unknown fault mode {mode!r}; expected one of {MODES}")
+    if every < 1:
+        raise ReproError(f"'every' must be a positive integer, got {every}")
+
+
+@contextlib.contextmanager
+def inject(
+    seam: str,
+    mode: str,
+    every: int = 1,
+    magnitude: float = 1e-12,
+) -> Iterator[InjectedFault]:
+    """Corrupt one *seam* with one *mode* for the duration of the block."""
+    _check(seam, mode, every)
+    fault = InjectedFault(seam=seam, mode=mode, every=every, magnitude=magnitude)
+    if seam == "quartic":
+        originals = {
+            "solve_quartic_real": _quartic.solve_quartic_real,
+            "solve_quartic_real_closed": _quartic.solve_quartic_real_closed,
+            "solve_quartic_real_batch": _quartic.solve_quartic_real_batch,
+        }
+
+        def _wrap_solver(original):
+            def corrupted(coefficients):
+                roots = original(coefficients)
+                if not fault.fires():
+                    return roots
+                if fault.mode == "raise":
+                    raise FaultInjected(f"injected fault in {original.__name__}")
+                return fault.corrupt_roots(roots)
+
+            return corrupted
+
+        def _wrap_batch(original):
+            def corrupted(coefficients):
+                roots = original(coefficients)
+                if not fault.fires():
+                    return roots
+                if fault.mode == "raise":
+                    raise FaultInjected("injected fault in solve_quartic_real_batch")
+                if fault.mode == "nan":
+                    return np.where(np.isnan(roots), roots, np.nan)
+                if fault.mode == "overflow":
+                    return np.where(np.isnan(roots), roots, np.inf)
+                return roots * (1.0 + fault.magnitude)
+
+            return corrupted
+
+        try:
+            _quartic.solve_quartic_real = _wrap_solver(originals["solve_quartic_real"])
+            _quartic.solve_quartic_real_closed = _wrap_solver(
+                originals["solve_quartic_real_closed"]
+            )
+            _quartic.solve_quartic_real_batch = _wrap_batch(
+                originals["solve_quartic_real_batch"]
+            )
+            yield fault
+        finally:
+            for name, original in originals.items():
+                setattr(_quartic, name, original)
+    elif seam == "frame":
+        original_reduce = FocalFrame.reduce
+
+        def corrupted_reduce(self, point):
+            pair = original_reduce(self, point)
+            if not fault.fires():
+                return pair
+            if fault.mode == "raise":
+                raise FaultInjected("injected fault in FocalFrame.reduce")
+            return fault.corrupt_pair(pair)
+
+        try:
+            FocalFrame.reduce = corrupted_reduce
+            yield fault
+        finally:
+            FocalFrame.reduce = original_reduce
+    else:  # seam == "distance"
+        original_dist = _distance.dist
+
+        def corrupted_dist(p, q):
+            value = original_dist(p, q)
+            if not fault.fires():
+                return value
+            if fault.mode == "raise":
+                raise FaultInjected("injected fault in dist")
+            return fault.corrupt_scalar(value)
+
+        try:
+            _distance.dist = corrupted_dist
+            yield fault
+        finally:
+            _distance.dist = original_dist

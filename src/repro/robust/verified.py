@@ -1,0 +1,117 @@
+"""``VerifiedHyperbola`` — the certified tri-state dominance criterion.
+
+A drop-in :class:`~repro.core.hyperbola.HyperbolaCriterion` whose
+answers come from the adaptive-precision escalation ladder
+(:mod:`repro.robust.ladder`).  Two entry points:
+
+- :meth:`VerifiedHyperbola.decide` returns the full
+  :class:`~repro.robust.decision.Decision` (verdict, margin, bound,
+  deciding stage, conservative fallback);
+- the inherited boolean :meth:`~repro.core.base.DominanceCriterion.dominates`
+  collapses that decision with :meth:`Decision.as_bool`.
+
+With the default full ladder every verdict is certified (the exact
+arbiter never abstains), so ``dominates`` is simply the exact answer.
+``UNCERTAIN`` arises only when the ladder is truncated (e.g. latency
+budgets that cannot afford the exact stage) or when injected faults
+knock out every rung; the decision then carries a *conservative*
+fallback produced by provably-correct criteria — GP first, MinMax if GP
+itself fails — so ``True`` still implies genuine dominance and pruning
+stays safe.  If even the fallbacks fail, the fallback is ``False``
+("keep the candidate"), the harmless direction for every query in
+:mod:`repro.queries`.
+
+Construct with ``strict=False`` to bypass the ladder entirely on the
+boolean path and behave exactly like the plain float64 Hyperbola kernel
+(for hot loops that opt out of certification); :meth:`decide` always
+certifies regardless of the flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import obs
+from repro.core.base import register_criterion
+from repro.core.gp import GPCriterion
+from repro.core.hyperbola import HyperbolaCriterion
+from repro.core.minmax import MinMaxCriterion
+from repro.exceptions import DimensionalityMismatchError
+from repro.geometry.hypersphere import Hypersphere
+from repro.robust import ladder as _ladder
+from repro.robust.decision import Decision, Verdict
+
+__all__ = ["VerifiedHyperbola"]
+
+
+@register_criterion
+class VerifiedHyperbola(HyperbolaCriterion):
+    """Hyperbola with certified verdicts and graceful degradation.
+
+    Parameters
+    ----------
+    strict:
+        When true (default) the boolean :meth:`dominates` runs the
+        escalation ladder; when false it uses the inherited float64
+        fast path and only :meth:`decide` certifies.
+    ladder:
+        The stage sequence to run (default
+        :data:`repro.robust.ladder.DEFAULT_LADDER`); pass
+        :data:`~repro.robust.ladder.FLOAT_LADDER` to cap the cost at
+        extended precision and accept ``UNCERTAIN`` outcomes.
+    """
+
+    name = "verified"
+    is_correct = True
+    is_sound = True
+
+    def __init__(
+        self,
+        strict: bool = True,
+        ladder: "tuple" = _ladder.DEFAULT_LADDER,
+    ) -> None:
+        self.strict = strict
+        self._ladder = ladder
+        #: Number of UNCERTAIN decisions this instance has produced.
+        self.uncertain_count = 0
+        self._fallbacks = (GPCriterion(), MinMaxCriterion())
+
+    def decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> Decision:
+        """Certified tri-state decision for ``Dom(Sa, Sb, Sq)``."""
+        dimension = sa.dimension
+        if sb.dimension != dimension:
+            raise DimensionalityMismatchError(dimension, sb.dimension)
+        if sq.dimension != dimension:
+            raise DimensionalityMismatchError(dimension, sq.dimension)
+        decision = _ladder.decide(sa, sb, sq, self._ladder)
+        if decision.verdict is Verdict.UNCERTAIN:
+            self.uncertain_count += 1
+            decision = replace(decision, fallback=self._fallback(sa, sb, sq))
+        return decision
+
+    def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        if not self.strict:
+            return super()._decide(sa, sb, sq)
+        return self.decide(sa, sb, sq).as_bool()
+
+    def _fallback(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
+        """A pruning-safe boolean for an uncertain configuration.
+
+        Both fallback criteria are *correct* (a ``True`` is never a
+        false positive), so answering ``True`` here cannot cause a
+        wrong prune; their missing soundness only costs pruning power,
+        which is the price of uncertainty.
+        """
+        for criterion in self._fallbacks:
+            try:
+                result = bool(criterion.dominates(sa, sb, sq))
+            except Exception:
+                if obs.ENABLED:
+                    obs.incr(f"verified.fallback.{criterion.name}.failed")
+                continue
+            if obs.ENABLED:
+                obs.incr(f"verified.fallback.{criterion.name}")
+            return result
+        if obs.ENABLED:
+            obs.incr("verified.fallback.none")
+        return False

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import hypothesis
 import hypothesis.strategies as st
 import numpy as np
@@ -14,7 +16,12 @@ from repro.geometry.hypersphere import Hypersphere
 hypothesis.settings.register_profile(
     "repro", deadline=None, max_examples=60, derandomize=True
 )
-hypothesis.settings.load_profile("repro")
+# The long profile behind `make fuzz` / the CI fuzz job: many more
+# examples, non-derandomised so successive runs explore new ground.
+hypothesis.settings.register_profile(
+    "fuzz", deadline=None, max_examples=500, derandomize=False
+)
+hypothesis.settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 # Bounded, well-conditioned coordinates keep the geometry away from
 # float overflow while still exercising sign/scale variety.

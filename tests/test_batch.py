@@ -123,3 +123,54 @@ class TestKnownAnswers:
         radii = (np.array([1.0]), np.array([1.0]), np.array([0.5]))
         for name in ("hyperbola", "minmax", "mbr", "gp"):
             assert not batch_evaluate(name, ca, cb, cq, *radii)[0], name
+
+
+class TestNaNPaddingContainment:
+    """Regression: batch quartic nan padding must never leak into verdicts.
+
+    ``solve_quartic_real_batch`` pads rows having fewer than four real
+    roots with ``nan``.  The batch Hyperbola kernel masks those slots to
+    ``inf`` distance before the row minimum; if the mask ever regressed,
+    nan would propagate through the min (or silently lose every
+    comparison) and corrupt the verdict.  These tests pin the seal.
+    """
+
+    def test_padded_rows_match_scalar(self, rng):
+        ca, cb, cq, ra, rb, rq = random_workload(rng, 64, 3)
+        rq = np.maximum(rq, 1e-3)  # force the quartic path on live rows
+        arrays = (ca, cb, cq, ra, rb, rq)
+        result = batch_hyperbola(*arrays)
+        criterion = get_criterion("hyperbola")
+        for i in range(ca.shape[0]):
+            expected = criterion.dominates(
+                Hypersphere(ca[i], ra[i]),
+                Hypersphere(cb[i], rb[i]),
+                Hypersphere(cq[i], rq[i]),
+            )
+            assert bool(result[i]) == expected, f"row {i}"
+
+    def test_batch_solver_pads_with_nan(self):
+        from repro.geometry.quartic import solve_quartic_real_batch
+
+        # x^4 + 1 = 0 has no real roots: the row must be all-nan ...
+        no_real = np.array([[1.0, 0.0, 0.0, 0.0, 1.0]])
+        assert np.all(np.isnan(solve_quartic_real_batch(no_real)))
+        # ... and (x^2 - 1)(x^2 + 1) = x^4 - 1 has exactly two.
+        two_real = np.array([[1.0, 0.0, 0.0, 0.0, -1.0]])
+        roots = solve_quartic_real_batch(two_real)[0]
+        assert np.isnan(roots).sum() == 2
+        np.testing.assert_allclose(np.sort(roots[:2]), [-1.0, 1.0], atol=1e-9)
+
+    def test_all_nan_root_rows_still_yield_finite_verdicts(self):
+        # A configuration whose quartic row has < 4 real roots: verdict
+        # must still be a clean boolean decided by the closed-form
+        # candidates (vertices / ring), not nan-contaminated.
+        ca = np.array([[0.0, 0.0]])
+        cb = np.array([[10.0, 0.0]])
+        cq = np.array([[-2.0, 0.0]])
+        ra = np.array([1.0])
+        rb = np.array([1.0])
+        rq = np.array([0.5])
+        result = batch_hyperbola(ca, cb, cq, ra, rb, rq)
+        assert result.dtype == np.bool_
+        assert bool(result[0]) is True

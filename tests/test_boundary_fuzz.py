@@ -1,0 +1,125 @@
+"""Hypothesis fuzzing of the certification boundary.
+
+Two properties pin the robustness contract:
+
+1. **Certified means correct** — whenever a float stage certifies a
+   verdict, the exact rational arbiter agrees.
+2. **No silent flips** — perturbing a certified-TRUE triple by
+   ulp-scale deltas can weaken the verdict to UNCERTAIN but can never
+   jump it straight to certified-FALSE (and vice versa).  The float
+   ladder's certification radius is what guarantees the buffer zone.
+
+Both properties run on ``FLOAT_LADDER``: the exact stage is
+point-sharp by design, so it legitimately flips at the true boundary
+without an UNCERTAIN band and is validated separately against the
+oracle in ``test_robust_exact.py``.
+
+Run with ``HYPOTHESIS_PROFILE=fuzz`` (``make fuzz``) for the long
+profile.
+"""
+
+from __future__ import annotations
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from conftest import sphere_triples
+from repro.core.hyperbola import min_distance_to_boundary
+from repro.geometry.hypersphere import Hypersphere
+from repro.robust import FLOAT_LADDER, Verdict, decide, exact_dominates
+
+# Perturbation scale, in units of the value's own ulp.
+_ULP_STEPS = st.integers(min_value=-8, max_value=8)
+
+
+def _nudge(value: float, steps: int) -> float:
+    """Move *value* by *steps* ulps (exactly, via nextafter iteration)."""
+    direction = math.inf if steps > 0 else -math.inf
+    for _ in range(abs(steps)):
+        value = math.nextafter(value, direction)
+    return value
+
+
+def _perturb(sphere: Hypersphere, steps_list) -> Hypersphere:
+    center = [
+        _nudge(float(c), steps)
+        for c, steps in zip(sphere.center, steps_list[:-1])
+    ]
+    radius = _nudge(float(sphere.radius), steps_list[-1])
+    return Hypersphere(center, max(radius, 0.0))
+
+
+@given(sphere_triples())
+def test_certified_float_verdicts_agree_with_exact(triple):
+    sa, sb, sq = triple
+    decision = decide(sa, sb, sq, FLOAT_LADDER)
+    if decision.certified:
+        assert decision.as_bool() == exact_dominates(sa, sb, sq), decision
+
+
+@given(sphere_triples())
+def test_full_ladder_is_never_uncertain(triple):
+    sa, sb, sq = triple
+    decision = decide(sa, sb, sq)
+    assert decision.certified
+    assert decision.as_bool() == exact_dominates(sa, sb, sq)
+
+
+@given(
+    sphere_triples(),
+    st.lists(_ULP_STEPS, min_size=8, max_size=8),
+)
+def test_ulp_perturbation_never_flips_certified_verdicts(triple, steps):
+    """TRUE and FALSE are separated by an UNCERTAIN buffer zone.
+
+    If both the original and the perturbed triple certify, the verdicts
+    must agree: an ulp-scale nudge is far inside every stage's error
+    bound, so a genuine flip would have had to pass through UNCERTAIN.
+    """
+    sa, sb, sq = triple
+    before = decide(sa, sb, sq, FLOAT_LADDER)
+    dimension = len(sq.center)
+    perturbed = _perturb(sq, steps[: dimension + 1] or [0])
+    after = decide(sa, sb, perturbed, FLOAT_LADDER)
+    if before.certified and after.certified:
+        assert before.verdict is after.verdict, (before, after)
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_boundary_straddling_never_flips_without_uncertain(seed):
+    """March a query radius across the true boundary in ulp steps.
+
+    The sequence of FLOAT_LADDER verdicts along the march must look
+    like TRUE... UNCERTAIN... FALSE — monotone, with a non-empty
+    UNCERTAIN band separating the two certified regimes.
+    """
+    rng = np.random.default_rng(seed)
+    dimension = int(rng.integers(2, 5))
+    sa = Hypersphere(rng.normal(size=dimension) * 4.0, rng.uniform(0.1, 1.0))
+    sb = Hypersphere(rng.normal(size=dimension) * 4.0, rng.uniform(0.1, 1.0))
+    gap = float(np.linalg.norm(sb.center - sa.center))
+    if gap <= sa.radius + sb.radius:
+        return  # overlapping: no boundary to straddle
+    center_q = rng.normal(size=dimension) * 4.0
+    try:
+        dmin = min_distance_to_boundary(sa, sb, center_q)
+    except Exception:
+        return
+    if not math.isfinite(dmin) or dmin <= 0.0:
+        return
+
+    ranks = {Verdict.TRUE: 0, Verdict.UNCERTAIN: 1, Verdict.FALSE: 2}
+    last_rank = None
+    radius = dmin * (1.0 - 5e-13)
+    while radius < dmin * (1.0 + 5e-13):
+        verdict = decide(sa, sb, Hypersphere(center_q, radius), FLOAT_LADDER).verdict
+        rank = ranks[verdict]
+        if last_rank is not None:
+            assert rank >= last_rank, "verdict regressed while radius grew"
+            assert rank - last_rank <= 1, "TRUE jumped straight to FALSE"
+        last_rank = rank
+        radius = _nudge(radius, 64)  # 64-ulp strides across the band

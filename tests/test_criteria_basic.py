@@ -10,7 +10,7 @@ from repro.core.base import DominanceCriterion
 from repro.exceptions import CriterionError, DimensionalityMismatchError
 from repro.geometry.hypersphere import Hypersphere
 
-ALL_CRITERIA = ("hyperbola", "minmax", "mbr", "gp", "trigonometric")
+ALL_CRITERIA = ("hyperbola", "minmax", "mbr", "gp", "trigonometric", "verified")
 
 # An unambiguous dominance: Sa near the query, Sb far away on the axis.
 SA = Hypersphere([0.0, 0.0], 1.0)
@@ -33,7 +33,7 @@ class TestRegistry:
         class Duplicate(DominanceCriterion):
             name = "minmax"
 
-            def dominates(self, sa, sb, sq):  # pragma: no cover
+            def _decide(self, sa, sb, sq):  # pragma: no cover
                 return False
 
         with pytest.raises(CriterionError, match="registered twice"):
@@ -41,7 +41,7 @@ class TestRegistry:
 
     def test_unnamed_registration_rejected(self):
         class Nameless(DominanceCriterion):
-            def dominates(self, sa, sb, sq):  # pragma: no cover
+            def _decide(self, sa, sb, sq):  # pragma: no cover
                 return False
 
         with pytest.raises(CriterionError, match="without a name"):

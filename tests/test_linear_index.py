@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexStructureError
 from repro.geometry.distance import max_dist, min_dist
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
@@ -20,11 +20,11 @@ def make_items(rng, n: int, d: int):
 
 class TestConstruction:
     def test_empty_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             LinearIndex([])
 
     def test_mixed_dimensions_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             LinearIndex(
                 [("a", Hypersphere([0.0], 1.0)), ("b", Hypersphere([0.0, 0.0], 1.0))]
             )

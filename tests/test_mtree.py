@@ -8,7 +8,7 @@ from hypothesis import given, settings
 import hypothesis.strategies as st
 
 from repro.data.synthetic import synthetic_dataset
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexStructureError
 from repro.geometry.distance import max_dist, min_dist
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.mtree import MTree
@@ -24,18 +24,18 @@ def make_items(rng, n: int, d: int):
 
 class TestConstruction:
     def test_parameters_validated(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             MTree(0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             MTree(2, max_entries=2)
 
     def test_empty_build_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             MTree.build([])
 
     def test_insert_wrong_dimension(self):
         tree = MTree(2)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             tree.insert("x", Hypersphere([0.0], 1.0))
 
     def test_all_items_preserved(self, rng):

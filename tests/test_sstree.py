@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 import hypothesis.strategies as st
 
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexStructureError
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.sstree import SSTree
 
@@ -26,9 +26,9 @@ def make_items(rng, n: int, d: int, radius_scale: float = 1.0):
 
 class TestConstruction:
     def test_parameters_validated(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             SSTree(0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             SSTree(2, max_entries=3)
 
     def test_empty_tree(self):
@@ -39,11 +39,11 @@ class TestConstruction:
 
     def test_insert_wrong_dimension(self):
         tree = SSTree(2)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             tree.insert("x", Hypersphere([0.0], 1.0))
 
     def test_bulk_load_empty_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             SSTree.bulk_load([])
 
     def test_incremental_growth(self, rng):
@@ -167,13 +167,13 @@ class TestStatistics:
     def test_validate_detects_corruption(self, rng):
         tree = SSTree.bulk_load(make_items(rng, 100, 2), max_entries=8)
         tree.root.radius = 0.001  # break the covering invariant
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             tree.validate()
 
     def test_validate_detects_count_corruption(self, rng):
         tree = SSTree.bulk_load(make_items(rng, 100, 2), max_entries=8)
         tree.root.count = 7
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             tree.validate()
 
 
@@ -198,7 +198,7 @@ class TestRemoval:
         tree = SSTree.bulk_load(make_items(rng, 10, 2))
         import pytest as _pytest
 
-        with _pytest.raises(IndexError_):
+        with _pytest.raises(IndexStructureError):
             tree.remove(0, Hypersphere([0.0], 1.0))
 
     def test_remove_everything(self, rng):

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 import hypothesis.strategies as st
 
 from repro.data.synthetic import synthetic_dataset
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexStructureError
 from repro.geometry.distance import max_dist, min_dist
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.vptree import VPTree
@@ -24,15 +24,15 @@ def make_items(rng, n: int, d: int):
 
 class TestConstruction:
     def test_empty_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             VPTree.build([])
 
     def test_small_capacity_rejected(self, rng):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             VPTree.build(make_items(rng, 10, 2), leaf_capacity=1)
 
     def test_mixed_dimensions_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             VPTree.build(
                 [("a", Hypersphere([0.0], 1.0)), ("b", Hypersphere([0.0, 0.0], 1.0))]
             )
