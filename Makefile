@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test fuzz bench examples experiments claims profile clean
+.PHONY: install test lint fuzz bench examples experiments claims profile clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Domain-aware static analysis (docs/static-analysis.md) plus the
+# strict-typing gate.  mypy is optional locally; CI always has it.
+lint:
+	$(PYTHON) -m repro.analysis
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --strict src/repro; \
+	else \
+		echo "mypy not installed; skipping the typing gate (CI runs it)"; \
+	fi
 
 # The long hypothesis profile plus the robustness/fault suites: many
 # more examples, fresh seeds each run.
@@ -34,5 +44,5 @@ profile:
 	$(PYTHON) -m repro stats
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks build dist src/*.egg-info
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist src/*.egg-info .domlint_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

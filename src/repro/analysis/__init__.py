@@ -1,0 +1,39 @@
+"""domlint — domain-aware static analysis for the dominance stack.
+
+Eight AST-based rules encode invariants that ordinary linters cannot
+see: tri-state :class:`~repro.robust.decision.Verdict` discipline, the
+criterion template method, margin-comparison tolerance policy, the
+:mod:`repro.obs.names` metric registry, paper-citation validity,
+seeded randomness, narrow exception handling in numeric kernels, and
+the O(d) fast-path guard.  Run as ``repro lint`` or
+``python -m repro.analysis``; see ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.base import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    parse_suppressions,
+)
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.engine import LintReport, lint_paths
+from repro.analysis.paper_refs import PaperIndex, extract_citations, find_paper
+from repro.analysis.rules import ALL_RULES, rules_by_name
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "PaperIndex",
+    "Rule",
+    "Severity",
+    "extract_citations",
+    "find_paper",
+    "fingerprint",
+    "lint_paths",
+    "parse_suppressions",
+    "rules_by_name",
+]

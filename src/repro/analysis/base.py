@@ -1,0 +1,282 @@
+"""The domlint rule framework: findings, file contexts, suppressions.
+
+A *rule* is a small AST pass that knows one domain invariant of the
+dominance stack (see :mod:`repro.analysis.rules`).  The framework keeps
+every rule to the same shape:
+
+- rules receive a :class:`FileContext` — parsed tree, source lines,
+  dotted module name and per-line suppressions — and yield
+  :class:`Finding` objects;
+- a finding carries the rule name, position, message and severity;
+- ``# domlint: ignore[rule-name]`` on the offending line suppresses
+  that rule there (``# domlint: ignore`` suppresses every rule on the
+  line; several rules separate with commas).
+
+Suppression comments are discovered with :mod:`tokenize`, so a
+``domlint:`` marker inside a string literal is never mistaken for one.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.paper_refs import PaperIndex
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "SUPPRESS_ALL",
+    "parse_suppressions",
+    "dotted_module",
+]
+
+#: Marker stored for a bare ``# domlint: ignore`` (no rule list).
+SUPPRESS_ALL = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*domlint:\s*ignore(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; any finding fails the lint run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity
+    snippet: str = ""
+
+    def render(self) -> str:
+        """The conventional one-line human form (clickable in editors)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value}[{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity.value,
+            "snippet": self.snippet,
+        }
+
+
+def parse_suppressions(source: str) -> "dict[int, frozenset[str]]":
+    """Per-line suppressed rule names from ``# domlint: ignore`` comments.
+
+    Only genuine comment tokens count; the marker inside a string does
+    nothing.  An unreadable file (tokenize errors on malformed source)
+    yields no suppressions — the parse error is reported elsewhere.
+
+    >>> parse_suppressions("x = 1  # domlint: ignore[metric-name]\\n")
+    {1: frozenset({'metric-name'})}
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            names = frozenset((SUPPRESS_ALL,))
+        else:
+            names = frozenset(
+                name.strip() for name in rules.split(",") if name.strip()
+            )
+            if not names:
+                names = frozenset((SUPPRESS_ALL,))
+        line = token.start[0]
+        previous = suppressions.get(line, frozenset())
+        suppressions[line] = previous | names
+    return suppressions
+
+
+def dotted_module(path: Path) -> str:
+    """The dotted module name of *path* within the ``repro`` package.
+
+    Resolution anchors at the last path component named ``repro`` so
+    both the installed tree (``src/repro/core/hyperbola.py``) and
+    fixture trees in tests (``/tmp/.../repro/core/hyperbola.py``) map
+    to ``repro.core.hyperbola``.  Files outside any ``repro`` directory
+    fall back to their stem.
+
+    >>> dotted_module(Path("src/repro/core/hyperbola.py"))
+    'repro.core.hyperbola'
+    >>> dotted_module(Path("src/repro/core/__init__.py"))
+    'repro.core'
+    """
+    parts = [part for part in path.parts]
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return path.stem
+    dotted = list(parts[anchor:])
+    dotted[-1] = Path(dotted[-1]).stem
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one source file."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: "list[str]" = field(default_factory=list)
+    suppressions: "dict[int, frozenset[str]]" = field(default_factory=dict)
+    #: The PAPER.md reference index (None when no PAPER.md was found).
+    paper_index: "PaperIndex | None" = None
+
+    @classmethod
+    def load(
+        cls,
+        path: Path,
+        display_path: "str | None" = None,
+        paper_index: "PaperIndex | None" = None,
+    ) -> "FileContext":
+        """Parse *path* into a context (raises ``SyntaxError`` on bad source)."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None else str(path),
+            module=dotted_module(path),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            suppressions=parse_suppressions(source),
+            paper_index=paper_index,
+        )
+
+    def line(self, lineno: int) -> str:
+        """The 1-indexed source line ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def is_suppressed(self, rule: str, lineno: int) -> bool:
+        names = self.suppressions.get(lineno)
+        if not names:
+            return False
+        return SUPPRESS_ALL in names or rule in names
+
+
+class Rule:
+    """Base class for one domain invariant check.
+
+    Subclasses set :attr:`name` (the suppression/selection key),
+    :attr:`code` (stable short id for machine output), a
+    :attr:`severity` and one-line :attr:`description`, then implement
+    :meth:`check`.
+    """
+
+    name: str = ""
+    code: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def applies(self, module: str) -> bool:
+        """Whether the rule runs on *module* (dotted name); default: all."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for *ctx*; the engine applies suppressions."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: "Severity | None" = None,
+    ) -> Finding:
+        """Build a finding anchored at *node*."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.name,
+            path=ctx.display_path,
+            line=line,
+            col=col + 1,
+            message=message,
+            severity=severity if severity is not None else self.severity,
+            snippet=ctx.line(line).strip(),
+        )
+
+
+def in_packages(module: str, *packages: str) -> bool:
+    """Whether dotted *module* lives in any of the dotted *packages*."""
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in packages
+    )
+
+
+def attribute_chain(node: ast.AST) -> "tuple[str, ...] | None":
+    """The dotted parts of a Name/Attribute chain, or None if dynamic.
+
+    ``np.random.default_rng`` → ``("np", "random", "default_rng")``.
+    Chains through calls or subscripts are not static: returns None.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def iter_boolean_contexts(tree: ast.Module) -> "Iterator[ast.expr]":
+    """Every expression evaluated for truthiness in *tree*.
+
+    Covers ``if``/``while``/ternary tests, ``assert`` conditions,
+    ``and``/``or`` operands, ``not`` operands and comprehension filters.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            yield node.test
+        elif isinstance(node, ast.Assert):
+            yield node.test
+        elif isinstance(node, ast.BoolOp):
+            yield from node.values
+        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            yield node.operand
+        elif isinstance(node, ast.comprehension):
+            yield from node.ifs

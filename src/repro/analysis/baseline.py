@@ -1,0 +1,125 @@
+"""Grandfathering: the domlint baseline file.
+
+A baseline lets a new rule land with existing violations acknowledged
+but frozen: baselined findings don't fail the run, *new* ones do, and
+fixing a baselined finding retires its entry the next time the baseline
+is updated (``repro lint --update-baseline``) — grandfathered debt can
+only shrink.
+
+Entries are matched by a *fingerprint* of ``(rule, path, normalized
+line content)`` rather than line numbers, so unrelated edits that shift
+a file don't churn the baseline.  Identical lines hash identically, so
+matching is a multiset: two baselined copies of a finding absorb at
+most two occurrences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.base import Finding
+
+__all__ = ["Baseline", "fingerprint", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".domlint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across line-number drift."""
+    normalized = " ".join(finding.snippet.split())
+    payload = f"{finding.rule}\x1f{finding.path}\x1f{normalized}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings (a multiset of fingerprints)."""
+
+    entries: "Counter[str]" = field(default_factory=Counter)
+    #: Human-readable context kept alongside each fingerprint.
+    details: "dict[str, dict[str, str]]" = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        entries: Counter[str] = Counter()
+        details: dict[str, dict[str, str]] = {}
+        for entry in payload.get("findings", []):
+            fp = str(entry["fingerprint"])
+            entries[fp] += int(entry.get("count", 1))
+            details[fp] = {
+                "rule": str(entry.get("rule", "")),
+                "path": str(entry.get("path", "")),
+                "snippet": str(entry.get("snippet", "")),
+            }
+        return cls(entries=entries, details=details)
+
+    @classmethod
+    def from_findings(cls, findings: "Iterable[Finding]") -> "Baseline":
+        """A baseline grandfathering exactly *findings*."""
+        baseline = cls()
+        for finding in findings:
+            fp = fingerprint(finding)
+            baseline.entries[fp] += 1
+            baseline.details[fp] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": " ".join(finding.snippet.split()),
+            }
+        return baseline
+
+    def split(
+        self, findings: "Iterable[Finding]"
+    ) -> "tuple[list[Finding], list[Finding]]":
+        """Partition *findings* into (actionable, baselined).
+
+        Multiset semantics: each baseline entry absorbs at most its
+        recorded count of matching findings; the excess is actionable.
+        """
+        remaining = Counter(self.entries)
+        actionable: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            fp = fingerprint(finding)
+            if remaining[fp] > 0:
+                remaining[fp] -= 1
+                baselined.append(finding)
+            else:
+                actionable.append(finding)
+        return actionable, baselined
+
+    def save(self, path: Path) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        records = []
+        for fp, count in sorted(self.entries.items()):
+            detail = self.details.get(fp, {})
+            records.append(
+                {
+                    "fingerprint": fp,
+                    "count": count,
+                    "rule": detail.get("rule", ""),
+                    "path": detail.get("path", ""),
+                    "snippet": detail.get("snippet", ""),
+                }
+            )
+        records.sort(key=lambda r: (r["path"], r["rule"], r["fingerprint"]))
+        path.write_text(
+            json.dumps(
+                {"version": _FORMAT_VERSION, "findings": records}, indent=2
+            )
+            + "\n",
+            encoding="utf-8",
+        )

@@ -1,0 +1,204 @@
+"""``repro lint`` — command-line front end for the domlint engine.
+
+Usage (equivalently ``python -m repro.analysis``)::
+
+    repro lint [PATHS...] [--format=human|json] [--rules a,b]
+               [--baseline FILE] [--update-baseline] [--no-cache]
+               [--paper FILE] [--list-rules]
+
+With no paths the repository's ``src/repro`` tree is linted.  Exit code
+0 means no actionable findings; 1 means findings (or parse errors);
+2 means usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import LintReport, lint_paths
+from repro.analysis.rules import ALL_RULES, rules_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "domlint: domain-aware static analysis for the dominance stack"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories to lint (default: the repo's src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated rule names/codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE_NAME} next to the linted tree "
+            "when present)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to exactly the current findings "
+            "(new ones are added, fixed ones expire) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--paper",
+        default=None,
+        metavar="FILE",
+        help="PAPER.md location (default: walk up from the linted paths)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the PAPER.md reference-index cache",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+    return parser
+
+
+def _default_paths() -> "list[Path]":
+    """The repo's src/repro tree when run from a checkout, else cwd."""
+    here = Path.cwd().resolve()
+    for directory in (here, *here.parents):
+        candidate = directory / "src" / "repro"
+        if candidate.is_dir():
+            return [candidate]
+    package_dir = Path(__file__).resolve().parent.parent
+    return [package_dir]
+
+
+def _find_baseline(paths: "Sequence[Path]") -> "Path | None":
+    """Walk up from the first linted path looking for a baseline file."""
+    if not paths:
+        return None
+    start = paths[0] if paths[0].is_dir() else paths[0].parent
+    for directory in (start.resolve(), *start.resolve().parents):
+        candidate = directory / DEFAULT_BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _render_human(report: LintReport) -> str:
+    lines = []
+    for path, message in report.parse_errors:
+        lines.append(f"{path}: error[parse] {message}")
+    for finding in report.actionable:
+        lines.append(finding.render())
+    summary = (
+        f"domlint: {len(report.actionable)} finding(s) in "
+        f"{report.files_checked} file(s)"
+    )
+    extras = []
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if report.parse_errors:
+        extras.append(f"{len(report.parse_errors)} unparsable")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:22s} {rule.description}")
+        return 0
+
+    try:
+        rules = rules_by_name(
+            args.rules.split(",") if args.rules is not None else None
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    paths = (
+        [Path(p) for p in args.paths] if args.paths else _default_paths()
+    )
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    baseline_path: "Path | None"
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = _find_baseline(paths)
+
+    baseline = Baseline()
+    if (
+        baseline_path is not None
+        and baseline_path.is_file()
+        and not args.update_baseline
+    ):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    report = lint_paths(
+        paths,
+        rules=rules,
+        baseline=baseline,
+        paper=Path(args.paper) if args.paper is not None else None,
+        cache=not args.no_cache,
+    )
+
+    if args.update_baseline:
+        if baseline_path is None:
+            start = paths[0] if paths[0].is_dir() else paths[0].parent
+            baseline_path = start / DEFAULT_BASELINE_NAME
+        Baseline.from_findings(report.all_findings).save(baseline_path)
+        print(
+            f"domlint: baseline updated ({len(report.all_findings)} "
+            f"finding(s) grandfathered) -> {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(_render_human(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

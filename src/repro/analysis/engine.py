@@ -1,0 +1,150 @@
+"""The domlint engine: walk files, run rules, apply suppressions.
+
+The engine is deliberately boring: collect Python files, build a
+:class:`~repro.analysis.base.FileContext` per file (sharing one
+:class:`~repro.analysis.paper_refs.PaperIndex`), run every applicable
+rule, drop suppressed findings (counting them), then let the baseline
+partition what's left into actionable vs. grandfathered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+from repro.analysis.baseline import Baseline
+from repro.analysis.paper_refs import PaperIndex, find_paper
+from repro.analysis.rules import ALL_RULES
+
+__all__ = ["LintReport", "collect_files", "lint_paths", "run_rules"]
+
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".domlint_cache", ".pytest_cache", "node_modules"}
+)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    actionable: "list[Finding]" = field(default_factory=list)
+    baselined: "list[Finding]" = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    #: Files that failed to parse, as (path, message) pairs.
+    parse_errors: "list[tuple[str, str]]" = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> "list[Finding]":
+        return self.actionable + self.baselined
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero when anything actionable (or unparsable) remains."""
+        return 1 if self.actionable or self.parse_errors else 0
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "baselined": len(self.baselined),
+            "parse_errors": [
+                {"path": path, "message": message}
+                for path, message in self.parse_errors
+            ],
+            "findings": [finding.to_dict() for finding in self.actionable],
+            "exit_code": self.exit_code,
+        }
+
+
+def collect_files(paths: "Sequence[Path]") -> "list[Path]":
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    seen.add(candidate)
+        elif path.suffix == ".py":
+            seen.add(path)
+    return sorted(seen)
+
+
+def run_rules(
+    ctx: FileContext, rules: "Sequence[Rule]"
+) -> "Iterator[tuple[Finding, bool]]":
+    """Yield (finding, suppressed) for every applicable rule on *ctx*."""
+    for rule in rules:
+        if not rule.applies(ctx.module):
+            continue
+        for finding in rule.check(ctx):
+            yield finding, ctx.is_suppressed(finding.rule, finding.line)
+
+
+def lint_paths(
+    paths: "Sequence[Path]",
+    rules: "Sequence[Rule] | None" = None,
+    baseline: "Baseline | None" = None,
+    paper: "Path | None" = None,
+    root: "Path | None" = None,
+    cache: bool = True,
+) -> LintReport:
+    """Lint *paths* and return the report.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to lint (directories recurse).
+    rules:
+        Rule instances to run (default: all of :data:`ALL_RULES`).
+    baseline:
+        Grandfathered findings (default: empty — everything actionable).
+    paper:
+        PAPER.md location; default: walk up from the first path.  When
+        none is found the paper-ref rule silently passes.
+    root:
+        Paths are reported relative to this directory when possible
+        (default: cwd), keeping output and baselines machine-portable.
+    cache:
+        Whether :meth:`PaperIndex.load` may use its JSON cache.
+    """
+    active_rules: Sequence[Rule] = ALL_RULES if rules is None else rules
+    active_baseline = baseline if baseline is not None else Baseline()
+    display_root = (root if root is not None else Path.cwd()).resolve()
+
+    paper_path = paper
+    if paper_path is None and paths:
+        paper_path = find_paper(
+            paths[0] if paths[0].is_dir() else paths[0].parent
+        )
+    paper_index: "PaperIndex | None" = None
+    if paper_path is not None and paper_path.is_file():
+        paper_index = PaperIndex.load(paper_path, cache=cache)
+
+    report = LintReport()
+    findings: list[Finding] = []
+    for file_path in collect_files(paths):
+        resolved = file_path.resolve()
+        try:
+            display = str(resolved.relative_to(display_root))
+        except ValueError:
+            display = str(file_path)
+        try:
+            ctx = FileContext.load(
+                file_path, display_path=display, paper_index=paper_index
+            )
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append((display, str(exc)))
+            continue
+        report.files_checked += 1
+        for finding, suppressed in run_rules(ctx, active_rules):
+            if suppressed:
+                report.suppressed += 1
+            else:
+                findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.actionable, report.baselined = active_baseline.split(findings)
+    return report

@@ -1,0 +1,216 @@
+"""Extraction and indexing of paper references (the paper-ref rule).
+
+Docstrings across the reproduction cite the source paper constantly —
+``Lemma 1``, ``Equation (14)``, ``Section 4.3.2`` — and nothing used to
+stop a refactor from leaving a citation pointing at a lemma that never
+existed.  This module parses both sides of that contract:
+
+- :func:`extract_citations` pulls ``(kind, number)`` citations out of
+  free text, understanding plurals, lists and ranges ("Lemmas 2-3",
+  "Eqs. 1, 3 and 4", "Sections 7.1-7.2", "§5.1");
+- :class:`PaperIndex` holds the set of references that actually exist
+  in PAPER.md (whose *Reference index* appendix enumerates the paper's
+  structure) and answers membership queries.
+
+Building the index costs one pass over PAPER.md; a small JSON cache
+keyed by the file's SHA-256 makes repeat lint runs (and the CI job)
+skip even that.
+
+>>> sorted(extract_citations("By Lemmas 2-3 and Eq. (14)."))
+[('equation', '14'), ('lemma', '2'), ('lemma', '3')]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "Citation",
+    "extract_citations",
+    "PaperIndex",
+    "find_paper",
+    "CACHE_DIR_NAME",
+]
+
+#: A citation is a (kind, number) pair; kinds are singular lowercase.
+Citation = tuple[str, str]
+
+CACHE_DIR_NAME = ".domlint_cache"
+
+# Keyword → canonical kind.  Plural forms introduce lists/ranges.
+_KIND_WORDS = {
+    "lemma": "lemma",
+    "lemmas": "lemma",
+    "theorem": "theorem",
+    "theorems": "theorem",
+    "definition": "definition",
+    "definitions": "definition",
+    "eq": "equation",
+    "eqs": "equation",
+    "equation": "equation",
+    "equations": "equation",
+    "section": "section",
+    "sections": "section",
+    "algorithm": "algorithm",
+    "algorithms": "algorithm",
+    "table": "table",
+    "tables": "table",
+    "figure": "figure",
+    "figures": "figure",
+    "fig": "figure",
+    "figs": "figure",
+}
+
+_NUMBER = r"\(?(\d+(?:\.\d+)*)\)?"
+_HEAD_RE = re.compile(
+    r"\b(?P<kind>" + "|".join(_KIND_WORDS) + r")\.?\s*" + _NUMBER,
+    re.IGNORECASE,
+)
+_SECTION_SIGN_RE = re.compile(r"§\s*" + _NUMBER)
+# Continuations after the head number: ", 3", " and 4", "-5", "–7" ...
+# (matched with .match(text, pos), which anchors at pos).
+_CONT_RE = re.compile(
+    r"\s*(?P<sep>,|and\b|&|–|—|-)\s*" + _NUMBER,
+    re.IGNORECASE,
+)
+_DASHES = {"-", "–", "—", "–", "—"}
+_MAX_RANGE_SPAN = 50
+
+
+def _expand_range(start: str, end: str) -> "list[str]":
+    """Numbers covered by a cited range, e.g. ``2-5`` or ``7.1-7.2``.
+
+    Dotted endpoints expand over their last component when the prefixes
+    agree; anything irregular degrades to just the two endpoints.
+    """
+    s_parts, e_parts = start.split("."), end.split(".")
+    if len(s_parts) != len(e_parts) or s_parts[:-1] != e_parts[:-1]:
+        return [start, end]
+    try:
+        lo, hi = int(s_parts[-1]), int(e_parts[-1])
+    except ValueError:  # pragma: no cover - regex only admits digits
+        return [start, end]
+    if lo > hi or hi - lo > _MAX_RANGE_SPAN:
+        return [start, end]
+    prefix = ".".join(s_parts[:-1])
+    return [
+        (prefix + "." if prefix else "") + str(i) for i in range(lo, hi + 1)
+    ]
+
+
+def _iter_matches(text: str) -> "Iterator[tuple[str, list[str], int]]":
+    """Yield (kind, numbers, offset) for each citation group in *text*."""
+    for match in _HEAD_RE.finditer(text):
+        keyword = match.group("kind").lower()
+        kind = _KIND_WORDS[keyword]
+        plural = keyword.endswith("s")
+        numbers = [match.group(2)]
+        pos = match.end()
+        while True:
+            cont = _CONT_RE.match(text, pos)
+            if cont is None:
+                break
+            dash = cont.group("sep") in _DASHES
+            # A comma/"and" list after a singular keyword is prose, not
+            # a citation list ("Lemma 1, 2014 ..." cites only Lemma 1);
+            # ranges read naturally after either form.
+            if not dash and not plural:
+                break
+            if dash:
+                numbers = numbers[:-1] + _expand_range(
+                    numbers[-1], cont.group(2)
+                )
+            else:
+                numbers.append(cont.group(2))
+            pos = cont.end()
+        yield kind, numbers, match.start()
+    for match in _SECTION_SIGN_RE.finditer(text):
+        yield "section", [match.group(1)], match.start()
+
+
+def extract_citations(text: str) -> "set[tuple[str, str]]":
+    """All distinct ``(kind, number)`` citations in *text*."""
+    found: set[tuple[str, str]] = set()
+    for kind, numbers, _ in _iter_matches(text):
+        found.update((kind, number) for number in numbers)
+    return found
+
+
+def extract_citations_with_offsets(
+    text: str,
+) -> "Iterator[tuple[str, str, int]]":
+    """Yield ``(kind, number, character_offset)`` for every citation."""
+    for kind, numbers, offset in _iter_matches(text):
+        for number in numbers:
+            yield kind, number, offset
+
+
+def find_paper(start: "Path | None" = None) -> "Path | None":
+    """Locate PAPER.md by walking up from *start* (default: cwd)."""
+    here = (start if start is not None else Path.cwd()).resolve()
+    for directory in (here, *here.parents):
+        candidate = directory / "PAPER.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+@dataclass(frozen=True)
+class PaperIndex:
+    """The set of references that exist in the paper (per PAPER.md)."""
+
+    references: "frozenset[tuple[str, str]]"
+    source: "Path | None" = None
+
+    def __contains__(self, citation: "tuple[str, str]") -> bool:
+        return citation in self.references
+
+    @classmethod
+    def from_text(cls, text: str, source: "Path | None" = None) -> "PaperIndex":
+        return cls(references=frozenset(extract_citations(text)), source=source)
+
+    @classmethod
+    def load(cls, paper: Path, cache: bool = True) -> "PaperIndex":
+        """Build the index from *paper*, via the JSON cache when valid.
+
+        The cache lives in ``.domlint_cache/paper_refs.json`` next to
+        the paper and is keyed by the paper's SHA-256, so editing
+        PAPER.md invalidates it automatically.  Cache IO failures are
+        never fatal — the index is simply rebuilt in memory.
+        """
+        text = paper.read_text(encoding="utf-8")
+        if not cache:
+            return cls.from_text(text, source=paper)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        cache_path = paper.parent / CACHE_DIR_NAME / "paper_refs.json"
+        try:
+            payload = json.loads(cache_path.read_text(encoding="utf-8"))
+            if payload.get("sha256") == digest:
+                references = frozenset(
+                    (str(kind), str(number))
+                    for kind, number in payload.get("references", [])
+                )
+                return cls(references=references, source=paper)
+        except (OSError, ValueError):
+            pass
+        index = cls.from_text(text, source=paper)
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(
+                json.dumps(
+                    {
+                        "sha256": digest,
+                        "references": sorted(index.references),
+                    },
+                    indent=2,
+                ),
+                encoding="utf-8",
+            )
+        except OSError:  # pragma: no cover - read-only checkouts
+            pass
+        return index

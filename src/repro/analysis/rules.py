@@ -1,0 +1,542 @@
+"""The domlint rules: eight domain invariants of the dominance stack.
+
+Each rule encodes one way past bugs (or the paper's theorems) say this
+codebase must not drift.  See ``docs/static-analysis.md`` for a
+violating/compliant example of every rule and for how to add one.
+
+The rules, by suppression key:
+
+``verdict-bool``
+    A :class:`~repro.robust.decision.Verdict` is tri-state; truth-
+    testing one outside :mod:`repro.robust` silently maps UNCERTAIN to
+    an arbitrary branch (``Verdict.__bool__`` raises at runtime, but
+    only on the path actually taken).
+``criterion-template``
+    Criteria must override ``_decide``; overriding ``dominates``
+    bypasses the template method's dimensionality validation.
+``margin-compare``
+    Raw float ``==``/``<=``/``>=`` against a dominance margin belongs
+    to the escalation ladder's tolerance policy, not ad-hoc call sites.
+``metric-name``
+    Every metric key handed to :mod:`repro.obs` must be registered in
+    :mod:`repro.obs.names`, so typo'd keys die at lint time.
+``paper-ref``
+    Docstring citations (``Lemma 7``, ``Eq. (14)``) must exist in
+    PAPER.md's reference index.
+``unseeded-random``
+    Only :mod:`repro.data` may draw randomness, and only through a
+    seeded generator; everything else must thread a seed or rng.
+``swallowed-arithmetic``
+    The numeric kernels may not catch bare/overbroad exceptions: an
+    ``except Exception`` swallows :class:`ArithmeticError`, turning
+    numerical corruption into a silently wrong answer.
+``hot-path-loop``
+    The O(d) fast path in :mod:`repro.core.hyperbola` must not grow
+    Python-level loops or ``np.linalg`` calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    attribute_chain,
+    in_packages,
+    iter_boolean_contexts,
+)
+from repro.analysis.paper_refs import extract_citations_with_offsets
+from repro.obs import names as _metric_names
+
+__all__ = ["ALL_RULES", "rules_by_name"]
+
+
+def _terminal_name(node: ast.AST) -> "str | None":
+    """The rightmost identifier of a Name/Attribute/Call expression."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _import_aliases(tree: ast.Module) -> "dict[str, str]":
+    """Local alias → canonical dotted module for plain imports.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``import random`` → ``{"random": "random"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module is not None:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _canonical_chain(
+    node: ast.AST, aliases: "dict[str, str]"
+) -> "tuple[str, ...] | None":
+    """Attribute chain with its root resolved through import aliases."""
+    chain = attribute_chain(node)
+    if chain is None:
+        return None
+    root = aliases.get(chain[0])
+    if root is None:
+        return chain
+    return (*root.split("."), *chain[1:])
+
+
+class VerdictBoolRule(Rule):
+    name = "verdict-bool"
+    code = "DOM101"
+    description = (
+        "tri-state Verdict values must not be truth-tested outside repro.robust"
+    )
+
+    def applies(self, module: str) -> bool:
+        return not in_packages(module, "repro.robust")
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        for expr in iter_boolean_contexts(ctx.tree):
+            identifier = _terminal_name(expr)
+            if isinstance(expr, ast.Call):
+                continue  # decision.as_bool() and friends are the fix
+            if identifier is not None and "verdict" in identifier.lower():
+                yield self.finding(
+                    ctx,
+                    expr,
+                    f"truth-testing {identifier!r}: a Verdict is tri-state; "
+                    "compare against Verdict.TRUE/FALSE or use "
+                    "Decision.as_bool()",
+                )
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "bool"
+                and node.args
+            ):
+                identifier = _terminal_name(node.args[0])
+                if identifier is not None and "verdict" in identifier.lower():
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"bool({identifier}) collapses a tri-state Verdict; "
+                        "use Decision.as_bool() for the pruning-safe boolean",
+                    )
+
+
+class CriterionTemplateRule(Rule):
+    name = "criterion-template"
+    code = "DOM102"
+    description = (
+        "criteria override _decide, never dominates (the validation template)"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module != "repro.core.base"
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                (base_name := _terminal_name(base)) is not None
+                and base_name.endswith("Criterion")
+                for base in node.bases
+            ):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "dominates"
+                ):
+                    yield self.finding(
+                        ctx,
+                        item,
+                        f"{node.name}.dominates overrides the template "
+                        "method and bypasses its dimensionality "
+                        "validation; override _decide instead",
+                    )
+
+
+class MarginCompareRule(Rule):
+    name = "margin-compare"
+    code = "DOM103"
+    description = (
+        "no raw float ==/<=/>= against dominance margins outside the "
+        "ladder's tolerance policy"
+    )
+
+    #: The tolerance policy itself, and the exact (integer) arbiter.
+    _EXEMPT = ("repro.robust.ladder", "repro.robust.exact")
+
+    def applies(self, module: str) -> bool:
+        return (
+            in_packages(module, "repro.core", "repro.robust")
+            and module not in self._EXEMPT
+        )
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.LtE, ast.GtE)):
+                    continue
+                for operand in (operands[index], operands[index + 1]):
+                    identifier = _terminal_name(operand)
+                    if identifier is not None and "margin" in identifier.lower():
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"raw float comparison against {identifier!r}; "
+                            "margins near the decision boundary need the "
+                            "ladder's certified tolerance policy "
+                            "(repro.robust.ladder)",
+                        )
+                        break
+
+
+class MetricNameRule(Rule):
+    name = "metric-name"
+    code = "DOM104"
+    description = (
+        "obs metric keys must be registered in repro.obs.names "
+        "(typo'd keys die at lint time)"
+    )
+
+    _METRIC_FNS = frozenset({"incr", "observe", "add_time", "trace"})
+    _REGISTRY_MODULES = frozenset({"names", "_names"})
+
+    def applies(self, module: str) -> bool:
+        return not in_packages(module, "repro.obs")
+
+    def _references_registry(self, node: ast.AST) -> bool:
+        chain = attribute_chain(node.func if isinstance(node, ast.Call) else node)
+        if chain is None:
+            return False
+        return any(part in self._REGISTRY_MODULES for part in chain[:-1]) or (
+            len(chain) >= 2 and chain[-2] in self._REGISTRY_MODULES
+        )
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._METRIC_FNS
+                and _terminal_name(func.value) == "obs"
+            ):
+                continue
+            if not node.args:
+                continue
+            key = node.args[0]
+            finding = self._check_key(ctx, node, key)
+            if finding is not None:
+                yield finding
+
+    def _check_key(
+        self, ctx: FileContext, call: ast.Call, key: ast.expr
+    ) -> "Finding | None":
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            if _metric_names.is_known(key.value):
+                return None
+            return self.finding(
+                ctx,
+                call,
+                f"metric name {key.value!r} is not registered in "
+                "repro.obs.names",
+            )
+        if isinstance(key, ast.JoinedStr):
+            pattern = "".join(
+                part.value
+                if isinstance(part, ast.Constant) and isinstance(part.value, str)
+                else "*"
+                for part in key.values
+            )
+            if _metric_names.is_known(pattern):
+                return None
+            return self.finding(
+                ctx,
+                call,
+                f"dynamic metric name {pattern!r} matches no family "
+                "registered in repro.obs.names",
+            )
+        if isinstance(key, ast.Name):
+            if key.id.isupper():
+                return None  # an imported registry constant
+            return self.finding(
+                ctx,
+                call,
+                f"metric name {key.id!r} is not statically resolvable; "
+                "use a repro.obs.names constant or family helper",
+            )
+        if isinstance(key, (ast.Attribute, ast.Call)):
+            if self._references_registry(key):
+                return None
+            terminal = _terminal_name(key)
+            if terminal is not None and terminal.isupper():
+                return None
+            return self.finding(
+                ctx,
+                call,
+                "metric name expression does not reference repro.obs.names; "
+                "route dynamic names through a registry family helper",
+            )
+        return self.finding(
+            ctx,
+            call,
+            "metric name is not statically resolvable; use a "
+            "repro.obs.names constant or family helper",
+        )
+
+
+class PaperRefRule(Rule):
+    name = "paper-ref"
+    code = "DOM105"
+    description = (
+        "docstring citations (Lemma N, Eq. N, Section X.Y) must exist "
+        "in PAPER.md"
+    )
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        index = ctx.paper_index
+        if index is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                continue
+            docstring = ast.get_docstring(node, clean=False)
+            if not docstring:
+                continue
+            doc_node = node.body[0].value  # type: ignore[union-attr]
+            base_line = getattr(doc_node, "lineno", 1)
+            for kind, number, offset in extract_citations_with_offsets(
+                docstring
+            ):
+                if (kind, number) in index:
+                    continue
+                line = base_line + docstring.count("\n", 0, offset)
+                anchor = ast.Constant(value=None)
+                anchor.lineno = line
+                anchor.col_offset = 0
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"docstring cites {kind} {number}, which does not exist "
+                    "in PAPER.md's reference index",
+                )
+
+
+class UnseededRandomRule(Rule):
+    name = "unseeded-random"
+    code = "DOM106"
+    description = (
+        "randomness outside repro.data must come from a seeded generator"
+    )
+
+    _STDLIB_RANDOM_FNS = frozenset(
+        {
+            "random",
+            "randint",
+            "randrange",
+            "uniform",
+            "choice",
+            "choices",
+            "shuffle",
+            "sample",
+            "gauss",
+            "normalvariate",
+            "betavariate",
+            "expovariate",
+            "seed",
+            "getrandbits",
+        }
+    )
+
+    def applies(self, module: str) -> bool:
+        return not in_packages(module, "repro.data")
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _canonical_chain(node.func, aliases)
+            if chain is None:
+                continue
+            if chain[:2] == ("numpy", "random"):
+                if len(chain) == 3 and chain[2] == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "np.random.default_rng() without a seed is "
+                            "non-reproducible; thread a seed (or an rng) in",
+                        )
+                elif len(chain) == 3:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"np.random.{chain[2]} uses the global (unseeded) "
+                        "NumPy RNG; use a seeded np.random.default_rng "
+                        "generator",
+                    )
+            elif chain[0] == "random" and aliases.get("random") == "random":
+                if len(chain) == 2 and chain[1] in self._STDLIB_RANDOM_FNS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"random.{chain[1]} draws from the global stdlib "
+                        "RNG; use a seeded np.random.default_rng generator",
+                    )
+                elif (
+                    len(chain) == 2
+                    and chain[1] == "Random"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "random.Random() without a seed is non-reproducible",
+                    )
+
+
+class SwallowedArithmeticRule(Rule):
+    name = "swallowed-arithmetic"
+    code = "DOM107"
+    description = (
+        "numeric kernels must not catch bare/overbroad exceptions "
+        "(they swallow ArithmeticError)"
+    )
+
+    def applies(self, module: str) -> bool:
+        return in_packages(
+            module, "repro.core", "repro.robust", "repro.geometry"
+        )
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' swallows ArithmeticError in a numeric "
+                    "kernel; catch the specific numeric/validation "
+                    "exceptions",
+                )
+                continue
+            caught = (
+                list(node.type.elts)
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for exc in caught:
+                identifier = _terminal_name(exc)
+                if identifier in ("Exception", "BaseException"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'except {identifier}' swallows ArithmeticError in "
+                        "a numeric kernel; catch the specific "
+                        "numeric/validation exceptions",
+                    )
+                    break
+
+
+class HotPathLoopRule(Rule):
+    name = "hot-path-loop"
+    code = "DOM108"
+    severity = Severity.WARNING
+    description = (
+        "the O(d) Hyperbola fast path must stay free of Python-level "
+        "loops and np.linalg calls"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module == "repro.core.hyperbola"
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.While)):
+                kind = "for" if isinstance(node, ast.For) else "while"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"Python-level '{kind}' loop in the O(d) fast path; "
+                    "vectorise, hoist it out of repro.core.hyperbola, or "
+                    "justify with a suppression",
+                )
+            elif isinstance(node, ast.Attribute):
+                chain = _canonical_chain(node, aliases)
+                # Anchor on the full np.linalg.<fn> chain so the inner
+                # `np.linalg` attribute node is not double-counted.
+                if (
+                    chain is not None
+                    and len(chain) == 3
+                    and chain[:2] == ("numpy", "linalg")
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "np.linalg call in the O(d) fast path (LAPACK "
+                        "dispatch overhead dominates d-dimensional "
+                        "arithmetic); use explicit O(d) expressions",
+                    )
+
+
+#: Every rule, in reporting order.
+ALL_RULES: "tuple[Rule, ...]" = (
+    VerdictBoolRule(),
+    CriterionTemplateRule(),
+    MarginCompareRule(),
+    MetricNameRule(),
+    PaperRefRule(),
+    UnseededRandomRule(),
+    SwallowedArithmeticRule(),
+    HotPathLoopRule(),
+)
+
+
+def rules_by_name(selection: "Iterable[str] | None" = None) -> "tuple[Rule, ...]":
+    """Resolve a rule-name selection (None → all rules).
+
+    Accepts rule names (``metric-name``) and codes (``DOM104``).
+    """
+    if selection is None:
+        return ALL_RULES
+    wanted = {token.strip() for token in selection if token.strip()}
+    unknown = wanted - {rule.name for rule in ALL_RULES} - {
+        rule.code for rule in ALL_RULES
+    }
+    if unknown:
+        known = ", ".join(rule.name for rule in ALL_RULES)
+        raise ValueError(
+            f"unknown rule(s): {', '.join(sorted(unknown))}; known: {known}"
+        )
+    return tuple(
+        rule for rule in ALL_RULES if rule.name in wanted or rule.code in wanted
+    )

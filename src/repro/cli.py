@@ -36,6 +36,7 @@ from repro.exceptions import ReproError
 from repro.experiments.report import render_stats
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.index.sstree import SSTree
+from repro.obs import names
 from repro.obs.log import configure_logging, get_logger
 from repro.queries.knn import knn_query
 
@@ -112,22 +113,22 @@ def run_canned_workload(*, seed: int = 0) -> dict:
     """
     dataset = synthetic_dataset(400, 3, mu=0.1, seed=seed)
     workload = DominanceWorkload.from_dataset(dataset, size=500, seed=seed)
-    with obs.trace("stats.scalar"):
+    with obs.trace(names.STATS_SCALAR):
         for name in ("hyperbola", "cascade"):
             criterion = get_criterion(name)
             for sa, sb, sq in workload.triples():
                 criterion.dominates(sa, sb, sq)
-    with obs.trace("stats.batch"):
+    with obs.trace(names.STATS_BATCH):
         batch_evaluate("hyperbola", *workload.arrays())
-    with obs.trace("stats.knn"):
+    with obs.trace(names.STATS_KNN):
         tree = SSTree.bulk_load(dataset.items(), max_entries=16)
         for query in knn_queries(dataset, count=10, seed=seed):
             knn_query(tree, query, 5, criterion="hyperbola")
-    with obs.trace("stats.verified"):
+    with obs.trace(names.STATS_VERIFIED):
         verified = get_criterion("verified")
         for sa, sb, sq in workload.triples():
             verified.dominates(sa, sb, sq)
-    with obs.trace("stats.faults"):
+    with obs.trace(names.STATS_FAULTS):
         # A short demonstration that certified verdicts survive kernel
         # corruption: the 'verified.stage.*' / 'faults.*' counters show
         # the ladder escalating over the poisoned quartic solver.
@@ -154,18 +155,26 @@ def _run_stats_command(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # `repro lint` is the domlint static-analysis front end; its
+        # flags are its own, so hand everything after 'lint' over.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(arguments[1:])
+
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     configure_logging(verbose=args.verbose)
 
-    names = list(args.experiments)
-    if "stats" in names:
-        if len(names) > 1:
+    requested = list(args.experiments)
+    if "stats" in requested:
+        if len(requested) > 1:
             parser.error("'stats' runs alone; don't mix it with experiments")
         return _run_stats_command(args)
-    if "all" in names:
-        names = sorted(EXPERIMENTS)
-    unknown = [name for name in names if name not in EXPERIMENTS]
+    if "all" in requested:
+        requested = sorted(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
         parser.error(
             f"unknown experiment(s): {', '.join(unknown)}; "
@@ -173,7 +182,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
 
     reports = []
-    for name in names:
+    for name in requested:
         try:
             report = run_experiment(
                 name, scale=args.scale, seed=args.seed, profile=args.profile

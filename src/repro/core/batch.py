@@ -18,10 +18,18 @@ and return a boolean array of shape ``(n,)``.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro import obs
 from repro.geometry.quartic import solve_quartic_real_batch
+from repro.obs import names
+
+#: Anything convertible to an ``(n, d)`` float array of centers.
+Centers = Sequence[Sequence[float]] | np.ndarray
+#: Anything convertible to an ``(n,)`` float array of radii.
+Radii = Sequence[float] | np.ndarray
 
 __all__ = [
     "batch_minmax",
@@ -33,7 +41,14 @@ __all__ = [
 ]
 
 
-def _validate(ca, cb, cq, ra, rb, rq) -> tuple[np.ndarray, ...]:
+def _validate(
+    ca: Centers,
+    cb: Centers,
+    cq: Centers,
+    ra: Radii,
+    rb: Radii,
+    rq: Radii,
+) -> tuple[np.ndarray, ...]:
     arrays = [np.asarray(a, dtype=np.float64) for a in (ca, cb, cq)]
     radii = [np.asarray(r, dtype=np.float64) for r in (ra, rb, rq)]
     n, d = arrays[0].shape
@@ -50,7 +65,14 @@ def _row_norms(x: np.ndarray) -> np.ndarray:
     return np.sqrt(np.einsum("ij,ij->i", x, x))
 
 
-def batch_minmax(ca, cb, cq, ra, rb, rq) -> np.ndarray:
+def batch_minmax(
+    ca: Centers,
+    cb: Centers,
+    cq: Centers,
+    ra: Radii,
+    rb: Radii,
+    rq: Radii,
+) -> np.ndarray:
     """Vectorised MinMax criterion."""
     ca, cb, cq, ra, rb, rq = _validate(ca, cb, cq, ra, rb, rq)
     max_dist_aq = _row_norms(ca - cq) + ra + rq
@@ -58,7 +80,14 @@ def batch_minmax(ca, cb, cq, ra, rb, rq) -> np.ndarray:
     return max_dist_aq < min_dist_bq
 
 
-def batch_mbr(ca, cb, cq, ra, rb, rq) -> np.ndarray:
+def batch_mbr(
+    ca: Centers,
+    cb: Centers,
+    cq: Centers,
+    ra: Radii,
+    rb: Radii,
+    rq: Radii,
+) -> np.ndarray:
     """Vectorised MBR criterion (per-dimension candidate maximisation)."""
     ca, cb, cq, ra, rb, rq = _validate(ca, cb, cq, ra, rb, rq)
     a_lo, a_hi = ca - ra[:, None], ca + ra[:, None]
@@ -79,7 +108,14 @@ def batch_mbr(ca, cb, cq, ra, rb, rq) -> np.ndarray:
     return best.sum(axis=1) < 0.0
 
 
-def batch_trigonometric(ca, cb, cq, ra, rb, rq) -> np.ndarray:
+def batch_trigonometric(
+    ca: Centers,
+    cb: Centers,
+    cq: Centers,
+    ra: Radii,
+    rb: Radii,
+    rq: Radii,
+) -> np.ndarray:
     """Vectorised Trigonometric criterion."""
     ca, cb, cq, ra, rb, rq = _validate(ca, cb, cq, ra, rb, rq)
     rab = ra + rb
@@ -184,7 +220,14 @@ def _batch_distance_to_hyperbola(
     return np.sqrt(best_sq)
 
 
-def batch_hyperbola(ca, cb, cq, ra, rb, rq) -> np.ndarray:
+def batch_hyperbola(
+    ca: Centers,
+    cb: Centers,
+    cq: Centers,
+    ra: Radii,
+    rb: Radii,
+    rq: Radii,
+) -> np.ndarray:
     """Vectorised Hyperbola criterion (the paper's optimal decision)."""
     ca, cb, cq, ra, rb, rq = _validate(ca, cb, cq, ra, rb, rq)
     rab = ra + rb
@@ -193,18 +236,19 @@ def batch_hyperbola(ca, cb, cq, ra, rb, rq) -> np.ndarray:
 
     live = gap > rab  # Lemma 1 fast-path: overlapping rows stay false.
     if obs.ENABLED:
-        obs.incr("batch.hyperbola.rows", int(gap.size))
-        obs.incr("batch.hyperbola.overlap_rows", int(gap.size - live.sum()))
+        obs.incr(names.BATCH_HYPERBOLA_ROWS, int(gap.size))
+        obs.incr(names.BATCH_HYPERBOLA_OVERLAP_ROWS, int(gap.size - live.sum()))
     if not np.any(live):
         return result
 
     margin_cq = _row_norms(cb - cq) - _row_norms(ca - cq) - rab
+    center_inside = margin_cq > 0.0
     if obs.ENABLED:
         obs.incr(
-            "batch.hyperbola.center_outside_rows",
-            int((live & (margin_cq <= 0.0)).sum()),
+            names.BATCH_HYPERBOLA_CENTER_OUTSIDE_ROWS,
+            int((live & ~center_inside).sum()),
         )
-    live &= margin_cq > 0.0
+    live &= center_inside
     if not np.any(live):
         return result
 
@@ -212,7 +256,7 @@ def batch_hyperbola(ca, cb, cq, ra, rb, rq) -> np.ndarray:
     point_query = live & (rq == 0.0)
     result[point_query] = True
     if obs.ENABLED:
-        obs.incr("batch.hyperbola.point_query_rows", int(point_query.sum()))
+        obs.incr(names.BATCH_HYPERBOLA_POINT_QUERY_ROWS, int(point_query.sum()))
     live &= rq > 0.0
     if not np.any(live):
         return result
@@ -234,8 +278,8 @@ def batch_hyperbola(ca, cb, cq, ra, rb, rq) -> np.ndarray:
 
     curved = live & ~flat
     if obs.ENABLED:
-        obs.incr("batch.hyperbola.bisector_rows", int(bisector.sum()))
-        obs.incr("batch.hyperbola.quartic_rows", int(curved.sum()))
+        obs.incr(names.BATCH_HYPERBOLA_BISECTOR_ROWS, int(bisector.sum()))
+        obs.incr(names.BATCH_HYPERBOLA_QUARTIC_ROWS, int(curved.sum()))
     if np.any(curved):
         idx = np.flatnonzero(curved)
         dmin = _batch_distance_to_hyperbola(
@@ -245,7 +289,14 @@ def batch_hyperbola(ca, cb, cq, ra, rb, rq) -> np.ndarray:
     return result
 
 
-def batch_gp(ca, cb, cq, ra, rb, rq) -> np.ndarray:
+def batch_gp(
+    ca: Centers,
+    cb: Centers,
+    cq: Centers,
+    ra: Radii,
+    rb: Radii,
+    rq: Radii,
+) -> np.ndarray:
     """Vectorised GP criterion (2-D projection anchored at ``ca``)."""
     ca, cb, cq, ra, rb, rq = _validate(ca, cb, cq, ra, rb, rq)
     if ca.shape[1] <= 2:
@@ -268,7 +319,15 @@ _BATCH_KERNELS = {
 }
 
 
-def batch_evaluate(name: str, ca, cb, cq, ra, rb, rq) -> np.ndarray:
+def batch_evaluate(
+    name: str,
+    ca: Centers,
+    cb: Centers,
+    cq: Centers,
+    ra: Radii,
+    rb: Radii,
+    rq: Radii,
+) -> np.ndarray:
     """Evaluate the named criterion over a whole workload at once."""
     try:
         kernel = _BATCH_KERNELS[name]
@@ -276,7 +335,7 @@ def batch_evaluate(name: str, ca, cb, cq, ra, rb, rq) -> np.ndarray:
         known = ", ".join(sorted(_BATCH_KERNELS))
         raise ValueError(f"no batch kernel named {name!r}; known: {known}") from None
     if obs.ENABLED:
-        obs.incr("batch.calls")
-        obs.incr(f"batch.calls.{name}")
-        obs.observe("batch.workload_rows", int(np.asarray(ca).shape[0]))
+        obs.incr(names.BATCH_CALLS)
+        obs.incr(names.batch_calls(name))
+        obs.observe(names.BATCH_WORKLOAD_ROWS, int(np.asarray(ca).shape[0]))
     return kernel(ca, cb, cq, ra, rb, rq)

@@ -22,6 +22,7 @@ from repro.core.base import DominanceCriterion, register_criterion
 from repro.core.hyperbola import HyperbolaCriterion
 from repro.geometry.distance import max_dist, min_dist
 from repro.geometry.hypersphere import Hypersphere
+from repro.obs import names
 
 __all__ = ["CascadeCriterion"]
 
@@ -39,24 +40,24 @@ class CascadeCriterion(DominanceCriterion):
 
     def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         if obs.ENABLED:
-            obs.incr("cascade.calls")
+            obs.incr(names.CASCADE_CALLS)
         if sa.overlaps(sb):
             if obs.ENABLED:
-                obs.incr("cascade.overlap_reject")
+                obs.incr(names.CASCADE_OVERLAP_REJECT)
             return False
         # Fast accept: the pessimistic bound already separates them.
         if max_dist(sa, sq) < min_dist(sb, sq):
             if obs.ENABLED:
-                obs.incr("cascade.fast_accept")
+                obs.incr(names.CASCADE_FAST_ACCEPT)
             return True
         # Fast reject: MinDist(Sa,Sq) >= MaxDist(Sb,Sq) rearranges to
         # Dist(cb,cq) - Dist(ca,cq) - (ra+rb) <= -2*rq <= 0, i.e. the
         # query center itself already violates the MDD condition.
         if min_dist(sa, sq) >= max_dist(sb, sq):
             if obs.ENABLED:
-                obs.incr("cascade.fast_reject")
+                obs.incr(names.CASCADE_FAST_REJECT)
             return False
         if obs.ENABLED:
-            obs.incr("cascade.fall_through")
+            obs.incr(names.CASCADE_FALL_THROUGH)
         # Dimensions were validated at this criterion's own entry point.
         return self._exact._decide(sa, sb, sq)

@@ -43,6 +43,9 @@ bisector hyperplane of the segment ``ca cb`` and ``dmin = |t|``.
 from __future__ import annotations
 
 import math
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro import obs
 from repro.core.base import DominanceCriterion, register_criterion
@@ -50,6 +53,7 @@ from repro.geometry import quartic
 from repro.geometry.distance import dist
 from repro.geometry.hypersphere import Hypersphere
 from repro.geometry.transform import FocalFrame
+from repro.obs import names
 
 __all__ = [
     "HyperbolaCriterion",
@@ -71,7 +75,9 @@ _DENOM_EPS = 1e-12
 _BISECTOR_THRESHOLD = 1e-9
 
 
-def boundary_margin(sa: Hypersphere, sb: Hypersphere, point) -> float:
+def boundary_margin(
+    sa: Hypersphere, sb: Hypersphere, point: Sequence[float] | np.ndarray
+) -> float:
     """``Dist(cb, point) - Dist(ca, point) - (ra + rb)``.
 
     Positive values place *point* strictly inside the region ``Ra``.
@@ -84,7 +90,11 @@ def boundary_margin(sa: Hypersphere, sb: Hypersphere, point) -> float:
 
 
 def _distance_to_hyperbola_2d(
-    t: float, rho: float, alpha: float, rab: float, solver=None
+    t: float,
+    rho: float,
+    alpha: float,
+    rab: float,
+    solver: "Callable[[Sequence[float]], np.ndarray] | None" = None,
 ) -> float:
     """Minimum distance from ``(t, rho)`` to the quadric ``F = 0``.
 
@@ -162,7 +172,9 @@ def _distance_to_hyperbola_2d(
     coeff_e = a1 + a2 - a3
     scale = max(abs(coeff_a), abs(coeff_b), abs(coeff_c), abs(coeff_d), abs(coeff_e))
     if scale > 0.0:
-        for lam in solver((coeff_a, coeff_b, coeff_c, coeff_d, coeff_e)):
+        # Bounded by the quartic's degree (at most four real roots), so
+        # this stays O(1) work per decision despite being a Python loop.
+        for lam in solver((coeff_a, coeff_b, coeff_c, coeff_d, coeff_e)):  # domlint: ignore[hot-path-loop]
             lam = float(lam)
             if not math.isfinite(lam):
                 raise ArithmeticError("quartic solver produced a non-finite root")
@@ -183,7 +195,7 @@ def _distance_to_hyperbola_2d(
             candidates += 1
 
     if obs.ENABLED:
-        obs.incr("hyperbola.stationary_candidates", candidates)
+        obs.incr(names.HYPERBOLA_STATIONARY_CANDIDATES, candidates)
     if not math.isfinite(best_sq):
         # Only possible when t/rho/alpha/rab were themselves corrupted:
         # nan candidates lose every `<` comparison and leave best_sq at
@@ -193,7 +205,7 @@ def _distance_to_hyperbola_2d(
 
 
 def min_distance_to_boundary(
-    sa: Hypersphere, sb: Hypersphere, point
+    sa: Hypersphere, sb: Hypersphere, point: "Sequence[float] | np.ndarray"
 ) -> float:
     """Distance from *point* to the boundary of ``Ra`` (the hyperbola).
 
@@ -248,21 +260,25 @@ class HyperbolaCriterion(DominanceCriterion):
 
     def _decide(self, sa: Hypersphere, sb: Hypersphere, sq: Hypersphere) -> bool:
         if obs.ENABLED:
-            obs.incr("hyperbola.calls")
+            obs.incr(names.HYPERBOLA_CALLS)
         # Lemma 1: overlapping spheres never dominate.
         if sa.overlaps(sb):
             if obs.ENABLED:
-                obs.incr("hyperbola.fast_path.overlap")
+                obs.incr(names.HYPERBOLA_FAST_PATH_OVERLAP)
             return False
         # Step 2 side test: the query center itself must be inside Ra.
-        if boundary_margin(sa, sb, sq.center) <= 0.0:
+        # The plain float64 kernel is deliberately tolerance-free (the
+        # certified path lives in repro.robust.ladder); Lemma 7 makes
+        # the sign of the raw margin the exact decision in real
+        # arithmetic.
+        if boundary_margin(sa, sb, sq.center) <= 0.0:  # domlint: ignore[margin-compare]
             if obs.ENABLED:
-                obs.incr("hyperbola.fast_path.center_outside")
+                obs.incr(names.HYPERBOLA_FAST_PATH_CENTER_OUTSIDE)
             return False
         if sq.radius == 0.0:
             # A point query strictly inside the open region Ra is dominated.
             if obs.ENABLED:
-                obs.incr("hyperbola.fast_path.point_query")
+                obs.incr(names.HYPERBOLA_FAST_PATH_POINT_QUERY)
             return True
         # Step 1: distance from cq to the boundary of Ra.
         frame = FocalFrame(sa.center, sb.center)
@@ -272,14 +288,14 @@ class HyperbolaCriterion(DominanceCriterion):
             # No perpendicular dimension exists: the boundary of Ra is
             # the single point at the hyperbola vertex t = -rab/2.
             if obs.ENABLED:
-                obs.incr("hyperbola.vertex_1d")
+                obs.incr(names.HYPERBOLA_VERTEX_1D)
             dmin = abs(t + rab / 2.0)
         elif rab <= _BISECTOR_THRESHOLD * frame.alpha:
             if obs.ENABLED:
-                obs.incr("hyperbola.bisector")
+                obs.incr(names.HYPERBOLA_BISECTOR)
             dmin = abs(t)
         else:
             if obs.ENABLED:
-                obs.incr("hyperbola.quartic")
+                obs.incr(names.HYPERBOLA_QUARTIC)
             dmin = _distance_to_hyperbola_2d(t, rho, frame.alpha, rab)
         return dmin > sq.radius

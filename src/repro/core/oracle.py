@@ -26,6 +26,7 @@ exact enough (boundary cases excepted) to validate every criterion.
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 import numpy as np
 
@@ -61,7 +62,10 @@ def _interval_candidates(
 
 
 def _golden_section(
-    objective, lo: float, hi: float, iterations: int = 80
+    objective: "Callable[[float], float]",
+    lo: float,
+    hi: float,
+    iterations: int = 80,
 ) -> tuple[float, float]:
     """Minimise a unimodal-ish 1-D *objective* on ``[lo, hi]``."""
     x1 = hi - _GOLDEN * (hi - lo)

@@ -86,7 +86,7 @@ class Dataset:
 def _sample(
     distribution: str,
     rng: np.random.Generator,
-    size,
+    size: "int | tuple[int, ...]",
     *,
     mean: float,
     std: float,

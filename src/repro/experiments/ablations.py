@@ -33,7 +33,7 @@ from repro.index.linear import LinearIndex
 from repro.index.mtree import MTree
 from repro.index.sstree import SSTree
 from repro.index.vptree import VPTree
-from repro.queries.knn import knn_query, knn_reference
+from repro.queries.knn import KNNResult, knn_query, knn_reference
 
 __all__ = ["run_ablations"]
 
@@ -92,7 +92,7 @@ def run_ablations(*, scale: float = 1.0, seed: int = 0) -> list[tuple]:
     queries = knn_queries(dataset, count=3, seed=seed)
     truths = [knn_reference(flat, q, 10).key_set() for q in queries]
     for algorithm in ("incremental", "two-phase"):
-        def run(algo=algorithm):
+        def run(algo: str = algorithm) -> "list[KNNResult]":
             return [knn_query(tree, q, 10, algorithm=algo) for q in queries]
 
         seconds = _timed(run, repeats=1)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.obs import names
 from repro.core.base import get_criterion
 from repro.core.batch import batch_evaluate
 from repro.data.synthetic import Dataset
@@ -95,7 +96,7 @@ def run_dominance_experiment(
         "dominance experiment %s: workload=%d repeats=%d timing=%s",
         label, workload_size, repeats, timing,
     )
-    with obs.trace("dominance.workload"):
+    with obs.trace(names.DOMINANCE_WORKLOAD):
         workload = DominanceWorkload.from_dataset(
             dataset, size=workload_size, seed=seed
         )
@@ -104,7 +105,7 @@ def run_dominance_experiment(
     measurements = []
     for name in criteria:
         before = obs.collect() if obs.ENABLED else None
-        with obs.trace(f"dominance.{name}"):
+        with obs.trace(names.dominance_span(name)):
             if timing == "scalar":
                 criterion = get_criterion(name)
                 triples = list(workload.triples())

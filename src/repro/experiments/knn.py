@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.obs import names
 from repro.data.synthetic import Dataset
 from repro.data.workload import knn_queries
 from repro.exceptions import ExperimentError
@@ -95,11 +96,11 @@ def run_knn_experiment(
         "knn experiment %s: n=%d k=%d queries=%d", label, len(dataset), k, queries
     )
     rng = np.random.default_rng(seed)
-    with obs.trace("knn.build_index"):
+    with obs.trace(names.KNN_BUILD_INDEX):
         tree = SSTree.bulk_load(dataset.items(), max_entries=max_entries)
         flat = LinearIndex(dataset.items())
     query_spheres = knn_queries(dataset, count=queries, rng=rng)
-    with obs.trace("knn.reference"):
+    with obs.trace(names.KNN_REFERENCE):
         truths = [
             knn_reference(flat, query, k, criterion="hyperbola").key_set()
             for query in query_spheres
@@ -114,7 +115,7 @@ def run_knn_experiment(
             coverage_sum = 0.0
             returned_sum = 0
             truth_sum = 0
-            with obs.trace(f"knn.{strategy}.{criterion}"):
+            with obs.trace(names.knn_span(strategy, criterion)):
                 for query, truth in zip(query_spheres, truths):
                     started = time.perf_counter()
                     result = knn_query(

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import obs
+from repro.obs import names
 from repro.data.real import REAL_DATASET_SPECS, real_dataset
 from repro.data.synthetic import synthetic_dataset
 from repro.exceptions import ExperimentError
@@ -382,7 +383,7 @@ def run_experiment(
         return runner(defaults, scale, seed)
     started = time.perf_counter()
     with obs.enabled_scope(True), obs.scope():
-        with obs.trace(name):
+        with obs.trace(names.experiment_span(name)):
             report = runner(defaults, scale, seed)
         report.stats = obs.collect()
     log.debug("profiled %s in %.2fs", name, time.perf_counter() - started)

@@ -27,6 +27,7 @@ import math
 import numpy as np
 
 from repro import obs
+from repro.obs import names
 
 __all__ = [
     "solve_quartic_real",
@@ -88,7 +89,7 @@ def solve_quartic_real(
     if not np.all(np.isfinite(coeffs)):
         raise ValueError("coefficients must be finite")
     if obs.ENABLED:
-        obs.incr("quartic.companion_solves")
+        obs.incr(names.QUARTIC_COMPANION_SOLVES)
     coeffs = _trim_leading(_normalised(coeffs))
     if coeffs.size == 1:  # constant polynomial: no roots to report
         return np.empty(0)
@@ -141,7 +142,7 @@ def solve_quartic_real_closed(
     if not np.all(np.isfinite(coeffs)):
         raise ValueError("coefficients must be finite")
     if obs.ENABLED:
-        obs.incr("quartic.closed_form_solves")
+        obs.incr(names.QUARTIC_CLOSED_FORM_SOLVES)
     coeffs = _trim_leading(_normalised(coeffs))
     degree = coeffs.size - 1
     if degree <= 0:
@@ -211,7 +212,7 @@ def solve_quartic_real_closed(
         if m <= 0.0:
             # Numerical edge: fall back to the robust solver.
             if obs.ENABLED:
-                obs.incr("quartic.closed_form_fallbacks")
+                obs.incr(names.QUARTIC_CLOSED_FORM_FALLBACKS)
             return solve_quartic_real(coefficients)
         s = math.sqrt(2.0 * m)
         for sign in (-1.0, 1.0):
@@ -246,8 +247,8 @@ def solve_quartic_real_batch(coefficients: np.ndarray) -> np.ndarray:
     n = coefficients.shape[0]
     out = np.full((n, 4), np.nan)
     if obs.ENABLED:
-        obs.incr("quartic.batch_solves")
-        obs.observe("quartic.batch_rows", n)
+        obs.incr(names.QUARTIC_BATCH_SOLVES)
+        obs.observe(names.QUARTIC_BATCH_ROWS, n)
     if n == 0:
         return out
 

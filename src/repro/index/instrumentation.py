@@ -25,6 +25,7 @@ never pay per-node bookkeeping beyond what they already did.
 from __future__ import annotations
 
 from repro import obs
+from repro.obs import names
 
 __all__ = ["IndexStatsMixin"]
 
@@ -58,8 +59,8 @@ class IndexStatsMixin:
         self._node_accesses += node_accesses
         self._entries_scanned += entries_scanned
         if obs.ENABLED:
-            obs.incr("index.node_accesses", node_accesses)
-            obs.incr("index.entries_scanned", entries_scanned)
+            obs.incr(names.INDEX_NODE_ACCESSES, node_accesses)
+            obs.incr(names.INDEX_ENTRIES_SCANNED, entries_scanned)
 
     def record_query(
         self, *, node_accesses: int = 0, entries_scanned: int = 0
@@ -67,7 +68,7 @@ class IndexStatsMixin:
         """Tally one traversal (and mirror it into :mod:`repro.obs`)."""
         self._queries += 1
         if obs.ENABLED:
-            obs.incr("index.queries")
+            obs.incr(names.INDEX_QUERIES)
         self.record_scan(
             node_accesses=node_accesses, entries_scanned=entries_scanned
         )

@@ -253,7 +253,9 @@ class VPTree(IndexStatsMixin):
 
         check(self.root)
 
-    def _iter_subtree(self, node: VPTreeNode):
+    def _iter_subtree(
+        self, node: VPTreeNode
+    ) -> Iterator[tuple[object, Hypersphere]]:
         stack = [node]
         while stack:
             current = stack.pop()

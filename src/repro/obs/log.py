@@ -10,6 +10,7 @@ DEBUG level.
 from __future__ import annotations
 
 import logging
+from typing import TextIO
 
 __all__ = ["LOGGER_NAME", "get_logger", "configure_logging"]
 
@@ -26,7 +27,9 @@ def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(f"{LOGGER_NAME}.{name}")
 
 
-def configure_logging(*, verbose: bool = False, stream=None) -> logging.Logger:
+def configure_logging(
+    *, verbose: bool = False, stream: "TextIO | None" = None
+) -> logging.Logger:
     """Attach one console handler to the ``repro`` logger (idempotent).
 
     Repeated calls reconfigure the existing handler instead of stacking

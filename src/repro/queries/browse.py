@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -25,11 +25,15 @@ from repro.geometry.distance import min_dist
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.index.sstree import SSTree
+    from repro.index.vptree import VPTree
+
 __all__ = ["browse"]
 
 
 def browse(
-    index,
+    index: "SSTree | VPTree | LinearIndex",
     query: Hypersphere,
 ) -> Iterator[tuple[object, Hypersphere, float]]:
     """Yield ``(key, sphere, MinDist)`` in nondecreasing MinDist order.

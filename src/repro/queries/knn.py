@@ -60,6 +60,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs import names
 from repro.core.base import DominanceCriterion, get_criterion
 from repro.exceptions import QueryError
 from repro.geometry.distance import max_dist, min_dist
@@ -88,13 +89,13 @@ def _record_traversal(index: object, result: "KNNResult") -> None:
             entries_scanned=result.entries_considered,
         )
     if obs.ENABLED:
-        obs.incr("knn.queries")
-        obs.incr("knn.node_accesses", node_accesses)
-        obs.incr("knn.entries_considered", result.entries_considered)
-        obs.incr("knn.dominance_checks", result.dominance_checks)
-        obs.incr("knn.pruned_case3", result.pruned_case3)
-        obs.incr("knn.uncertain_decisions", result.uncertain_decisions)
-        obs.observe("knn.answer_size", len(result.keys))
+        obs.incr(names.KNN_QUERIES)
+        obs.incr(names.KNN_NODE_ACCESSES, node_accesses)
+        obs.incr(names.KNN_ENTRIES_CONSIDERED, result.entries_considered)
+        obs.incr(names.KNN_DOMINANCE_CHECKS, result.dominance_checks)
+        obs.incr(names.KNN_PRUNED_CASE3, result.pruned_case3)
+        obs.incr(names.KNN_UNCERTAIN_DECISIONS, result.uncertain_decisions)
+        obs.observe(names.KNN_ANSWER_SIZE, len(result.keys))
 
 
 def _uncertain_count(criterion: object) -> int:
@@ -501,8 +502,8 @@ def knn_reference(
     # tally it on the index but under its own obs counter.
     dataset.record_query(node_accesses=1, entries_scanned=len(dataset))
     if obs.ENABLED:
-        obs.incr("knn.reference_queries")
-        obs.incr("knn.reference_dominance_checks", checks)
+        obs.incr(names.KNN_REFERENCE_QUERIES)
+        obs.incr(names.KNN_REFERENCE_DOMINANCE_CHECKS, checks)
     return KNNResult(
         keys=keys,
         spheres=spheres,

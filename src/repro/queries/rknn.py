@@ -27,6 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs import names
 from repro.core.base import DominanceCriterion, get_criterion
 from repro.exceptions import QueryError
 from repro.geometry.hypersphere import Hypersphere
@@ -99,9 +100,9 @@ def rnn_candidates(
         if not refuted:
             survivors.append(key)
     if obs.ENABLED:
-        obs.incr("rnn.queries")
+        obs.incr(names.RNN_QUERIES)
         obs.incr(
-            "rnn.uncertain_decisions",
+            names.RNN_UNCERTAIN_DECISIONS,
             int(getattr(criterion, "uncertain_count", 0)) - uncertain_before,
         )
     return survivors

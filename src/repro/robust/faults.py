@@ -45,11 +45,12 @@ from __future__ import annotations
 import contextlib
 import math
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs import names
 from repro.exceptions import ReproError
 from repro.geometry import distance as _distance
 from repro.geometry import quartic as _quartic
@@ -87,7 +88,7 @@ class InjectedFault:
             return False
         self.hits += 1
         if obs.ENABLED:
-            obs.incr(f"faults.{self.seam}.{self.mode}")
+            obs.incr(names.fault(self.seam, self.mode))
         return True
 
     def corrupt_scalar(self, value: float) -> float:
@@ -137,8 +138,12 @@ def inject(
             "solve_quartic_real_batch": _quartic.solve_quartic_real_batch,
         }
 
-        def _wrap_solver(original):
-            def corrupted(coefficients):
+        def _wrap_solver(
+            original: "Callable[..., np.ndarray]",
+        ) -> "Callable[..., np.ndarray]":
+            def corrupted(
+                coefficients: "np.ndarray | Sequence[float]",
+            ) -> np.ndarray:
                 roots = original(coefficients)
                 if not fault.fires():
                     return roots
@@ -148,8 +153,10 @@ def inject(
 
             return corrupted
 
-        def _wrap_batch(original):
-            def corrupted(coefficients):
+        def _wrap_batch(
+            original: "Callable[..., np.ndarray]",
+        ) -> "Callable[..., np.ndarray]":
+            def corrupted(coefficients: np.ndarray) -> np.ndarray:
                 roots = original(coefficients)
                 if not fault.fires():
                     return roots
@@ -178,7 +185,9 @@ def inject(
     elif seam == "frame":
         original_reduce = FocalFrame.reduce
 
-        def corrupted_reduce(self, point):
+        def corrupted_reduce(
+            self: FocalFrame, point: "Sequence[float] | np.ndarray"
+        ) -> "tuple[float, float]":
             pair = original_reduce(self, point)
             if not fault.fires():
                 return pair
@@ -194,7 +203,9 @@ def inject(
     else:  # seam == "distance"
         original_dist = _distance.dist
 
-        def corrupted_dist(p, q):
+        def corrupted_dist(
+            p: "Sequence[float] | np.ndarray", q: "Sequence[float] | np.ndarray"
+        ) -> float:
             value = original_dist(p, q)
             if not fault.fires():
                 return value

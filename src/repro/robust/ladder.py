@@ -37,11 +37,12 @@ them; the exact stage shares none of those seams.
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs import names
 from repro.core import hyperbola as _hyperbola
 from repro.exceptions import GeometryError, ReproError
 from repro.geometry import distance as _distance
@@ -221,7 +222,12 @@ def _stage_longdouble(
     return _classify(margin, bound), margin, bound
 
 
-def _longdouble_dmin(t, rho, alpha, rab):
+def _longdouble_dmin(
+    t: "np.floating[Any]",
+    rho: "np.floating[Any]",
+    alpha: "np.floating[Any]",
+    rab: "np.floating[Any]",
+) -> "np.floating[Any]":
     """Extended-precision variant of the kernel's candidate search."""
     ld = np.longdouble
     rab_sq = rab * rab
@@ -240,7 +246,7 @@ def _longdouble_dmin(t, rho, alpha, rab):
         a1 + a2 - a3,
     )
 
-    def quadric_y_sq(x):
+    def quadric_y_sq(x: "np.floating[Any]") -> "np.floating[Any]":
         return (
             (ld(16.0) * alpha_sq - ld(4.0) * rab_sq) * x * x / (ld(4.0) * rab_sq)
             - alpha_sq
@@ -249,7 +255,7 @@ def _longdouble_dmin(t, rho, alpha, rab):
 
     best_sq = ld(np.inf)
 
-    def consider(x, y):
+    def consider(x: "np.floating[Any]", y: "np.floating[Any]") -> None:
         nonlocal best_sq
         dx = t - x
         dy = rho - y
@@ -339,23 +345,23 @@ def decide(
     last_stage = ""
     for name, stage in ladder:
         if obs.ENABLED:
-            obs.incr(f"verified.stage.{name}")
+            obs.incr(names.verified_stage(name))
         try:
             dominates, margin, bound = stage(sa, sb, sq)
         except _Undecided as undecided:
             last_margin, last_bound, last_stage = undecided.margin, undecided.bound, name
             if obs.ENABLED:
-                obs.incr(f"verified.stage.{name}.undecided")
+                obs.incr(names.verified_stage_undecided(name))
             continue
         except _STAGE_FAILURES:
             last_stage = name
             if obs.ENABLED:
-                obs.incr(f"verified.stage.{name}.failed")
+                obs.incr(names.verified_stage_failed(name))
             continue
         verdict = Verdict.TRUE if dominates else Verdict.FALSE
         return Decision(verdict, margin=margin, bound=bound, stage=name)
     if obs.ENABLED:
-        obs.incr("verified.uncertain")
+        obs.incr(names.VERIFIED_UNCERTAIN)
     return Decision(
         Verdict.UNCERTAIN, margin=last_margin, bound=last_bound, stage=last_stage
     )

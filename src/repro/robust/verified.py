@@ -31,17 +31,32 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+import numpy as np
+
 from repro import obs
 from repro.core.base import register_criterion
 from repro.core.gp import GPCriterion
 from repro.core.hyperbola import HyperbolaCriterion
 from repro.core.minmax import MinMaxCriterion
-from repro.exceptions import DimensionalityMismatchError
+from repro.exceptions import DimensionalityMismatchError, GeometryError
 from repro.geometry.hypersphere import Hypersphere
+from repro.obs import names
 from repro.robust import ladder as _ladder
 from repro.robust.decision import Decision, Verdict
 
 __all__ = ["VerifiedHyperbola"]
+
+# A fallback criterion may only fail for the reasons a ladder stage may
+# fail: numerical corruption (injected or genuine) or input validation.
+# Anything else — a typo'd attribute, a broken registry entry — is a
+# programming error that must propagate, not be silently absorbed into
+# a "keep the candidate" answer.
+_FALLBACK_FAILURES = (
+    ArithmeticError,
+    ValueError,
+    GeometryError,
+    np.linalg.LinAlgError,
+)
 
 
 @register_criterion
@@ -105,13 +120,16 @@ class VerifiedHyperbola(HyperbolaCriterion):
         for criterion in self._fallbacks:
             try:
                 result = bool(criterion.dominates(sa, sb, sq))
-            except Exception:
+            except _FALLBACK_FAILURES:
+                # Swallowing is deliberate *and audited*: the next
+                # fallback (or the conservative False) takes over, and
+                # the counter keeps the swallowed failure visible.
                 if obs.ENABLED:
-                    obs.incr(f"verified.fallback.{criterion.name}.failed")
+                    obs.incr(names.verified_fallback_failed(criterion.name))
                 continue
             if obs.ENABLED:
-                obs.incr(f"verified.fallback.{criterion.name}")
+                obs.incr(names.verified_fallback(criterion.name))
             return result
         if obs.ENABLED:
-            obs.incr("verified.fallback.none")
+            obs.incr(names.VERIFIED_FALLBACK_NONE)
         return False

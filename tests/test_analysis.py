@@ -1,0 +1,654 @@
+"""Tests for :mod:`repro.analysis` — the domlint rule engine.
+
+Covers every rule with violating and compliant fixtures, suppression
+comments, baseline grandfathering (add + expire), the PAPER.md citation
+grammar and cache, and the meta-test that the shipped ``src/repro``
+tree is domlint-clean under the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    Baseline,
+    PaperIndex,
+    extract_citations,
+    fingerprint,
+    lint_paths,
+    parse_suppressions,
+    rules_by_name,
+)
+from repro.analysis.base import dotted_module
+from repro.obs import names
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PAPER_FIXTURE = textwrap.dedent(
+    """\
+    # A tiny paper
+
+    We prove Lemmas 1-3 and Theorem 1, define the quartic in Eq. (14),
+    and evaluate in Sections 4.1-4.2.  Algorithm 1 ties it together.
+    """
+)
+
+
+def lint_source(
+    tmp_path: Path,
+    relative: str,
+    source: str,
+    rules=None,
+    paper_text: "str | None" = None,
+    baseline: "Baseline | None" = None,
+):
+    """Write *source* at ``tmp_path/relative`` and lint just that file."""
+    file = tmp_path / relative
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source), encoding="utf-8")
+    paper = None
+    if paper_text is not None:
+        paper = tmp_path / "PAPER.md"
+        paper.write_text(paper_text, encoding="utf-8")
+    return lint_paths(
+        [file],
+        rules=rules,
+        baseline=baseline,
+        paper=paper,
+        root=tmp_path,
+        cache=False,
+    )
+
+
+def rule_names(report) -> "list[str]":
+    return [finding.rule for finding in report.actionable]
+
+
+class TestFramework:
+    def test_dotted_module_anchors_at_repro(self):
+        assert dotted_module(Path("src/repro/core/x.py")) == "repro.core.x"
+        assert dotted_module(Path("/tmp/t/repro/robust/y.py")) == "repro.robust.y"
+        assert dotted_module(Path("src/repro/core/__init__.py")) == "repro.core"
+        assert dotted_module(Path("elsewhere/file.py")) == "file"
+
+    def test_parse_suppressions_ignores_strings(self):
+        source = 's = "# domlint: ignore[margin-compare]"\n'
+        assert parse_suppressions(source) == {}
+
+    def test_parse_suppressions_multiple_rules(self):
+        source = "x = 1  # domlint: ignore[a, b]\n"
+        assert parse_suppressions(source) == {1: frozenset({"a", "b"})}
+
+    def test_rules_by_name_accepts_codes_and_names(self):
+        assert [r.name for r in rules_by_name(["DOM103"])] == ["margin-compare"]
+        assert [r.name for r in rules_by_name(["metric-name"])] == ["metric-name"]
+        with pytest.raises(ValueError, match="unknown rule"):
+            rules_by_name(["no-such-rule"])
+
+    def test_every_rule_has_identity(self):
+        codes = [rule.code for rule in ALL_RULES]
+        assert len(ALL_RULES) == 8
+        assert len(set(codes)) == 8
+        assert all(rule.name and rule.description for rule in ALL_RULES)
+
+
+class TestVerdictBoolRule:
+    def test_truth_test_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def f(verdict):
+                if verdict:
+                    return 1
+            """,
+        )
+        assert rule_names(report) == ["verdict-bool"]
+
+    def test_bool_call_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/queries/x.py", "y = bool(my_verdict)\n"
+        )
+        assert rule_names(report) == ["verdict-bool"]
+
+    def test_identity_comparison_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def f(verdict, Verdict):
+                if verdict is Verdict.TRUE:
+                    return 1
+            """,
+        )
+        assert rule_names(report) == []
+
+    def test_robust_package_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/robust/x.py",
+            """\
+            def f(verdict):
+                if verdict:
+                    return 1
+            """,
+        )
+        assert rule_names(report) == []
+
+
+class TestCriterionTemplateRule:
+    VIOLATION = """\
+        class FancyCriterion(DominanceCriterion):
+            def dominates(self, sa, sb, sq):
+                return True
+        """
+
+    def test_dominates_override_flagged(self, tmp_path):
+        report = lint_source(tmp_path, "repro/core/fancy.py", self.VIOLATION)
+        assert rule_names(report) == ["criterion-template"]
+
+    def test_decide_override_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/fancy.py",
+            """\
+            class FancyCriterion(DominanceCriterion):
+                def _decide(self, sa, sb, sq):
+                    return True
+            """,
+        )
+        assert rule_names(report) == []
+
+    def test_base_module_exempt(self, tmp_path):
+        report = lint_source(tmp_path, "repro/core/base.py", self.VIOLATION)
+        assert rule_names(report) == []
+
+    def test_unrelated_class_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/other.py",
+            """\
+            class Helper:
+                def dominates(self, other):
+                    return False
+            """,
+        )
+        assert rule_names(report) == []
+
+
+class TestMarginCompareRule:
+    def test_equality_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/core/x.py", "ok = margin == 0.0\n"
+        )
+        assert rule_names(report) == ["margin-compare"]
+
+    def test_lte_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/robust/x.py",
+            "def f(margin_lo):\n    return margin_lo <= 0.0\n",
+        )
+        assert rule_names(report) == ["margin-compare"]
+
+    def test_strict_less_than_ok(self, tmp_path):
+        report = lint_source(tmp_path, "repro/core/x.py", "ok = margin < 0.0\n")
+        assert rule_names(report) == []
+
+    def test_ladder_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/robust/ladder.py", "ok = margin == 0.0\n"
+        )
+        assert rule_names(report) == []
+
+    def test_outside_core_robust_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/queries/x.py", "ok = margin == 0.0\n"
+        )
+        assert rule_names(report) == []
+
+
+class TestMetricNameRule:
+    def test_unknown_literal_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/core/x.py", 'obs.incr("nope.metric")\n'
+        )
+        assert rule_names(report) == ["metric-name"]
+
+    def test_registered_literal_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            f'obs.incr("{names.HYPERBOLA_CALLS}")\n',
+        )
+        assert rule_names(report) == []
+
+    def test_registry_constant_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/core/x.py", "obs.incr(names.HYPERBOLA_CALLS)\n"
+        )
+        assert rule_names(report) == []
+
+    def test_registry_helper_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/robust/x.py",
+            'obs.incr(names.verified_stage("closed"))\n',
+        )
+        assert rule_names(report) == []
+
+    def test_fstring_matching_family_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/robust/x.py",
+            'obs.incr(f"verified.stage.{stage}")\n',
+        )
+        assert rule_names(report) == []
+
+    def test_fstring_unknown_family_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/core/x.py", 'obs.incr(f"nope.{x}")\n'
+        )
+        assert rule_names(report) == ["metric-name"]
+
+    def test_obs_package_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/obs/x.py", 'obs.incr("nope.metric")\n'
+        )
+        assert rule_names(report) == []
+
+
+class TestPaperRefRule:
+    def test_missing_citation_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            '"""Uses Lemma 7 for pruning."""\n',
+            paper_text=PAPER_FIXTURE,
+        )
+        assert rule_names(report) == ["paper-ref"]
+        assert "lemma 7" in report.actionable[0].message
+
+    def test_existing_citations_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            '"""Lemmas 1-3, Eq. (14) and Section 4.2 (Algorithm 1)."""\n',
+            paper_text=PAPER_FIXTURE,
+        )
+        assert rule_names(report) == []
+
+    def test_function_docstrings_checked(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            '''\
+            def f():
+                """Implements Algorithm 9."""
+            ''',
+            paper_text=PAPER_FIXTURE,
+        )
+        assert rule_names(report) == ["paper-ref"]
+
+    def test_no_paper_means_no_findings(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/core/x.py", '"""Uses Lemma 99."""\n'
+        )
+        assert rule_names(report) == []
+
+
+class TestUnseededRandomRule:
+    def test_default_rng_without_seed_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert rule_names(report) == ["unseeded-random"]
+
+    def test_default_rng_with_seed_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+        )
+        assert rule_names(report) == []
+
+    def test_legacy_global_numpy_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/queries/x.py",
+            "import numpy as np\nx = np.random.rand(3)\n",
+        )
+        assert rule_names(report) == ["unseeded-random"]
+
+    def test_stdlib_random_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            "import random\nx = random.random()\n",
+        )
+        assert rule_names(report) == ["unseeded-random"]
+
+    def test_unrelated_random_name_ok(self, tmp_path):
+        # No `import random` in scope: `random.choice` is someone
+        # else's object, not the stdlib module.
+        report = lint_source(
+            tmp_path, "repro/core/x.py", "x = random.choice(items)\n"
+        )
+        assert rule_names(report) == []
+
+    def test_data_package_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/data/x.py",
+            "import numpy as np\nx = np.random.rand(3)\n",
+        )
+        assert rule_names(report) == []
+
+
+class TestSwallowedArithmeticRule:
+    def test_except_exception_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            try:
+                f()
+            except Exception:
+                pass
+            """,
+        )
+        assert rule_names(report) == ["swallowed-arithmetic"]
+
+    def test_bare_except_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/geometry/x.py",
+            """\
+            try:
+                f()
+            except:
+                pass
+            """,
+        )
+        assert rule_names(report) == ["swallowed-arithmetic"]
+
+    def test_overbroad_tuple_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/robust/x.py",
+            """\
+            try:
+                f()
+            except (ValueError, Exception):
+                pass
+            """,
+        )
+        assert rule_names(report) == ["swallowed-arithmetic"]
+
+    def test_narrow_handler_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            try:
+                f()
+            except (ArithmeticError, ValueError):
+                pass
+            """,
+        )
+        assert rule_names(report) == []
+
+    def test_non_kernel_package_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/experiments/x.py",
+            """\
+            try:
+                f()
+            except Exception:
+                pass
+            """,
+        )
+        assert rule_names(report) == []
+
+
+class TestHotPathLoopRule:
+    def test_for_loop_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/hyperbola.py",
+            "for i in range(3):\n    pass\n",
+        )
+        assert rule_names(report) == ["hot-path-loop"]
+        assert report.actionable[0].severity.value == "warning"
+
+    def test_linalg_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/hyperbola.py",
+            "import numpy as np\nn = np.linalg.norm(x)\n",
+        )
+        assert rule_names(report) == ["hot-path-loop"]
+
+    def test_other_core_modules_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path, "repro/core/batch.py", "for i in range(3):\n    pass\n"
+        )
+        assert rule_names(report) == []
+
+
+class TestSuppressions:
+    def test_matching_suppression_applies(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            "ok = margin == 0.0  # domlint: ignore[margin-compare]\n",
+        )
+        assert rule_names(report) == []
+        assert report.suppressed == 1
+
+    def test_bare_suppression_applies_to_all(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            "ok = margin == 0.0  # domlint: ignore\n",
+        )
+        assert rule_names(report) == []
+        assert report.suppressed == 1
+
+    def test_wrong_rule_suppression_does_not_apply(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            "ok = margin == 0.0  # domlint: ignore[metric-name]\n",
+        )
+        assert rule_names(report) == ["margin-compare"]
+        assert report.suppressed == 0
+
+
+class TestBaseline:
+    def test_baselined_finding_not_actionable(self, tmp_path):
+        violation = "ok = margin == 0.0\n"
+        first = lint_source(tmp_path, "repro/core/x.py", violation)
+        baseline = Baseline.from_findings(first.actionable)
+        second = lint_source(
+            tmp_path, "repro/core/x.py", violation, baseline=baseline
+        )
+        assert second.actionable == []
+        assert len(second.baselined) == 1
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        first = lint_source(tmp_path, "repro/core/x.py", "ok = margin == 0.0\n")
+        baseline = Baseline.from_findings(first.actionable)
+        shifted = "# a comment\n\n\nok = margin == 0.0\n"
+        second = lint_source(
+            tmp_path, "repro/core/x.py", shifted, baseline=baseline
+        )
+        assert second.actionable == []
+        assert len(second.baselined) == 1
+
+    def test_new_finding_stays_actionable(self, tmp_path):
+        first = lint_source(tmp_path, "repro/core/x.py", "ok = margin == 0.0\n")
+        baseline = Baseline.from_findings(first.actionable)
+        grown = "ok = margin == 0.0\nbad = other_margin <= 1.0\n"
+        second = lint_source(
+            tmp_path, "repro/core/x.py", grown, baseline=baseline
+        )
+        assert len(second.baselined) == 1
+        assert len(second.actionable) == 1
+        assert "other_margin" in second.actionable[0].message
+
+    def test_multiset_matching(self, tmp_path):
+        # Two identical lines fingerprint identically; one baseline
+        # entry absorbs only one of them.
+        violation = "a = margin == 0.0\n"
+        first = lint_source(tmp_path, "repro/core/x.py", violation)
+        baseline = Baseline.from_findings(first.actionable)
+        doubled = "a = margin == 0.0\na = margin == 0.0\n"
+        second = lint_source(
+            tmp_path, "repro/core/x.py", doubled, baseline=baseline
+        )
+        assert len(second.baselined) == 1
+        assert len(second.actionable) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        first = lint_source(tmp_path, "repro/core/x.py", "ok = margin == 0.0\n")
+        baseline = Baseline.from_findings(first.actionable)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        payload = json.loads(path.read_text())
+        assert payload["findings"][0]["rule"] == "margin-compare"
+
+    def test_update_expires_fixed_entries(self, tmp_path):
+        first = lint_source(tmp_path, "repro/core/x.py", "ok = margin == 0.0\n")
+        stale = Baseline.from_findings(first.actionable)
+        # The violation is fixed; rebuilding from current findings
+        # (what --update-baseline does) drops the old entry.
+        clean = lint_source(tmp_path, "repro/core/x.py", "ok = margin < 0.0\n")
+        refreshed = Baseline.from_findings(clean.all_findings)
+        assert stale.entries
+        assert not refreshed.entries
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == {}
+
+    def test_fingerprint_depends_on_rule_and_content(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "repro/core/x.py",
+            "a = margin == 0.0\nb = other_margin == 0.0\n",
+        )
+        prints = [fingerprint(f) for f in report.actionable]
+        assert len(set(prints)) == 2
+
+
+class TestPaperRefGrammar:
+    def test_plural_range(self):
+        assert extract_citations("Lemmas 2-4") == {
+            ("lemma", "2"),
+            ("lemma", "3"),
+            ("lemma", "4"),
+        }
+
+    def test_plural_comma_and_list(self):
+        assert extract_citations("Eqs. 1, 3 and 4") == {
+            ("equation", "1"),
+            ("equation", "3"),
+            ("equation", "4"),
+        }
+
+    def test_singular_comma_is_prose(self):
+        # "Lemma 1, 2014" cites Lemma 1 only.
+        assert extract_citations("see Lemma 1, 2014 vintage") == {
+            ("lemma", "1")
+        }
+
+    def test_dotted_section_range(self):
+        assert extract_citations("Sections 7.1-7.2") == {
+            ("section", "7.1"),
+            ("section", "7.2"),
+        }
+
+    def test_section_sign(self):
+        assert extract_citations("per §5.1") == {("section", "5.1")}
+
+    def test_parenthesised_equation(self):
+        assert extract_citations("solve Eq. (14)") == {("equation", "14")}
+
+    def test_fig_abbreviation(self):
+        assert extract_citations("Fig. 9 and Figure 10") == {
+            ("figure", "9"),
+            ("figure", "10"),
+        }
+
+    def test_case_insensitive(self):
+        assert extract_citations("ALGORITHM 1") == {("algorithm", "1")}
+
+
+class TestPaperIndexCache:
+    def test_cache_roundtrip(self, tmp_path):
+        paper = tmp_path / "PAPER.md"
+        paper.write_text(PAPER_FIXTURE, encoding="utf-8")
+        index = PaperIndex.load(paper)
+        cache = tmp_path / ".domlint_cache" / "paper_refs.json"
+        assert cache.is_file()
+        again = PaperIndex.load(paper)
+        assert again.references == index.references
+        assert ("lemma", "2") in again
+
+    def test_cache_invalidated_by_edit(self, tmp_path):
+        paper = tmp_path / "PAPER.md"
+        paper.write_text(PAPER_FIXTURE, encoding="utf-8")
+        PaperIndex.load(paper)
+        paper.write_text(PAPER_FIXTURE + "\nAlso Lemma 9.\n", encoding="utf-8")
+        assert ("lemma", "9") in PaperIndex.load(paper)
+
+    def test_corrupt_cache_is_rebuilt(self, tmp_path):
+        paper = tmp_path / "PAPER.md"
+        paper.write_text(PAPER_FIXTURE, encoding="utf-8")
+        cache = tmp_path / ".domlint_cache" / "paper_refs.json"
+        cache.parent.mkdir()
+        cache.write_text("{not json", encoding="utf-8")
+        assert ("lemma", "1") in PaperIndex.load(paper)
+
+
+class TestNamesRegistry:
+    def test_static_constants_are_known(self):
+        assert names.is_known(names.HYPERBOLA_CALLS)
+        assert names.is_known(names.VERIFIED_FALLBACK_NONE)
+
+    def test_family_helpers_produce_known_names(self):
+        assert names.is_known(names.verified_stage("closed"))
+        assert names.is_known(names.verified_stage_failed("exact"))
+        assert names.is_known(names.verified_fallback("gp"))
+        assert names.is_known(names.fault("quartic", "nan"))
+        assert names.is_known(names.batch_calls("hyperbola"))
+
+    def test_unknown_names_rejected(self):
+        assert not names.is_known("totally.made.up.metric")
+        assert not names.is_known("hyperbola.calls.extra")
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_is_domlint_clean(self):
+        baseline = Baseline.load(REPO_ROOT / ".domlint-baseline.json")
+        report = lint_paths(
+            [REPO_ROOT / "src" / "repro"],
+            baseline=baseline,
+            paper=REPO_ROOT / "PAPER.md",
+            root=REPO_ROOT,
+            cache=False,
+        )
+        assert report.parse_errors == []
+        assert [f.render() for f in report.actionable] == []
+        # The grandfathered debt can shrink but not silently grow.
+        assert len(report.baselined) <= sum(baseline.entries.values())

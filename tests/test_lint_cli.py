@@ -1,0 +1,210 @@
+"""Regression tests for the ``repro lint`` command-line interface.
+
+Builds a synthetic ``repro`` tree containing exactly one violation of
+every domlint rule and checks that the CLI detects all eight, exits
+non-zero, honours ``--update-baseline`` (subsequent runs are clean),
+and emits machine-readable JSON.  The strict-typing gate is exercised
+when mypy is available (it is in CI; locally the test skips).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.rules import ALL_RULES
+from repro.cli import main as repro_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: One file per rule, each violating exactly that rule.
+VIOLATIONS = {
+    "repro/queries/verdictish.py": (
+        "def f(verdict):\n    if verdict:\n        return 1\n"
+    ),
+    "repro/core/criterion.py": (
+        "class BadCriterion(DominanceCriterion):\n"
+        "    def dominates(self, sa, sb, sq):\n"
+        "        return True\n"
+    ),
+    "repro/core/margins.py": "ok = margin == 0.0\n",
+    "repro/core/metrics.py": 'obs.incr("not.a.registered.metric")\n',
+    "repro/core/cited.py": '"""Relies on Lemma 99."""\n',
+    "repro/core/randomness.py": (
+        "import numpy as np\nrng = np.random.default_rng()\n"
+    ),
+    "repro/geometry/handler.py": (
+        "try:\n    f()\nexcept Exception:\n    pass\n"
+    ),
+    "repro/core/hyperbola.py": "for i in range(3):\n    pass\n",
+}
+
+PAPER = "We prove Lemma 1 and Eq. (14) in Section 4.2.\n"
+
+
+@pytest.fixture()
+def violation_tree(tmp_path: Path) -> Path:
+    for relative, source in VIOLATIONS.items():
+        file = tmp_path / relative
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(textwrap.dedent(source), encoding="utf-8")
+    (tmp_path / "PAPER.md").write_text(PAPER, encoding="utf-8")
+    return tmp_path
+
+
+def run_lint(*argv: str) -> int:
+    return lint_main(list(argv))
+
+
+class TestDetection:
+    def test_every_rule_detected_and_exit_nonzero(
+        self, violation_tree, capsys
+    ):
+        code = run_lint(
+            str(violation_tree / "repro"),
+            "--format=json",
+            "--no-cache",
+            "--paper",
+            str(violation_tree / "PAPER.md"),
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        detected = {finding["rule"] for finding in payload["findings"]}
+        assert detected == {rule.name for rule in ALL_RULES}
+        assert payload["exit_code"] == 1
+
+    def test_human_output_is_clickable(self, violation_tree, capsys):
+        run_lint(
+            str(violation_tree / "repro"),
+            "--no-cache",
+            "--paper",
+            str(violation_tree / "PAPER.md"),
+        )
+        out = capsys.readouterr().out
+        assert "margins.py:1:" in out
+        assert "error[margin-compare]" in out
+        assert "domlint:" in out.splitlines()[-1]
+
+    def test_rule_selection(self, violation_tree, capsys):
+        code = run_lint(
+            str(violation_tree / "repro"),
+            "--rules=margin-compare",
+            "--format=json",
+            "--no-cache",
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"margin-compare"}
+
+    def test_unknown_rule_is_usage_error(self, violation_tree):
+        with pytest.raises(SystemExit) as excinfo:
+            run_lint(str(violation_tree / "repro"), "--rules=bogus")
+        assert excinfo.value.code == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            run_lint(str(tmp_path / "nowhere"))
+        assert excinfo.value.code == 2
+
+    def test_parse_error_fails_the_run(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(:\n", encoding="utf-8")
+        code = run_lint(str(tmp_path / "repro"), "--no-cache")
+        assert code == 1
+        assert "error[parse]" in capsys.readouterr().out
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean(self, violation_tree, capsys):
+        baseline = violation_tree / ".domlint-baseline.json"
+        assert (
+            run_lint(
+                str(violation_tree / "repro"),
+                "--update-baseline",
+                "--baseline",
+                str(baseline),
+                "--no-cache",
+                "--paper",
+                str(violation_tree / "PAPER.md"),
+            )
+            == 0
+        )
+        assert baseline.is_file()
+        capsys.readouterr()
+        code = run_lint(
+            str(violation_tree / "repro"),
+            "--baseline",
+            str(baseline),
+            "--format=json",
+            "--no-cache",
+            "--paper",
+            str(violation_tree / "PAPER.md"),
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["baselined"] == len(VIOLATIONS)
+
+
+class TestEntryPoints:
+    def test_repro_lint_subcommand(self, violation_tree, capsys):
+        code = repro_main(
+            [
+                "lint",
+                str(violation_tree / "repro"),
+                "--format=json",
+                "--no-cache",
+                "--paper",
+                str(violation_tree / "PAPER.md"),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {
+            rule.name for rule in ALL_RULES
+        }
+
+    def test_module_invocation(self, violation_tree):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                str(violation_tree / "repro"),
+                "--no-cache",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 1
+        assert "error[" in result.stdout
+
+    def test_list_rules(self, capsys):
+        assert run_lint("--list-rules") == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.code in out
+
+
+@pytest.mark.skipif(
+    shutil.which("mypy") is None, reason="mypy not installed (runs in CI)"
+)
+class TestTypingGate:
+    def test_mypy_strict_passes_on_src_repro(self):
+        result = subprocess.run(
+            ["mypy", "--strict", "src/repro"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
