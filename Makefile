@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint fuzz bench examples experiments claims profile clean
+.PHONY: install test lint fuzz chaos bench examples experiments claims profile clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +27,14 @@ fuzz:
 		tests/test_boundary_fuzz.py tests/test_faults.py \
 		tests/test_robust_exact.py tests/test_robust_decision.py \
 		tests/test_criteria_properties.py
+
+# The resilience gate (docs/resilience.md): the chaos matrix (every
+# fault seam x mode), budget/degradation behaviour, snapshot integrity,
+# and the idle-budget overhead bound.
+chaos:
+	$(PYTHON) -m pytest -q \
+		tests/test_chaos.py tests/test_resilience.py \
+		tests/test_snapshot.py benchmarks/test_budget_overhead.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

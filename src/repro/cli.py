@@ -18,6 +18,17 @@ result table; the same stats land under ``"stats"`` in the JSON)::
 Run the canned instrumentation workload on its own::
 
     python -m repro stats
+
+Bound an experiment's wall-clock time (queries past the deadline return
+conservative partial answers instead of running on)::
+
+    python -m repro fig13 --deadline-ms 5000
+
+Save, verify and reload a crash-safe index snapshot::
+
+    python -m repro snapshot save /tmp/demo.snap --kind sstree
+    python -m repro snapshot verify /tmp/demo.snap
+    python -m repro snapshot load /tmp/demo.snap
 """
 
 from __future__ import annotations
@@ -97,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log progress at DEBUG level to stderr",
     )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "wall-clock budget per experiment; past the deadline, queries "
+            "degrade to conservative partial answers instead of running on "
+            "(smoke runs and liveness checks, not publication numbers)"
+        ),
+    )
     return parser
 
 
@@ -140,6 +162,91 @@ def run_canned_workload(*, seed: int = 0) -> dict:
     return obs.collect()
 
 
+_SNAPSHOT_KINDS = ("linear", "sstree", "mtree", "vptree")
+
+
+def _build_snapshot_index(kind: str, n: int, dimension: int, seed: int) -> object:
+    dataset = synthetic_dataset(n, dimension, seed=seed)
+    items = list(dataset.items())
+    if kind == "linear":
+        from repro.index.linear import LinearIndex
+
+        return LinearIndex(items)
+    if kind == "sstree":
+        return SSTree.bulk_load(items)
+    if kind == "mtree":
+        from repro.index.mtree import MTree
+
+        return MTree.build(items)
+    from repro.index.vptree import VPTree
+
+    return VPTree.build(items)
+
+
+def _snapshot_main(argv: "Sequence[str]") -> int:
+    """The ``repro snapshot save|load|verify`` front end."""
+    from repro.exceptions import SnapshotCorruptionError, SnapshotError
+    from repro.index import snapshot as snap
+
+    parser = argparse.ArgumentParser(
+        prog="repro snapshot",
+        description=(
+            "Crash-safe index snapshots: checksummed save / verify / load "
+            "(corruption is reported as a typed error, never as a wrong index)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_save = sub.add_parser(
+        "save", help="build an index over a synthetic dataset and snapshot it"
+    )
+    p_save.add_argument("path", help="destination snapshot file")
+    p_save.add_argument(
+        "--kind", choices=_SNAPSHOT_KINDS, default="sstree", help="index structure"
+    )
+    p_save.add_argument("--n", type=int, default=400, help="dataset size")
+    p_save.add_argument("--dimension", type=int, default=3, help="dimensionality")
+    p_save.add_argument("--seed", type=int, default=0, help="dataset seed")
+    p_load = sub.add_parser("load", help="rebuild an index from a snapshot")
+    p_load.add_argument("path", help="snapshot file to load")
+    p_verify = sub.add_parser(
+        "verify", help="integrity-check a snapshot without rebuilding it"
+    )
+    p_verify.add_argument("path", help="snapshot file to check")
+    args = parser.parse_args(list(argv))
+
+    try:
+        if args.command == "save":
+            index = _build_snapshot_index(
+                args.kind, args.n, args.dimension, args.seed
+            )
+            info = snap.save(index, args.path)
+            print(
+                f"saved {info['kind']} snapshot: {info['count']} entries, "
+                f"d={info['dimension']}, {info['pages']} page(s), "
+                f"{info['bytes']} bytes -> {args.path}"
+            )
+        elif args.command == "verify":
+            info = snap.verify(args.path)
+            print(
+                f"snapshot OK: kind={info['kind']} count={info['count']} "
+                f"d={info['dimension']} pages={info['pages']} "
+                f"bytes={info['bytes']}"
+            )
+        else:
+            index = snap.load(args.path)
+            print(
+                f"loaded {type(index).__name__}: {len(index)} entries, "  # type: ignore[arg-type]
+                f"d={index.dimension}"  # type: ignore[attr-defined]
+            )
+    except SnapshotCorruptionError as error:
+        print(f"snapshot corrupt: {error}", file=sys.stderr)
+        return 2
+    except SnapshotError as error:
+        print(f"snapshot error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_stats_command(args: argparse.Namespace) -> int:
     log.debug("running canned stats workload (seed=%d)", args.seed)
     with obs.enabled_scope(True), obs.scope():
@@ -162,6 +269,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "snapshot":
+        # `repro snapshot save|load|verify` manages crash-safe index
+        # persistence; like lint, it owns its own flags.
+        return _snapshot_main(arguments[1:])
 
     parser = build_parser()
     args = parser.parse_args(arguments)
@@ -185,7 +296,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     for name in requested:
         try:
             report = run_experiment(
-                name, scale=args.scale, seed=args.seed, profile=args.profile
+                name,
+                scale=args.scale,
+                seed=args.seed,
+                profile=args.profile,
+                deadline_ms=args.deadline_ms,
             )
         except ReproError as error:
             print(f"error running {name}: {error}", file=sys.stderr)

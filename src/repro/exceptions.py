@@ -50,6 +50,29 @@ class QueryError(ReproError):
     """A query (kNN / RkNN) received invalid parameters."""
 
 
+class ValidationError(QueryError):
+    """User-supplied input failed validation before any work started.
+
+    Subclasses :class:`QueryError` so callers that already catch the
+    broader class keep working; new code should catch this type to
+    distinguish bad input from mid-query failures.
+    """
+
+
+class SnapshotError(ReproError):
+    """An index snapshot could not be written or read."""
+
+
+class SnapshotCorruptionError(SnapshotError):
+    """A snapshot failed an integrity check (magic, length or CRC).
+
+    Raised by :func:`repro.index.snapshot.load` / ``verify`` whenever
+    the bytes on disk cannot be proven to match what ``save`` wrote —
+    corruption is always surfaced as this typed error, never as a
+    silently wrong index.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset could not be generated or loaded."""
 

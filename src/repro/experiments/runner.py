@@ -13,6 +13,7 @@ pass ``--scale 1.0`` for the paper-size run).
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -27,6 +28,8 @@ from repro.experiments.dominance import run_dominance_experiment
 from repro.experiments.knn import run_knn_experiment
 from repro.experiments.report import render_table
 from repro.experiments.ablations import run_ablations
+from repro.resilience import Budget
+from repro.resilience import scope as resilience_scope
 from repro.experiments.claims import run_claims
 from repro.experiments.table1 import run_table1
 from repro.obs.log import get_logger
@@ -364,6 +367,7 @@ def run_experiment(
     scale: float = 1.0,
     seed: int = 0,
     profile: bool = False,
+    deadline_ms: "float | None" = None,
 ) -> ExperimentReport:
     """Regenerate the named table/figure at the given *scale*.
 
@@ -372,6 +376,14 @@ def run_experiment(
     ``report.stats`` (and thus in the ``"stats"`` key of the JSON form).
     Profiling perturbs the reported timings slightly; leave it off for
     publication-quality numbers.
+
+    With ``deadline_ms`` set, the whole experiment runs under one
+    :class:`repro.resilience.Budget`: once the wall-clock deadline
+    passes, every remaining query degrades to its conservative partial
+    answer instead of running to completion, so the run lands near the
+    deadline rather than hanging on an over-sized configuration.  The
+    rendered timings then measure *degraded* execution — use deadlines
+    for smoke runs and liveness checks, not for publication numbers.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -379,11 +391,19 @@ def run_experiment(
         known = ", ".join(sorted(EXPERIMENTS))
         raise ExperimentError(f"unknown experiment {name!r}; known: {known}") from None
     defaults = PaperDefaults().scaled(scale)
+    # nullcontext (not scope(None)) when no deadline was given: scope(None)
+    # would shield the run from a budget the caller already activated.
+    budget_scope: "contextlib.AbstractContextManager[object]" = (
+        contextlib.nullcontext()
+        if deadline_ms is None
+        else resilience_scope(Budget.from_deadline_ms(deadline_ms))
+    )
     if not profile:
-        return runner(defaults, scale, seed)
+        with budget_scope:
+            return runner(defaults, scale, seed)
     started = time.perf_counter()
     with obs.enabled_scope(True), obs.scope():
-        with obs.trace(names.experiment_span(name)):
+        with obs.trace(names.experiment_span(name)), budget_scope:
             report = runner(defaults, scale, seed)
         report.stats = obs.collect()
     log.debug("profiled %s in %.2fs", name, time.perf_counter() - started)

@@ -108,12 +108,30 @@ RNN_UNCERTAIN_DECISIONS = "rnn.uncertain_decisions"
 VERIFIED_UNCERTAIN = "verified.uncertain"
 VERIFIED_FALLBACK_NONE = "verified.fallback.none"
 
+# repro.resilience — budget exhaustion and degradation outcomes.
+RESILIENCE_DEADLINE_EXCEEDED = "resilience.deadline_exceeded"
+RESILIENCE_CANDIDATES_EXHAUSTED = "resilience.candidates_exhausted"
+RESILIENCE_ESCALATIONS_DENIED = "resilience.escalations_denied"
+RESILIENCE_CLOCK_FAULTS = "resilience.clock_faults"
+RESILIENCE_DEGRADED_QUERIES = "resilience.degraded_queries"
+RESILIENCE_PARTIAL_QUERIES = "resilience.partial_queries"
+RESILIENCE_ABSORBED_FAULTS = "resilience.absorbed_faults"
+
+# repro.index.snapshot — crash-safe persistence outcomes.
+SNAPSHOT_SAVES = "snapshot.saves"
+SNAPSHOT_LOADS = "snapshot.loads"
+SNAPSHOT_VERIFIES = "snapshot.verifies"
+SNAPSHOT_CORRUPTIONS = "snapshot.corruptions"
+SNAPSHOT_PAGES_WRITTEN = "snapshot.pages_written"
+SNAPSHOT_PAGES_READ = "snapshot.pages_read"
+
 # ----------------------------------------------------------------------
 # Histograms
 # ----------------------------------------------------------------------
 QUARTIC_BATCH_ROWS = "quartic.batch_rows"
 BATCH_WORKLOAD_ROWS = "batch.workload_rows"
 KNN_ANSWER_SIZE = "knn.answer_size"
+SNAPSHOT_BYTES = "snapshot.bytes"
 
 # ----------------------------------------------------------------------
 # Trace spans (timers)
@@ -126,6 +144,9 @@ STATS_FAULTS = "stats.faults"
 DOMINANCE_WORKLOAD = "dominance.workload"
 KNN_BUILD_INDEX = "knn.build_index"
 KNN_REFERENCE = "knn.reference"
+SNAPSHOT_SAVE_SPAN = "snapshot.save"
+SNAPSHOT_LOAD_SPAN = "snapshot.load"
+SNAPSHOT_VERIFY_SPAN = "snapshot.verify"
 
 #: Dynamic name families: one ``*`` per varying dotted segment.
 PATTERNS: "tuple[str, ...]" = (

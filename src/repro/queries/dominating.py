@@ -15,6 +15,13 @@ so scoring stays NumPy-bound rather than Python-bound.  Any registered
 criterion works; with a correct-but-unsound criterion the scores are
 lower bounds of the true scores (some dominations go uncounted), which
 the test suite asserts.
+
+Resilience: scores only ever *undercount* under degradation, which is
+the established conservative direction here (unsound criteria already
+undercount).  A raising batch kernel falls back to the MinMax batch
+kernel for that row (absorbed fault); an exhausted
+:class:`repro.resilience.Budget` scores the remaining rows 0 and
+returns a :class:`repro.resilience.PartialResult` flagged incomplete.
 """
 
 from __future__ import annotations
@@ -24,10 +31,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
+from repro.obs import names
 from repro.core.batch import batch_evaluate
-from repro.exceptions import QueryError
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
+from repro.queries.validation import validate_k, validate_query
+from repro.resilience.budget import current as current_budget
+from repro.resilience.partial import PartialResult, ResilienceReport
 
 __all__ = ["DominanceScore", "dominance_scores", "top_k_dominating"]
 
@@ -45,29 +56,67 @@ def dominance_scores(
     query: Hypersphere,
     *,
     criterion: str = "hyperbola",
-) -> list[DominanceScore]:
-    """The dominance score of every object, in dataset order."""
+) -> "list[DominanceScore] | PartialResult":
+    """The dominance score of every object, in dataset order.
+
+    Returns a plain list normally; a
+    :class:`~repro.resilience.PartialResult` wrapping one when a
+    :class:`~repro.resilience.Budget` is active in the current context.
+    """
     if not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
-    if query.dimension != dataset.dimension:
-        raise QueryError(
-            f"query dimension {query.dimension} != dataset dimension "
-            f"{dataset.dimension}"
-        )
+    validate_query(query, dataset.dimension)
+    budget = current_budget()
+    if budget is not None:
+        budget.start()
     n = len(dataset)
     centers = dataset.centers
     radii = dataset.radii
     cq = np.broadcast_to(query.center, (n, query.dimension))
     rq = np.full(n, query.radius)
 
+    report = ResilienceReport()
+    absorbed = 0
     scores = []
     for i, key in enumerate(dataset.keys):
+        if budget is not None and budget.charge_candidate(n) is not None:
+            # Out of budget: the remaining rows stay unscored (score 0,
+            # the universal lower bound) and the result is flagged.
+            report.mark_incomplete(budget.exhausted() or "deadline")
+            scores.extend(
+                DominanceScore(key=late_key, score=0)
+                for late_key in dataset.keys[i:]
+            )
+            break
         ca = np.broadcast_to(centers[i], (n, query.dimension))
         ra = np.full(n, radii[i])
-        dominated = batch_evaluate(criterion, ca, centers, cq, ra, radii, rq)
+        try:
+            dominated = batch_evaluate(criterion, ca, centers, cq, ra, radii, rq)
+        except ArithmeticError:
+            # Broken kernel: redo the row with the conservative MinMax
+            # batch kernel, which can only undercount dominations.
+            absorbed += 1
+            report.mark_conservative("row rescored with the MinMax kernel")
+            try:
+                dominated = batch_evaluate(
+                    "minmax", ca, centers, cq, ra, radii, rq
+                )
+            except ArithmeticError:
+                absorbed += 1
+                dominated = np.zeros(n, dtype=bool)
         dominated[i] = False  # self-domination is impossible anyway
         scores.append(DominanceScore(key=key, score=int(np.count_nonzero(dominated))))
-    return scores
+    report.absorbed_faults = absorbed
+    if obs.ENABLED and absorbed:
+        obs.incr(names.RESILIENCE_ABSORBED_FAULTS, absorbed)
+    if budget is None:
+        return scores
+    if obs.ENABLED:
+        if report.degraded:
+            obs.incr(names.RESILIENCE_DEGRADED_QUERIES)
+        if not report.complete:
+            obs.incr(names.RESILIENCE_PARTIAL_QUERIES)
+    return PartialResult(scores, report)
 
 
 def top_k_dominating(
@@ -76,14 +125,27 @@ def top_k_dominating(
     k: int,
     *,
     criterion: str = "hyperbola",
-) -> list[DominanceScore]:
-    """The k objects with the highest dominance scores (ties by order)."""
-    if k < 1:
-        raise QueryError(f"k must be positive, got {k}")
-    scores = dominance_scores(dataset, query, criterion=criterion)
-    if k > len(scores):
-        raise QueryError(f"k={k} exceeds the dataset size {len(scores)}")
+) -> "list[DominanceScore] | PartialResult":
+    """The k objects with the highest dominance scores (ties by order).
+
+    Returns a plain list normally; a
+    :class:`~repro.resilience.PartialResult` wrapping one (and carrying
+    the scoring pass's report) when a budget is active.
+    """
+    if not isinstance(dataset, LinearIndex):
+        dataset = LinearIndex(dataset)
+    k = validate_k(k, len(dataset))
+    scored = dominance_scores(dataset, query, criterion=criterion)
+    if isinstance(scored, PartialResult):
+        scores: "list[DominanceScore]" = scored.value
+        report = scored.report
+    else:
+        scores = scored
+        report = None
     ranked = sorted(
         range(len(scores)), key=lambda i: (-scores[i].score, i)
     )
-    return [scores[i] for i in ranked[:k]]
+    top = [scores[i] for i in ranked[:k]]
+    if report is None:
+        return top
+    return PartialResult(top, report)

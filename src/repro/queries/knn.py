@@ -47,6 +47,30 @@ objects dominated by the *final* ``Sk``.  Three properties still hold
   gap: it first finds ``Sk`` exactly (a classic best-first top-k by
   ``MaxDist``), then collects every non-dominated object in a second
   pruned traversal — exactly Definition 2 when run with Hyperbola.
+
+Resilience (``repro.resilience``)
+---------------------------------
+
+Two orthogonal defences make the query path production-safe:
+
+**Fault absorption (always on).**  Every value that decides a *prune*
+— node distance bounds, per-sphere MinDist/MaxDist, the dominance
+criterion itself — is guarded: a raising kernel or a non-finite bound
+collapses to the no-prune direction (bound 0, MaxDist ``inf``, or a
+MinMax fallback decision) and is tallied on
+:attr:`KNNResult.absorbed_faults`.  A corrupted value can therefore
+widen the answer, never silently narrow it.
+
+**Budgets (opt-in).**  When a :class:`repro.resilience.Budget` is
+active (:func:`repro.resilience.scope`), the traversal charges it per
+node and per entry.  On exhaustion the traversal stops, remaining
+dominance filtering degrades to the conservative MinMax tier, and the
+query returns a :class:`repro.resilience.PartialResult` wrapping the
+:class:`KNNResult` together with a
+:class:`repro.resilience.ResilienceReport` (completeness, achieved
+guarantee tier, uncertain and absorbed-fault counts) — it never raises
+for running out of time.  Without an active budget the return type and
+behaviour are unchanged.
 """
 
 from __future__ import annotations
@@ -54,6 +78,7 @@ from __future__ import annotations
 import bisect
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -68,6 +93,10 @@ from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
 from repro.index.sstree import SSTree, SSTreeNode
 from repro.index.vptree import VPTree
+from repro.queries.validation import validate_k, validate_query
+from repro.resilience.budget import Budget
+from repro.resilience.budget import current as current_budget
+from repro.resilience.partial import PartialResult, ResilienceReport
 
 __all__ = ["KNNResult", "knn_query", "knn_reference"]
 
@@ -96,6 +125,8 @@ def _record_traversal(index: object, result: "KNNResult") -> None:
         obs.incr(names.KNN_PRUNED_CASE3, result.pruned_case3)
         obs.incr(names.KNN_UNCERTAIN_DECISIONS, result.uncertain_decisions)
         obs.observe(names.KNN_ANSWER_SIZE, len(result.keys))
+        if result.absorbed_faults:
+            obs.incr(names.RESILIENCE_ABSORBED_FAULTS, result.absorbed_faults)
 
 
 def _uncertain_count(criterion: object) -> int:
@@ -123,6 +154,12 @@ class KNNResult:
     #: answered UNCERTAIN during this query, falling back to its
     #: conservative boolean; always 0 for plain boolean criteria.
     uncertain_decisions: int = 0
+    #: Corrupted intermediates (non-finite bounds, raising kernels) the
+    #: query layer detected and absorbed by refusing to prune.
+    absorbed_faults: int = 0
+    #: Dominance filters that ran at the conservative MinMax tier or
+    #: were skipped outright because an execution budget ran out.
+    degraded_checks: int = 0
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -130,6 +167,67 @@ class KNNResult:
     def key_set(self) -> set:
         """The answer keys as a set (order is not meaningful)."""
         return set(self.keys)
+
+
+# ----------------------------------------------------------------------
+# Fault-absorbing bound evaluation.  Every helper maps a raising kernel
+# or a non-finite value to the *no-prune* direction and tallies it, so
+# corruption can only widen an answer.
+# ----------------------------------------------------------------------
+def _safe_node_min_dist(
+    node: object, query: Hypersphere, result: KNNResult
+) -> float:
+    try:
+        value = node.min_dist(query)  # type: ignore[attr-defined]
+    except ArithmeticError:
+        result.absorbed_faults += 1
+        return 0.0
+    if not math.isfinite(value):
+        result.absorbed_faults += 1
+        return 0.0
+    return float(value)
+
+
+def _safe_node_max_dist_lower_bound(
+    node: object, query: Hypersphere, result: KNNResult
+) -> float:
+    try:
+        value = node.max_dist_lower_bound(query)  # type: ignore[attr-defined]
+    except ArithmeticError:
+        result.absorbed_faults += 1
+        return 0.0
+    if not math.isfinite(value):
+        result.absorbed_faults += 1
+        return 0.0
+    return float(value)
+
+
+def _safe_sphere_max_dist(
+    sphere: Hypersphere, query: Hypersphere, result: KNNResult
+) -> float:
+    try:
+        value = max_dist(sphere, query)
+    except ArithmeticError:
+        result.absorbed_faults += 1
+        return math.inf
+    if not math.isfinite(value):
+        result.absorbed_faults += 1
+        return math.inf
+    return float(value)
+
+
+def _safe_sphere_min_dist(
+    sphere: Hypersphere, query: Hypersphere, result: KNNResult
+) -> float:
+    try:
+        value = min_dist(sphere, query)
+    except ArithmeticError:
+        result.absorbed_faults += 1
+        return 0.0
+    if not math.isfinite(value):
+        result.absorbed_faults += 1
+        return 0.0
+    return float(value)
 
 
 class _BestKnownList:
@@ -141,6 +239,8 @@ class _BestKnownList:
         self._k = k
         self._query = query
         self._criterion = criterion
+        self._fallback = get_criterion("minmax")
+        self._degraded = criterion is self._fallback
         # Parallel, maxdist-sorted storage; the tiebreaker keeps sort
         # stability without ever comparing keys or spheres.
         self._maxdists: list[float] = []
@@ -148,6 +248,8 @@ class _BestKnownList:
         self._tiebreak = itertools.count()
         self.dominance_checks = 0
         self.pruned_case3 = 0
+        self.absorbed_faults = 0
+        self.degraded_checks = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -159,6 +261,16 @@ class _BestKnownList:
             return float("inf")
         return self._maxdists[self._k - 1]
 
+    def degrade(self) -> None:
+        """Drop to the conservative MinMax tier for every later check.
+
+        Called when the execution budget runs out: MinMax is correct
+        (never mis-prunes), so all subsequent filtering stays safe while
+        costing O(d) instead of a quartic solve per pair.
+        """
+        self._criterion = self._fallback
+        self._degraded = True
+
     def _kth_sphere(self) -> Hypersphere:
         return self._rows[self._k - 1][3]
 
@@ -168,14 +280,55 @@ class _BestKnownList:
         self._rows.insert(at, row)
         self._maxdists.insert(at, dist_max)
 
+    def _safe_max_dist(self, sphere: Hypersphere) -> float:
+        try:
+            value = max_dist(sphere, self._query)
+        except ArithmeticError:
+            self.absorbed_faults += 1
+            return math.inf
+        if not math.isfinite(value):
+            self.absorbed_faults += 1
+            return math.inf
+        return float(value)
+
+    def _safe_min_dist(self, sphere: Hypersphere) -> float:
+        try:
+            value = min_dist(sphere, self._query)
+        except ArithmeticError:
+            self.absorbed_faults += 1
+            return 0.0
+        if not math.isfinite(value):
+            self.absorbed_faults += 1
+            return 0.0
+        return float(value)
+
+    def _dominates(self, kth: Hypersphere, sphere: Hypersphere) -> bool:
+        """One guarded dominance check (the only place pruning can err).
+
+        A raising criterion falls back to MinMax; a raising fallback
+        answers ``False`` (keep) — both directions are conservative.
+        """
+        self.dominance_checks += 1
+        if self._degraded:
+            self.degraded_checks += 1
+        try:
+            return bool(self._criterion.dominates(kth, sphere, self._query))
+        except ArithmeticError:
+            self.absorbed_faults += 1
+        try:
+            return bool(self._fallback.dominates(kth, sphere, self._query))
+        except ArithmeticError:
+            self.absorbed_faults += 1
+            return False
+
     def offer(self, key: object, sphere: Hypersphere) -> None:
         """Process one candidate through the paper's three cases."""
-        dist_max = max_dist(sphere, self._query)
+        dist_max = self._safe_max_dist(sphere)
         if len(self._rows) < self._k:
             self._insert(dist_max, key, sphere)
             return
         distk = self.distk
-        dist_min = min_dist(sphere, self._query)
+        dist_min = self._safe_min_dist(sphere)
         if dist_min > distk:  # Case 3
             self.pruned_case3 += 1
             return
@@ -184,9 +337,7 @@ class _BestKnownList:
             self._evict_dominated()
             return
         # Case 2: distmin <= distk < distmax.
-        kth = self._kth_sphere()
-        self.dominance_checks += 1
-        if not self._criterion.dominates(kth, sphere, self._query):
+        if not self._dominates(self._kth_sphere(), sphere):
             self._insert(dist_max, key, sphere)
 
     def _evict_dominated(self) -> None:
@@ -197,8 +348,7 @@ class _BestKnownList:
             if i < self._k:  # the first k define distk; Sk never self-dominates
                 survivors.append(row)
                 continue
-            self.dominance_checks += 1
-            if not self._criterion.dominates(kth, row[3], self._query):
+            if not self._dominates(kth, row[3]):
                 survivors.append(row)
         if len(survivors) != len(self._rows):
             self._rows = survivors
@@ -216,12 +366,31 @@ class _BestKnownList:
         keys, spheres = [], []
         for i, row in enumerate(self._rows):
             if i >= self._k:
-                self.dominance_checks += 1
-                if self._criterion.dominates(kth, row[3], self._query):
+                if self._dominates(kth, row[3]):
                     continue
             keys.append(row[2])
             spheres.append(row[3])
         return keys, spheres, self.distk
+
+
+def _wrap_partial(result: KNNResult, budget: Budget) -> PartialResult:
+    """Assemble the :class:`ResilienceReport` for one budgeted query."""
+    report = ResilienceReport()
+    reason = budget.exhausted()
+    if reason is not None:
+        report.mark_incomplete(reason)
+    if result.degraded_checks:
+        report.mark_conservative(
+            "dominance filtering degraded to the MinMax tier"
+        )
+    report.uncertain = result.uncertain_decisions
+    report.absorbed_faults = result.absorbed_faults
+    if obs.ENABLED:
+        if report.degraded:
+            obs.incr(names.RESILIENCE_DEGRADED_QUERIES)
+        if not report.complete:
+            obs.incr(names.RESILIENCE_PARTIAL_QUERIES)
+    return PartialResult(result, report)
 
 
 def knn_query(
@@ -232,7 +401,7 @@ def knn_query(
     criterion: "DominanceCriterion | str" = "hyperbola",
     strategy: str = "hs",
     algorithm: str = "incremental",
-) -> KNNResult:
+) -> "KNNResult | PartialResult":
     """Answer the Definition-2 kNN query over *index*.
 
     Parameters
@@ -257,15 +426,24 @@ def knn_query(
         ``"incremental"`` — the paper's single-pass best-known list
         (Section 6), or ``"two-phase"`` — the Definition-2-exact
         variant (find ``Sk`` first, then collect survivors).
+
+    Returns
+    -------
+    A plain :class:`KNNResult` normally; a
+    :class:`~repro.resilience.PartialResult` wrapping one when a
+    :class:`~repro.resilience.Budget` is active in the current context
+    (see :func:`repro.resilience.scope`).
     """
-    if k < 1:
-        raise QueryError(f"k must be positive, got {k}")
-    if len(index) < k:
-        raise QueryError(f"k={k} exceeds the dataset size {len(index)}")
+    k = validate_k(k, len(index))
+    validate_query(query, index.dimension)
     if isinstance(criterion, str):
         criterion = get_criterion(criterion)
+    budget = current_budget()
+    if budget is not None:
+        budget.start()
     if algorithm == "two-phase":
-        return _knn_two_phase(index, query, k, criterion, strategy)
+        result = _knn_two_phase(index, query, k, criterion, strategy, budget)
+        return result if budget is None else _wrap_partial(result, budget)
     if algorithm != "incremental":
         raise QueryError(
             f"unknown algorithm {algorithm!r}; use 'incremental' or 'two-phase'"
@@ -276,22 +454,37 @@ def knn_query(
     uncertain_before = _uncertain_count(criterion)
 
     if isinstance(index, LinearIndex):
-        for key, sphere in index:
-            result.entries_considered += 1
-            best.offer(key, sphere)
+        if budget is None:
+            for key, sphere in index:
+                result.entries_considered += 1
+                best.offer(key, sphere)
+        else:
+            for key, sphere in index:
+                if budget.charge_candidate() is not None:
+                    break
+                result.entries_considered += 1
+                best.offer(key, sphere)
     elif strategy == "df":
-        _depth_first(index.root, query, best, result)
+        _depth_first(index.root, query, best, result, budget)
     elif strategy == "hs":
-        _best_first(index.root, query, best, result)
+        _best_first(index.root, query, best, result, budget)
     else:
         raise QueryError(f"unknown strategy {strategy!r}; use 'df' or 'hs'")
 
+    if budget is not None and budget.exhausted() is not None:
+        # Out of budget: the remaining filtering work (the finalize
+        # pass) degrades to the conservative MinMax tier.
+        best.degrade()
     result.keys, result.spheres, result.distk = best.finalize()
     result.dominance_checks = best.dominance_checks
     result.pruned_case3 = best.pruned_case3
+    result.absorbed_faults += best.absorbed_faults
+    result.degraded_checks += best.degraded_checks
     result.uncertain_decisions = _uncertain_count(criterion) - uncertain_before
     _record_traversal(index, result)
-    return result
+    if budget is None:
+        return result
+    return _wrap_partial(result, budget)
 
 
 def _depth_first(
@@ -299,20 +492,33 @@ def _depth_first(
     query: Hypersphere,
     best: _BestKnownList,
     result: KNNResult,
-) -> None:
+    budget: "Budget | None" = None,
+) -> bool:
+    """Visit *node*; returns ``False`` when the budget ran out (stop)."""
+    if budget is not None and budget.charge_node() is not None:
+        return False
     result.nodes_visited += 1
     if node.is_leaf:
         for key, sphere in node.entries:
+            if budget is not None and budget.charge_candidate() is not None:
+                return False
             result.entries_considered += 1
             best.offer(key, sphere)
-        return
-    children = sorted(node.children, key=lambda child: child.min_dist(query))
-    for child in children:
+        return True
+    ranked = sorted(
+        (
+            (_safe_node_min_dist(child, query, result), i)
+            for i, child in enumerate(node.children)
+        ),
+    )
+    for gap, i in ranked:
         # Subtree version of Case 3: every object below has at least this
         # MinDist, so the whole branch is prunable.
-        if child.min_dist(query) > best.distk:
+        if gap > best.distk:
             continue
-        _depth_first(child, query, best, result)
+        if not _depth_first(node.children[i], query, best, result, budget):
+            return False
+    return True
 
 
 def _best_first(
@@ -320,23 +526,28 @@ def _best_first(
     query: Hypersphere,
     best: _BestKnownList,
     result: KNNResult,
+    budget: "Budget | None" = None,
 ) -> None:
     counter = itertools.count()
     heap: list[tuple[float, int, SSTreeNode]] = [
-        (root.min_dist(query), next(counter), root)
+        (_safe_node_min_dist(root, query, result), next(counter), root)
     ]
     while heap:
         lower_bound, _, node = heapq.heappop(heap)
         if lower_bound > best.distk:
             break  # every remaining node is at least this far: all prunable
+        if budget is not None and budget.charge_node() is not None:
+            break
         result.nodes_visited += 1
         if node.is_leaf:
             for key, sphere in node.entries:
+                if budget is not None and budget.charge_candidate() is not None:
+                    return
                 result.entries_considered += 1
                 best.offer(key, sphere)
         else:
             for child in node.children:
-                gap = child.min_dist(query)
+                gap = _safe_node_min_dist(child, query, result)
                 if gap <= best.distk:
                     heapq.heappush(heap, (gap, next(counter), child))
 
@@ -347,6 +558,7 @@ def _knn_two_phase(
     k: int,
     criterion: DominanceCriterion,
     strategy: str,
+    budget: "Budget | None" = None,
 ) -> KNNResult:
     """The Definition-2-exact variant: find ``Sk`` first, then collect."""
     result = KNNResult(keys=[], spheres=[], distk=float("inf"))
@@ -357,14 +569,24 @@ def _knn_two_phase(
         distk = float(np.partition(maxdists, k - 1)[k - 1])
         anchors = [index.spheres[i] for i in np.flatnonzero(maxdists == distk)]
         result.entries_considered = len(index)
+        if budget is not None:
+            # The vectorised scan considers every entry in one sweep.
+            budget.charge_candidate(len(index))
         candidates = zip(index.keys, index.spheres, maxdists)
         for key, sphere, dist_max in candidates:
             if dist_max <= distk:
                 result.keys.append(key)
                 result.spheres.append(sphere)
                 continue
+            if budget is not None and budget.exhausted() is not None:
+                # Out of budget: skip the criterion filter and keep the
+                # candidate — a conservative superset, never a wrong cut.
+                result.degraded_checks += 1
+                result.keys.append(key)
+                result.spheres.append(sphere)
+                continue
             result.dominance_checks += len(anchors)
-            if not any(criterion.dominates(sk, sphere, query) for sk in anchors):
+            if not _any_anchor_dominates(anchors, sphere, query, criterion, result):
                 result.keys.append(key)
                 result.spheres.append(sphere)
         result.distk = distk
@@ -379,61 +601,129 @@ def _knn_two_phase(
     # MaxDist lower bound (exact regardless of the dominance criterion).
     counter = itertools.count()
     heap: list[tuple[float, int, SSTreeNode]] = [
-        (index.root.max_dist_lower_bound(query), next(counter), index.root)
+        (
+            _safe_node_max_dist_lower_bound(index.root, query, result),
+            next(counter),
+            index.root,
+        )
     ]
     top: list[tuple[float, int, Hypersphere]] = []  # max-heap via negation
+    phase1_cut = False
     while heap:
         bound, _, node = heapq.heappop(heap)
         if len(top) == k and bound > -top[0][0]:
             break
+        if budget is not None and budget.charge_node() is not None:
+            phase1_cut = True
+            break
         result.nodes_visited += 1
         if node.is_leaf:
             for _, sphere in node.entries:
-                dist_max = max_dist(sphere, query)
+                if budget is not None and budget.charge_candidate() is not None:
+                    phase1_cut = True
+                    break
+                dist_max = _safe_sphere_max_dist(sphere, query, result)
                 if len(top) < k:
                     heapq.heappush(top, (-dist_max, next(counter), sphere))
                 elif dist_max < -top[0][0]:
                     heapq.heapreplace(top, (-dist_max, next(counter), sphere))
+            if phase1_cut:
+                break
         else:
             for child in node.children:
-                child_bound = child.max_dist_lower_bound(query)
+                child_bound = _safe_node_max_dist_lower_bound(child, query, result)
                 if len(top) < k or child_bound <= -top[0][0]:
                     heapq.heappush(heap, (child_bound, next(counter), child))
-    distk = -top[0][0]
-    anchors = [sphere for neg, _, sphere in top if -neg == distk]
+    if len(top) < k:
+        # The budget cut phase 1 before k objects were even seen; with
+        # no usable distk nothing can be pruned safely.
+        distk = math.inf
+        anchors: list[Hypersphere] = []
+    else:
+        distk = -top[0][0]
+        # When phase 1 was cut short the found distk is only an *upper*
+        # bound on the true one: Case-3 pruning against it stays safe
+        # (MinDist > distk' >= distk), but the found anchors may not be
+        # the true Sk, so the criterion filter must be skipped.
+        anchors = (
+            [] if phase1_cut else [s for neg, _, s in top if -neg == distk]
+        )
 
     # Phase 2: collect every object not dominated by Sk.  A subtree with
     # MinDist > distk is entirely dominated via MinMax (Lemma 9).
     stack = [index.root]
+    stopped = False
     while stack:
         node = stack.pop()
-        if node.min_dist(query) > distk:
+        if stopped or (budget is not None and budget.charge_node() is not None):
+            stopped = True
+            break
+        if _safe_node_min_dist(node, query, result) > distk:
             result.pruned_case3 += 1
             continue
         result.nodes_visited += 1
         if node.is_leaf:
             for key, sphere in node.entries:
+                if budget is not None and budget.charge_candidate() is not None:
+                    stopped = True
+                    break
                 result.entries_considered += 1
-                dist_max = max_dist(sphere, query)
+                dist_max = _safe_sphere_max_dist(sphere, query, result)
                 if dist_max <= distk:
                     result.keys.append(key)
                     result.spheres.append(sphere)
                     continue
-                if min_dist(sphere, query) > distk:
+                if _safe_sphere_min_dist(sphere, query, result) > distk:
                     result.pruned_case3 += 1
                     continue
+                if not anchors:
+                    # No trustworthy Sk (budget cut phase 1): keep — a
+                    # conservative superset over the visited region.
+                    if phase1_cut:
+                        result.degraded_checks += 1
+                    result.keys.append(key)
+                    result.spheres.append(sphere)
+                    continue
                 result.dominance_checks += len(anchors)
-                if not any(
-                    criterion.dominates(sk, sphere, query) for sk in anchors
+                if not _any_anchor_dominates(
+                    anchors, sphere, query, criterion, result
                 ):
                     result.keys.append(key)
                     result.spheres.append(sphere)
+            if stopped:
+                break
         else:
             stack.extend(node.children)
     result.distk = distk
     result.uncertain_decisions = _uncertain_count(criterion) - uncertain_before
     _record_traversal(index, result)
     return result
+
+
+def _any_anchor_dominates(
+    anchors: "list[Hypersphere]",
+    sphere: Hypersphere,
+    query: Hypersphere,
+    criterion: DominanceCriterion,
+    result: KNNResult,
+) -> bool:
+    """Guarded ``any(dominates)`` over the anchors (see _BestKnownList)."""
+    fallback = None
+    for anchor in anchors:
+        try:
+            if criterion.dominates(anchor, sphere, query):
+                return True
+            continue
+        except ArithmeticError:
+            result.absorbed_faults += 1
+        if fallback is None:
+            fallback = get_criterion("minmax")
+        try:
+            if fallback.dominates(anchor, sphere, query):
+                return True
+        except ArithmeticError:
+            result.absorbed_faults += 1
+    return False
 
 
 def knn_reference(
@@ -453,13 +743,14 @@ def knn_reference(
     dominance checks run vectorised (the reference is evaluated once
     per query in every kNN experiment, so it is the harness
     bottleneck); a criterion *instance* falls back to per-object calls.
+
+    The reference is deliberately budget-blind: it is the ground truth
+    the resilience tests compare degraded answers against.
     """
     if not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
-    if k < 1:
-        raise QueryError(f"k must be positive, got {k}")
-    if len(dataset) < k:
-        raise QueryError(f"k={k} exceeds the dataset size {len(dataset)}")
+    k = validate_k(k, len(dataset))
+    validate_query(query, dataset.dimension)
     batch_name = criterion if isinstance(criterion, str) else None
     if isinstance(criterion, str):
         criterion = get_criterion(criterion)

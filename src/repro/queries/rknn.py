@@ -18,6 +18,14 @@ whose reverse-NN membership *cannot be refuted* by dominance (objects
 whose uncertainty regions leave the outcome undecided remain
 candidates); a correct-but-unsound criterion refutes less and returns a
 superset, mirroring the kNN precision experiments.
+
+Resilience: membership here is refute-only, so every degradation is a
+*kept* candidate.  A raising criterion on one pair keeps that pair's
+candidate (absorbed fault); an exhausted
+:class:`repro.resilience.Budget` keeps every not-yet-examined object
+and returns a :class:`repro.resilience.PartialResult` — the candidate
+set is then a superset of the exact one, never missing a true
+reverse-NN.
 """
 
 from __future__ import annotations
@@ -29,9 +37,11 @@ import numpy as np
 from repro import obs
 from repro.obs import names
 from repro.core.base import DominanceCriterion, get_criterion
-from repro.exceptions import QueryError
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
+from repro.queries.validation import validate_query
+from repro.resilience.budget import current as current_budget
+from repro.resilience.partial import PartialResult, ResilienceReport
 
 __all__ = ["rnn_candidates"]
 
@@ -41,7 +51,7 @@ def rnn_candidates(
     query: Hypersphere,
     *,
     criterion: "DominanceCriterion | str" = "hyperbola",
-) -> list:
+) -> "list | PartialResult":
     """Keys of objects that may have *query* as their nearest neighbour.
 
     An object ``Sb`` is pruned iff some other dataset object ``Sa``
@@ -55,16 +65,19 @@ def rnn_candidates(
     conservative fallback (``True`` only when a correct criterion
     proved the prune safe) and is tallied on the
     ``rnn.uncertain_decisions`` obs counter.
+
+    Returns a plain list normally; a
+    :class:`~repro.resilience.PartialResult` wrapping one when a
+    :class:`~repro.resilience.Budget` is active in the current context.
     """
     if not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
-    if query.dimension != dataset.dimension:
-        raise QueryError(
-            f"query dimension {query.dimension} != dataset dimension "
-            f"{dataset.dimension}"
-        )
+    validate_query(query, dataset.dimension)
     if isinstance(criterion, str):
         criterion = get_criterion(criterion)
+    budget = current_budget()
+    if budget is not None:
+        budget.start()
 
     centers = dataset.centers
     radii = dataset.radii
@@ -72,8 +85,16 @@ def rnn_candidates(
     spheres = dataset.spheres
     # Duck-typed tally of certified-criterion abstentions (see knn.py).
     uncertain_before = int(getattr(criterion, "uncertain_count", 0))
+    report = ResilienceReport()
+    absorbed = 0
     survivors: list = []
     for b, (key, sphere_b) in enumerate(zip(keys, spheres)):
+        if budget is not None and budget.charge_candidate() is not None:
+            # Out of budget: an unexamined object cannot be refuted, so
+            # it stays a candidate — the answer set only widens.
+            report.mark_incomplete(budget.exhausted() or "deadline")
+            survivors.extend(keys[b:])
+            break
         # Vectorised MinMax pre-filter (correct, so pruning is safe):
         # Sa dominates Sq wrt Sb when MaxDist(Sa, Sb) < MinDist(Sq, Sb).
         gap_qb = float(np.linalg.norm(query.center - sphere_b.center))
@@ -94,15 +115,30 @@ def rnn_candidates(
         for a in plausible:
             if a == b:
                 continue
-            if criterion.dominates(spheres[a], query, sphere_b):
-                refuted = True
-                break
+            try:
+                if criterion.dominates(spheres[a], query, sphere_b):
+                    refuted = True
+                    break
+            except ArithmeticError:
+                # A broken kernel cannot prove a prune safe: keep the
+                # pair unrefuted and count the absorption.
+                absorbed += 1
         if not refuted:
             survivors.append(key)
+    report.uncertain = (
+        int(getattr(criterion, "uncertain_count", 0)) - uncertain_before
+    )
+    report.absorbed_faults = absorbed
     if obs.ENABLED:
         obs.incr(names.RNN_QUERIES)
-        obs.incr(
-            names.RNN_UNCERTAIN_DECISIONS,
-            int(getattr(criterion, "uncertain_count", 0)) - uncertain_before,
-        )
-    return survivors
+        obs.incr(names.RNN_UNCERTAIN_DECISIONS, report.uncertain)
+        if absorbed:
+            obs.incr(names.RESILIENCE_ABSORBED_FAULTS, absorbed)
+    if budget is None:
+        return survivors
+    if obs.ENABLED:
+        if report.degraded:
+            obs.incr(names.RESILIENCE_DEGRADED_QUERIES)
+        if not report.complete:
+            obs.incr(names.RESILIENCE_PARTIAL_QUERIES)
+    return PartialResult(survivors, report)

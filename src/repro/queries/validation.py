@@ -1,0 +1,70 @@
+"""Input validation shared by the query entry points.
+
+Every public query function validates its arguments *before any work
+starts* and raises :class:`~repro.exceptions.ValidationError` (a
+subclass of the established :class:`~repro.exceptions.QueryError`) on
+bad input.  This closes two long-standing gaps:
+
+- ``k`` was only checked with ``k < 1``, which silently accepted
+  ``True`` (an ``int`` subclass), and floats like ``2.5`` — both then
+  failed much later as an unrelated ``TypeError`` inside list slicing,
+  or worse, quietly ran with ``k=1``;
+- a query hypersphere whose dimensionality does not match the dataset
+  surfaced as a NumPy broadcast error from deep inside a traversal,
+  and a query mutated to a non-finite radius after construction
+  poisoned every distance bound without a diagnostic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.geometry.hypersphere import Hypersphere
+
+__all__ = ["validate_k", "validate_query"]
+
+
+def validate_k(k: int, size: int) -> int:
+    """Check that *k* is an actual integer in ``[1, size]``.
+
+    Booleans are rejected explicitly: ``True`` satisfies ``k >= 1`` by
+    integer promotion but is virtually always a bug at the call site.
+    """
+    if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
+        raise ValidationError(
+            f"k must be an integer, got {type(k).__name__} ({k!r})"
+        )
+    if k < 1:
+        raise ValidationError(f"k must be positive, got {k}")
+    if k > size:
+        raise ValidationError(f"k={k} exceeds the dataset size {size}")
+    return int(k)
+
+
+def validate_query(query: Hypersphere, dimension: int) -> Hypersphere:
+    """Check that *query* is a finite hypersphere of the right dimension.
+
+    The :class:`~repro.geometry.hypersphere.Hypersphere` constructor
+    validates finiteness, but attributes are mutable and NumPy arrays
+    are shared by reference — this re-check catches post-construction
+    poisoning at the query boundary instead of inside a traversal.
+    """
+    if not isinstance(query, Hypersphere):
+        raise ValidationError(
+            f"query must be a Hypersphere, got {type(query).__name__}"
+        )
+    if query.dimension != dimension:
+        raise ValidationError(
+            f"query dimension {query.dimension} != dataset dimension {dimension}"
+        )
+    radius = float(query.radius)
+    if not (math.isfinite(radius) and radius >= 0.0):
+        raise ValidationError(
+            f"query radius must be finite and non-negative, got {radius!r}"
+        )
+    if not np.all(np.isfinite(query.center)):
+        raise ValidationError("query center must be finite in every coordinate")
+    return query

@@ -1,0 +1,45 @@
+"""Deadline-aware execution and graceful degradation for query serving.
+
+A production deployment of the paper's dominance operator cannot let a
+slow quartic cascade take a whole query down: under pressure it must
+*trade optimality for certified conservatism* instead of failing.  The
+paper's own criteria hierarchy provides the ladder — the optimal
+Hyperbola criterion (Section 4) degrades to the cheap-but-conservative
+MinMax tier (Section 2.2, Lemma 2: correct, so pruning stays safe) —
+and the tri-state :class:`~repro.robust.decision.Verdict` vocabulary
+already expresses "certified but not optimal".
+
+This package supplies the execution layer around that ladder:
+
+- :class:`~repro.resilience.budget.Budget` — a wall-clock deadline plus
+  candidate/escalation quotas, propagated through a :mod:`contextvars`
+  variable exactly like the :mod:`repro.obs` registry, and checked at
+  the index-traversal and criterion-escalation seams;
+- :func:`~repro.resilience.budget.scope` /
+  :func:`~repro.resilience.budget.current` — activate a budget for a
+  block of code / read the active one;
+- :class:`~repro.resilience.partial.PartialResult` — the envelope a
+  budgeted query returns instead of raising: the (possibly partial)
+  answer plus a :class:`~repro.resilience.partial.ResilienceReport`
+  carrying completeness, the achieved guarantee tier and the number of
+  uncertain decisions.
+
+See ``docs/resilience.md`` for the degradation ladder and the chaos
+matrix that certifies it.
+"""
+
+from repro.resilience.budget import Budget, current, scope
+from repro.resilience.partial import (
+    GuaranteeTier,
+    PartialResult,
+    ResilienceReport,
+)
+
+__all__ = [
+    "Budget",
+    "current",
+    "scope",
+    "GuaranteeTier",
+    "PartialResult",
+    "ResilienceReport",
+]

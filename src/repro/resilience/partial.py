@@ -1,0 +1,159 @@
+"""The :class:`PartialResult` envelope and its degradation vocabulary.
+
+A budgeted query never raises on exhaustion and never silently lies; it
+returns a :class:`PartialResult` wrapping the (possibly partial) answer
+together with a :class:`ResilienceReport` stating exactly which
+guarantees survived:
+
+- ``complete`` — whether the algorithm ran to completion.  ``False``
+  means work was cut short (deadline, quota, or a failed index node),
+  so answers from the unvisited region may be missing.
+- ``tier`` — the :class:`GuaranteeTier` actually achieved.  ``OPTIMAL``
+  means every decision used the configured criterion; ``CONSERVATIVE``
+  means some decisions fell back to the cheap-but-correct MinMax/MBR
+  tier (Section 2.2 of the paper) or to an UNCERTAIN verdict's
+  conservative fallback — pruning stayed safe, so the answer over the
+  visited region is a *superset* of the optimal one.
+- ``uncertain`` — certified decisions that came back UNCERTAIN and
+  collapsed to their conservative fallback.
+- ``absorbed_faults`` — corrupted intermediate values (non-finite
+  bounds, raising kernels) the query layer detected and absorbed by
+  refusing to prune.
+
+The invariant the chaos suite (``tests/test_chaos.py``) enforces: a
+result whose report is not :attr:`ResilienceReport.degraded` equals the
+fault-free answer exactly; any deviation must be accompanied by a
+degradation flag.  Faults change *what is reported*, never silently
+*what is true*.
+
+:class:`PartialResult` forwards attribute access, iteration, length and
+membership to the wrapped value, so most call sites written against the
+raw answer keep working unchanged when a budget is activated around
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["GuaranteeTier", "ResilienceReport", "PartialResult"]
+
+
+class GuaranteeTier(enum.Enum):
+    """Which rung of the criteria hierarchy an answer was served from."""
+
+    #: Every decision used the configured (typically optimal) criterion.
+    OPTIMAL = "optimal"
+    #: Some decisions degraded to a conservative, correct criterion
+    #: (MinMax tier) or to an UNCERTAIN verdict's safe fallback.
+    CONSERVATIVE = "conservative"
+
+
+@dataclass
+class ResilienceReport:
+    """What actually happened to one budgeted query."""
+
+    complete: bool = True
+    tier: GuaranteeTier = GuaranteeTier.OPTIMAL
+    #: Why work stopped early: ``"deadline"``, ``"candidates"``,
+    #: ``"escalations"``, ``"clock"``, or ``None`` when it did not.
+    exhausted: "str | None" = None
+    #: Certified decisions that collapsed to a conservative fallback.
+    uncertain: int = 0
+    #: Corrupted intermediates detected and absorbed without pruning.
+    absorbed_faults: int = 0
+    #: Free-form notes for operators (one short string per event class).
+    notes: "list[str]" = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any guarantee was weakened relative to a clean run."""
+        return (
+            not self.complete
+            or self.tier is not GuaranteeTier.OPTIMAL
+            or self.uncertain > 0
+            or self.absorbed_faults > 0
+        )
+
+    def mark_incomplete(self, reason: str) -> None:
+        """Record an early stop (first reason wins) and drop the tier."""
+        self.complete = False
+        if self.exhausted is None:
+            self.exhausted = reason
+        self.tier = GuaranteeTier.CONSERVATIVE
+
+    def mark_conservative(self, note: "str | None" = None) -> None:
+        """Record a degradation to the conservative criterion tier."""
+        self.tier = GuaranteeTier.CONSERVATIVE
+        if note is not None and note not in self.notes:
+            self.notes.append(note)
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly form (for CLI output and experiment rows)."""
+        return {
+            "complete": self.complete,
+            "tier": self.tier.value,
+            "exhausted": self.exhausted,
+            "uncertain": self.uncertain,
+            "absorbed_faults": self.absorbed_faults,
+            "degraded": self.degraded,
+            "notes": list(self.notes),
+        }
+
+
+class PartialResult:
+    """A query answer plus the :class:`ResilienceReport` describing it.
+
+    The wrapped ``value`` is whatever the unbudgeted query would have
+    returned (a :class:`~repro.queries.knn.KNNResult`, a list of keys,
+    a list of scores, ...).  Unknown attributes, iteration, ``len`` and
+    ``in`` are forwarded to it.
+    """
+
+    __slots__ = ("value", "report")
+
+    def __init__(self, value: Any, report: ResilienceReport) -> None:
+        self.value = value
+        self.report = report
+
+    # Convenience passthroughs ----------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        # __getattr__ only fires for names not found on PartialResult
+        # itself, so .value / .report always win.
+        return getattr(self.value, name)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.value)
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self.value
+
+    @property
+    def complete(self) -> bool:
+        """Shorthand for ``report.complete``."""
+        return self.report.complete
+
+    @property
+    def degraded(self) -> bool:
+        """Shorthand for ``report.degraded``."""
+        return self.report.degraded
+
+    @property
+    def tier(self) -> GuaranteeTier:
+        """Shorthand for ``report.tier``."""
+        return self.report.tier
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialResult(complete={self.report.complete}, "
+            f"tier={self.report.tier.value}, "
+            f"exhausted={self.report.exhausted!r}, "
+            f"uncertain={self.report.uncertain}, "
+            f"absorbed_faults={self.report.absorbed_faults}, "
+            f"value={self.value!r})"
+        )

@@ -15,14 +15,30 @@ that claim testable by corrupting the kernels at their seams:
 ``"distance"``
     :func:`repro.geometry.distance.dist`, used by the overlap and
     center-side fast paths.
+``"index"``
+    The node distance bounds (``min_dist`` and
+    ``max_dist_lower_bound``) of all three tree indexes — the values a
+    kNN traversal prunes on.  The query layer must absorb a corrupted
+    bound by refusing to prune, never by dropping a subtree.
+``"snapshot"``
+    The raw byte I/O of :mod:`repro.index.snapshot` (``_io_write`` /
+    ``_io_read``) — what a flaky disk or a crash mid-write does.  The
+    CRC framing must turn every corruption into a typed
+    :class:`~repro.exceptions.SnapshotCorruptionError`.
+``"clock"``
+    The monotonic clock behind :class:`repro.resilience.budget.Budget`
+    deadlines.  A skewed or broken clock must degrade a budgeted query
+    conservatively (reason ``"clock"``), never disarm its deadline.
 
-and four corruption modes:
+and four corruption modes (seam-appropriate where outputs are not
+scalars — see each patcher):
 
-``"nan"``     outputs poisoned with ``nan``;
-``"overflow"``  outputs replaced by ``inf``;
+``"nan"``     outputs poisoned with ``nan`` (snapshot: bytes zeroed);
+``"overflow"``  outputs replaced by ``inf`` (snapshot: bytes truncated);
 ``"perturb"``   outputs scaled by ``1 + magnitude`` (default 1e-12 —
                 within the float stages' certification bounds, so a
-                robust decision absorbs it silently);
+                robust decision absorbs it silently; snapshot: one bit
+                flipped);
 ``"raise"``     the seam raises :class:`FaultInjected`.
 
 Injection is **deterministic**: the seam fires on every ``every``-th
@@ -45,7 +61,7 @@ from __future__ import annotations
 import contextlib
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Sequence
+from typing import BinaryIO, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -58,7 +74,7 @@ from repro.geometry.transform import FocalFrame
 
 __all__ = ["FaultInjected", "InjectedFault", "inject", "SEAMS", "MODES"]
 
-SEAMS = ("quartic", "frame", "distance")
+SEAMS = ("quartic", "frame", "distance", "index", "snapshot", "clock")
 MODES = ("nan", "overflow", "perturb", "raise")
 
 
@@ -111,6 +127,23 @@ class InjectedFault:
             return np.append(roots, np.inf)
         return roots * (1.0 + self.magnitude)
 
+    def corrupt_bytes(self, data: bytes) -> bytes:
+        """Byte-level corruption for the snapshot seam.
+
+        ``nan`` zeroes the buffer (a page of unwritten sectors),
+        ``overflow`` truncates it (a crash mid-write), ``perturb``
+        flips a single bit (a decayed sector).
+        """
+        if not data:
+            return data
+        if self.mode == "nan":
+            return bytes(len(data))
+        if self.mode == "overflow":
+            return data[: max(len(data) - 1, 0)]
+        flipped = bytearray(data)
+        flipped[len(flipped) // 2] ^= 0x01
+        return bytes(flipped)
+
 
 def _check(seam: str, mode: str, every: int) -> None:
     if seam not in SEAMS:
@@ -119,6 +152,207 @@ def _check(seam: str, mode: str, every: int) -> None:
         raise ReproError(f"unknown fault mode {mode!r}; expected one of {MODES}")
     if every < 1:
         raise ReproError(f"'every' must be a positive integer, got {every}")
+
+
+# ----------------------------------------------------------------------
+# Per-seam patchers.  Each one swaps the seam's callables for corrupted
+# wrappers for the duration of the ``with`` block and restores the
+# originals in ``finally`` — injection can never leak out of the block.
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def _patch_quartic(fault: InjectedFault) -> "Iterator[None]":
+    originals = {
+        "solve_quartic_real": _quartic.solve_quartic_real,
+        "solve_quartic_real_closed": _quartic.solve_quartic_real_closed,
+        "solve_quartic_real_batch": _quartic.solve_quartic_real_batch,
+    }
+
+    def _wrap_solver(
+        original: "Callable[..., np.ndarray]",
+    ) -> "Callable[..., np.ndarray]":
+        def corrupted(
+            coefficients: "np.ndarray | Sequence[float]",
+        ) -> np.ndarray:
+            roots = original(coefficients)
+            if not fault.fires():
+                return roots
+            if fault.mode == "raise":
+                raise FaultInjected(f"injected fault in {original.__name__}")
+            return fault.corrupt_roots(roots)
+
+        return corrupted
+
+    def _wrap_batch(
+        original: "Callable[..., np.ndarray]",
+    ) -> "Callable[..., np.ndarray]":
+        def corrupted(coefficients: np.ndarray) -> np.ndarray:
+            roots = original(coefficients)
+            if not fault.fires():
+                return roots
+            if fault.mode == "raise":
+                raise FaultInjected("injected fault in solve_quartic_real_batch")
+            if fault.mode == "nan":
+                return np.where(np.isnan(roots), roots, np.nan)
+            if fault.mode == "overflow":
+                return np.where(np.isnan(roots), roots, np.inf)
+            return roots * (1.0 + fault.magnitude)
+
+        return corrupted
+
+    try:
+        _quartic.solve_quartic_real = _wrap_solver(originals["solve_quartic_real"])
+        _quartic.solve_quartic_real_closed = _wrap_solver(
+            originals["solve_quartic_real_closed"]
+        )
+        _quartic.solve_quartic_real_batch = _wrap_batch(
+            originals["solve_quartic_real_batch"]
+        )
+        yield
+    finally:
+        for name, original in originals.items():
+            setattr(_quartic, name, original)
+
+
+@contextlib.contextmanager
+def _patch_frame(fault: InjectedFault) -> "Iterator[None]":
+    original_reduce = FocalFrame.reduce
+
+    def corrupted_reduce(
+        self: FocalFrame, point: "Sequence[float] | np.ndarray"
+    ) -> "tuple[float, float]":
+        pair = original_reduce(self, point)
+        if not fault.fires():
+            return pair
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in FocalFrame.reduce")
+        return fault.corrupt_pair(pair)
+
+    try:
+        FocalFrame.reduce = corrupted_reduce
+        yield
+    finally:
+        FocalFrame.reduce = original_reduce
+
+
+@contextlib.contextmanager
+def _patch_distance(fault: InjectedFault) -> "Iterator[None]":
+    original_dist = _distance.dist
+
+    def corrupted_dist(
+        p: "Sequence[float] | np.ndarray", q: "Sequence[float] | np.ndarray"
+    ) -> float:
+        value = original_dist(p, q)
+        if not fault.fires():
+            return value
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in dist")
+        return fault.corrupt_scalar(value)
+
+    try:
+        _distance.dist = corrupted_dist
+        yield
+    finally:
+        _distance.dist = original_dist
+
+
+@contextlib.contextmanager
+def _patch_index(fault: InjectedFault) -> "Iterator[None]":
+    # Imported here, not at module top: the seams are optional test
+    # machinery and must not make repro.robust depend on the indexes.
+    from repro.index.mtree import MTreeNode
+    from repro.index.sstree import SSTreeNode
+    from repro.index.vptree import VPTreeNode
+
+    node_classes = (SSTreeNode, MTreeNode, VPTreeNode)
+    method_names = ("min_dist", "max_dist_lower_bound")
+    originals = [
+        (cls, name, getattr(cls, name))
+        for cls in node_classes
+        for name in method_names
+    ]
+
+    def _wrap_bound(
+        original: "Callable[..., float]", label: str
+    ) -> "Callable[..., float]":
+        def corrupted(self: object, query: object) -> float:
+            value = original(self, query)
+            if not fault.fires():
+                return value
+            if fault.mode == "raise":
+                raise FaultInjected(f"injected fault in {label}")
+            return fault.corrupt_scalar(value)
+
+        return corrupted
+
+    try:
+        for cls, name, original in originals:
+            setattr(cls, name, _wrap_bound(original, f"{cls.__name__}.{name}"))
+        yield
+    finally:
+        for cls, name, original in originals:
+            setattr(cls, name, original)
+
+
+@contextlib.contextmanager
+def _patch_snapshot(fault: InjectedFault) -> "Iterator[None]":
+    from repro.index import snapshot as _snapshot
+
+    original_write = _snapshot._io_write
+    original_read = _snapshot._io_read
+
+    def corrupted_write(handle: BinaryIO, data: bytes) -> None:
+        if fault.fires():
+            if fault.mode == "raise":
+                raise FaultInjected("injected fault in snapshot write")
+            data = fault.corrupt_bytes(data)
+        original_write(handle, data)
+
+    def corrupted_read(handle: BinaryIO, size: int) -> bytes:
+        data = original_read(handle, size)
+        if not fault.fires():
+            return data
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in snapshot read")
+        return fault.corrupt_bytes(data)
+
+    try:
+        _snapshot._io_write = corrupted_write
+        _snapshot._io_read = corrupted_read
+        yield
+    finally:
+        _snapshot._io_write = original_write
+        _snapshot._io_read = original_read
+
+
+@contextlib.contextmanager
+def _patch_clock(fault: InjectedFault) -> "Iterator[None]":
+    from repro.resilience import budget as _budget
+
+    original_monotonic = _budget._monotonic
+
+    def corrupted_monotonic() -> float:
+        now = original_monotonic()
+        if not fault.fires():
+            return now
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in monotonic clock")
+        return fault.corrupt_scalar(now)
+
+    try:
+        _budget._monotonic = corrupted_monotonic
+        yield
+    finally:
+        _budget._monotonic = original_monotonic
+
+
+_PATCHERS: "dict[str, Callable[[InjectedFault], contextlib.AbstractContextManager[None]]]" = {
+    "quartic": _patch_quartic,
+    "frame": _patch_frame,
+    "distance": _patch_distance,
+    "index": _patch_index,
+    "snapshot": _patch_snapshot,
+    "clock": _patch_clock,
+}
 
 
 @contextlib.contextmanager
@@ -131,90 +365,5 @@ def inject(
     """Corrupt one *seam* with one *mode* for the duration of the block."""
     _check(seam, mode, every)
     fault = InjectedFault(seam=seam, mode=mode, every=every, magnitude=magnitude)
-    if seam == "quartic":
-        originals = {
-            "solve_quartic_real": _quartic.solve_quartic_real,
-            "solve_quartic_real_closed": _quartic.solve_quartic_real_closed,
-            "solve_quartic_real_batch": _quartic.solve_quartic_real_batch,
-        }
-
-        def _wrap_solver(
-            original: "Callable[..., np.ndarray]",
-        ) -> "Callable[..., np.ndarray]":
-            def corrupted(
-                coefficients: "np.ndarray | Sequence[float]",
-            ) -> np.ndarray:
-                roots = original(coefficients)
-                if not fault.fires():
-                    return roots
-                if fault.mode == "raise":
-                    raise FaultInjected(f"injected fault in {original.__name__}")
-                return fault.corrupt_roots(roots)
-
-            return corrupted
-
-        def _wrap_batch(
-            original: "Callable[..., np.ndarray]",
-        ) -> "Callable[..., np.ndarray]":
-            def corrupted(coefficients: np.ndarray) -> np.ndarray:
-                roots = original(coefficients)
-                if not fault.fires():
-                    return roots
-                if fault.mode == "raise":
-                    raise FaultInjected("injected fault in solve_quartic_real_batch")
-                if fault.mode == "nan":
-                    return np.where(np.isnan(roots), roots, np.nan)
-                if fault.mode == "overflow":
-                    return np.where(np.isnan(roots), roots, np.inf)
-                return roots * (1.0 + fault.magnitude)
-
-            return corrupted
-
-        try:
-            _quartic.solve_quartic_real = _wrap_solver(originals["solve_quartic_real"])
-            _quartic.solve_quartic_real_closed = _wrap_solver(
-                originals["solve_quartic_real_closed"]
-            )
-            _quartic.solve_quartic_real_batch = _wrap_batch(
-                originals["solve_quartic_real_batch"]
-            )
-            yield fault
-        finally:
-            for name, original in originals.items():
-                setattr(_quartic, name, original)
-    elif seam == "frame":
-        original_reduce = FocalFrame.reduce
-
-        def corrupted_reduce(
-            self: FocalFrame, point: "Sequence[float] | np.ndarray"
-        ) -> "tuple[float, float]":
-            pair = original_reduce(self, point)
-            if not fault.fires():
-                return pair
-            if fault.mode == "raise":
-                raise FaultInjected("injected fault in FocalFrame.reduce")
-            return fault.corrupt_pair(pair)
-
-        try:
-            FocalFrame.reduce = corrupted_reduce
-            yield fault
-        finally:
-            FocalFrame.reduce = original_reduce
-    else:  # seam == "distance"
-        original_dist = _distance.dist
-
-        def corrupted_dist(
-            p: "Sequence[float] | np.ndarray", q: "Sequence[float] | np.ndarray"
-        ) -> float:
-            value = original_dist(p, q)
-            if not fault.fires():
-                return value
-            if fault.mode == "raise":
-                raise FaultInjected("injected fault in dist")
-            return fault.corrupt_scalar(value)
-
-        try:
-            _distance.dist = corrupted_dist
-            yield fault
-        finally:
-            _distance.dist = original_dist
+    with _PATCHERS[seam](fault):
+        yield fault

@@ -49,6 +49,7 @@ from repro.geometry import distance as _distance
 from repro.geometry import quartic as _quartic
 from repro.geometry import transform as _transform
 from repro.geometry.hypersphere import Hypersphere
+from repro.resilience.budget import current as _current_budget
 from repro.robust.decision import Decision, Verdict
 from repro.robust.exact import exact_dominates
 
@@ -337,13 +338,28 @@ def decide(
 
     Returns an ``UNCERTAIN`` :class:`Decision` (carrying the last
     measured margin/bound) when every stage fails or comes back
-    undecided — only possible with a truncated ladder or under injected
-    faults, since the exact arbiter always terminates with a verdict.
+    undecided — only possible with a truncated ladder, under injected
+    faults, or when an exhausted execution budget denies escalation,
+    since the exact arbiter always terminates with a verdict.
+
+    Escalation is a budget seam: when a
+    :class:`repro.resilience.Budget` is active, every stage beyond the
+    first charges :meth:`~repro.resilience.Budget.charge_escalation`; a
+    denied charge abandons the climb and the decision comes back
+    ``UNCERTAIN``, collapsing to the caller's conservative fallback —
+    degraded, never wrong.
     """
     last_margin = math.nan
     last_bound = math.inf
     last_stage = ""
-    for name, stage in ladder:
+    budget = _current_budget()
+    for stage_index, (name, stage) in enumerate(ladder):
+        if (
+            stage_index > 0
+            and budget is not None
+            and budget.charge_escalation() is not None
+        ):
+            break
         if obs.ENABLED:
             obs.incr(names.verified_stage(name))
         try:

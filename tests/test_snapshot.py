@@ -1,0 +1,267 @@
+"""Crash-safe index snapshots: round trips, corruption, atomicity.
+
+The contract under test (``repro.index.snapshot``): a loaded snapshot
+is bit-for-bit the index that was saved — same keys, same geometry,
+same query answers — and *every* corruption of the bytes on disk
+surfaces as a typed :class:`~repro.exceptions.SnapshotCorruptionError`,
+never as a silently wrong index.  Saves are atomic: an interrupted
+write (the ``"snapshot"`` fault seam) leaves any existing snapshot
+untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import hypothesis
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.data.synthetic import synthetic_dataset
+from repro.data.workload import knn_queries
+from repro.exceptions import SnapshotCorruptionError, SnapshotError
+from repro.index import snapshot as snap
+from repro.index.linear import LinearIndex
+from repro.index.mtree import MTree
+from repro.index.sstree import SSTree
+from repro.index.vptree import VPTree
+from repro.queries.knn import knn_query
+from repro.robust import faults
+
+KINDS = ("linear", "sstree", "mtree", "vptree")
+
+
+def _build(kind: str, n: int = 90, dimension: int = 3, seed: int = 0):
+    items = list(synthetic_dataset(n, dimension, seed=seed).items())
+    if kind == "linear":
+        return LinearIndex(items)
+    if kind == "sstree":
+        return SSTree.bulk_load(items, max_entries=8)
+    if kind == "mtree":
+        return MTree.build(items, max_entries=8)
+    return VPTree.build(items, leaf_capacity=8)
+
+
+def _knn_answers(index, n: int = 90, dimension: int = 3, seed: int = 0):
+    dataset = synthetic_dataset(n, dimension, seed=seed)
+    answers = []
+    for query in knn_queries(dataset, count=4, seed=seed + 1):
+        result = knn_query(index, query, 7)
+        answers.append((result.key_set(), result.distk))
+    return answers
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_round_trip_preserves_queries(self, kind, tmp_path):
+        index = _build(kind)
+        path = tmp_path / f"{kind}.snap"
+        info = snap.save(index, path)
+        assert info["kind"] == kind
+        assert info["count"] == len(index)
+        assert info["dimension"] == index.dimension
+        assert info["bytes"] == os.path.getsize(path)
+
+        checked = snap.verify(path)
+        assert checked["kind"] == kind
+        assert checked["count"] == len(index)
+
+        loaded = snap.load(path)
+        assert type(loaded) is type(index)
+        assert len(loaded) == len(index)
+        assert loaded.dimension == index.dimension
+        assert _knn_answers(loaded) == _knn_answers(index)
+
+    def test_linear_round_trip_is_bit_exact(self, tmp_path):
+        # JSON float repr round-trips float64 exactly; awkward values
+        # (thirds, tiny magnitudes) must come back to the same bits.
+        rng = np.random.default_rng(42)
+        items = [
+            (i, _sphere(rng.normal(size=3) / 3.0, float(rng.uniform(0, 1) / 3)))
+            for i in range(25)
+        ]
+        index = LinearIndex(items)
+        path = tmp_path / "exact.snap"
+        snap.save(index, path)
+        loaded = snap.load(path)
+        np.testing.assert_array_equal(loaded.centers, index.centers)
+        np.testing.assert_array_equal(loaded.radii, index.radii)
+        assert loaded.keys == index.keys
+
+    def test_key_types_survive(self, tmp_path):
+        spheres = [_sphere([float(i), 0.0], 0.1) for i in range(6)]
+        keys = [0, -3, 2.5, "name", None, (1, "a")]
+        index = LinearIndex(list(zip(keys, spheres)))
+        path = tmp_path / "keys.snap"
+        snap.save(index, path)
+        assert snap.load(path).keys == keys
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_single_entry_index(self, kind, tmp_path):
+        index = _build(kind, n=1)
+        path = tmp_path / "one.snap"
+        snap.save(index, path)
+        loaded = snap.load(path)
+        assert len(loaded) == 1
+
+    @hypothesis.given(
+        n=st.integers(min_value=1, max_value=40),
+        dimension=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=50),
+        kind=st.sampled_from(("linear", "sstree", "vptree")),
+    )
+    @hypothesis.settings(max_examples=25)
+    def test_round_trip_property(self, n, dimension, seed, kind):
+        index = _build(kind, n=n, dimension=dimension, seed=seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "prop.snap")
+            snap.save(index, path)
+            loaded = snap.load(path)
+        assert len(loaded) == len(index)
+        dataset = synthetic_dataset(n, dimension, seed=seed)
+        k = min(5, n)
+        for query in knn_queries(dataset, count=2, seed=seed):
+            original = knn_query(index, query, k)
+            restored = knn_query(loaded, query, k)
+            assert restored.key_set() == original.key_set()
+            assert restored.distk == original.distk
+
+
+class TestCorruptionDetection:
+    @pytest.fixture(scope="class")
+    def snapshot_bytes(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("snap") / "ref.snap"
+        snap.save(_build("sstree"), path)
+        return path.read_bytes()
+
+    def _expect_rejected(self, tmp_path, data: bytes, exc=SnapshotCorruptionError):
+        path = tmp_path / "bad.snap"
+        path.write_bytes(data)
+        with pytest.raises(exc):
+            snap.verify(path)
+        with pytest.raises(exc):
+            snap.load(path)
+
+    def test_every_sampled_bit_flip_is_detected(self, snapshot_bytes, tmp_path):
+        data = bytearray(snapshot_bytes)
+        positions = list(range(0, len(data), max(1, len(data) // 40)))
+        positions += [0, len(data) - 1]
+        for position in sorted(set(positions)):
+            flipped = bytearray(data)
+            flipped[position] ^= 0x10
+            self._expect_rejected(
+                tmp_path, bytes(flipped), (SnapshotCorruptionError, SnapshotError)
+            )
+
+    def test_truncation_is_detected(self, snapshot_bytes, tmp_path):
+        for cut in (1, 5, len(snapshot_bytes) // 2):
+            self._expect_rejected(tmp_path, snapshot_bytes[:-cut])
+
+    def test_trailing_garbage_is_detected(self, snapshot_bytes, tmp_path):
+        self._expect_rejected(tmp_path, snapshot_bytes + b"\x00")
+
+    def test_bad_magic_is_detected(self, snapshot_bytes, tmp_path):
+        self._expect_rejected(tmp_path, b"NOTASNAP" + snapshot_bytes[8:])
+
+    def test_unknown_version_is_a_typed_error(self, snapshot_bytes, tmp_path):
+        data = bytearray(snapshot_bytes)
+        data[8] = 99  # little-endian u32 version right after the magic
+        self._expect_rejected(tmp_path, bytes(data), SnapshotError)
+
+    def test_empty_file_is_detected(self, tmp_path):
+        self._expect_rejected(tmp_path, b"")
+
+    def test_missing_file_is_a_typed_error(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            snap.load(tmp_path / "never-written.snap")
+
+    def test_count_mismatch_is_detected(self, tmp_path):
+        # A header lying about the entry count must not load quietly.
+        index = _build("linear", n=10)
+        path = tmp_path / "lying.snap"
+        snap.save(index, path)
+        import json
+
+        from repro.index.snapshot import MAGIC, _U32, _frame, _read_frame
+
+        data = path.read_bytes()
+        body = data[len(MAGIC) + _U32.size :]
+        import io
+
+        handle = io.BytesIO(body)
+        header_payload = _read_frame(handle, len(body), "header")
+        header = json.loads(header_payload)
+        header["count"] = 7
+        rest = body[handle.tell() :]
+        rewritten = (
+            data[: len(MAGIC) + _U32.size]
+            + _frame(json.dumps(header).encode("utf-8"))
+            + rest
+        )
+        path.write_bytes(rewritten)
+        with pytest.raises(SnapshotCorruptionError):
+            snap.load(path)
+
+
+class TestCrashSafety:
+    def test_interrupted_save_preserves_the_old_snapshot(self, tmp_path):
+        path = tmp_path / "stable.snap"
+        snap.save(_build("linear", n=12, seed=1), path)
+        before = path.read_bytes()
+        with faults.inject("snapshot", "raise"):
+            with pytest.raises(faults.FaultInjected):
+                snap.save(_build("linear", n=30, seed=2), path)
+        assert path.read_bytes() == before
+        assert len(snap.load(path)) == 12
+        # The failed attempt's temp file was cleaned up.
+        assert os.listdir(tmp_path) == ["stable.snap"]
+
+    @pytest.mark.parametrize("mode", ("nan", "overflow", "perturb"))
+    def test_corrupting_writes_yield_typed_errors_on_read(self, tmp_path, mode):
+        path = tmp_path / "flaky.snap"
+        with faults.inject("snapshot", mode, every=3):
+            snap.save(_build("linear", n=20), path)
+        with pytest.raises((SnapshotCorruptionError, SnapshotError)):
+            snap.load(path)
+
+    @pytest.mark.parametrize("mode", ("nan", "overflow", "perturb"))
+    def test_corrupting_reads_yield_typed_errors(self, tmp_path, mode):
+        path = tmp_path / "decay.snap"
+        snap.save(_build("sstree", n=40), path)
+        with faults.inject("snapshot", mode, every=2):
+            with pytest.raises((SnapshotCorruptionError, SnapshotError)):
+                snap.load(path)
+
+
+class TestSnapshotCLI:
+    def test_save_verify_load_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.snap")
+        assert cli_main(["snapshot", "save", path, "--kind", "vptree", "--n", "50"]) == 0
+        assert cli_main(["snapshot", "verify", path]) == 0
+        assert cli_main(["snapshot", "load", path]) == 0
+        out = capsys.readouterr().out
+        assert "saved vptree snapshot" in out
+        assert "snapshot OK" in out
+        assert "loaded VPTree" in out
+
+    def test_corrupt_snapshot_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "cli-bad.snap"
+        assert cli_main(["snapshot", "save", str(path), "--n", "30"]) == 0
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert cli_main(["snapshot", "verify", str(path)]) == 2
+        assert "snapshot corrupt" in capsys.readouterr().err
+
+    def test_missing_snapshot_exits_1(self, tmp_path, capsys):
+        assert cli_main(["snapshot", "load", str(tmp_path / "nope.snap")]) == 1
+        assert "snapshot error" in capsys.readouterr().err
+
+
+def _sphere(center, radius: float):
+    from repro.geometry.hypersphere import Hypersphere
+
+    return Hypersphere(center, radius)
