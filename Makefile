@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint fuzz chaos bench examples experiments claims profile clean
+.PHONY: install test lint fuzz chaos bench bench-smoke examples experiments claims profile clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,6 +39,17 @@ chaos:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# The standing perf observatory (docs/benchmarking.md): sweep the
+# pinned quick points into a fresh trajectory and diff it against the
+# committed BENCH_*.json baselines.  The compare step is a soft gate
+# (the leading '-'): cross-machine timing differences are reported, not
+# failed, while `repro bench compare` itself still exits non-zero on a
+# past-threshold regression for same-machine CI lanes.
+bench-smoke:
+	$(PYTHON) -m repro bench --quick --out-dir .bench-smoke
+	-$(PYTHON) -m repro bench compare --baseline . --current .bench-smoke \
+		--threshold 0.5
+
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
 
@@ -52,5 +63,5 @@ profile:
 	$(PYTHON) -m repro stats
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks build dist src/*.egg-info .domlint_cache
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist src/*.egg-info .domlint_cache .bench-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

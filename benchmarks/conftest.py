@@ -25,17 +25,44 @@ from repro.data.synthetic import Dataset, synthetic_dataset
 from repro.data.workload import DominanceWorkload
 
 
+def pytest_addoption(parser):
+    """Register the headless smoke-lane flag.
+
+    ``--bench-quick`` shrinks every dataset/workload size by 4x so a
+    full ``pytest benchmarks/ --benchmark-only`` sweep finishes inside
+    a CI smoke budget; the parametrisation axes (and hence the shapes)
+    are unchanged.
+    """
+    parser.addoption(
+        "--bench-quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark dataset/workload sizes 4x (CI smoke lane)",
+    )
+
+
 def pytest_configure(config):
     """Trim benchmark rounds so the kNN sweeps stay tractable.
 
     Only touches options left at their pytest-benchmark defaults, so
     explicit ``--benchmark-min-rounds`` / ``--benchmark-max-time`` flags
-    still win.
+    still win.  Under ``--bench-quick`` the module-level scale knobs
+    shrink before collection, so every helper reading them at call time
+    sees the reduced sizes.
     """
     if getattr(config.option, "benchmark_min_rounds", None) == 5:
         config.option.benchmark_min_rounds = 2
     if getattr(config.option, "benchmark_max_time", None) == "1.0":
         config.option.benchmark_max_time = "0.5"
+    if config.getoption("--bench-quick"):
+        # WORKLOAD_SIZE stays put: the <5% disabled-overhead guard in
+        # test_obs_overhead.py is a best-of-N timing comparison whose
+        # noise floor scales inversely with the workload length.
+        global DATASET_SIZE, KNN_DATASET_SIZE, REAL_SLICE
+        DATASET_SIZE //= 4
+        KNN_DATASET_SIZE //= 4
+        REAL_SLICE //= 4
+
 
 # Benchmark-suite scale knobs (kept small so the suite runs in minutes).
 WORKLOAD_SIZE = 400
@@ -52,19 +79,37 @@ def dominance_workload(dataset: Dataset, seed: int = 0) -> DominanceWorkload:
     return DominanceWorkload.from_dataset(dataset, size=WORKLOAD_SIZE, seed=seed)
 
 
+# Shared dataset cache: a headless fig sweep asks for the same handful
+# of configurations dozens of times; building each once keeps the suite
+# I/O- and RNG-bound work constant regardless of how many benchmarks run.
+_DATASET_CACHE: dict = {}
+
+
 def make_synthetic(
-    n: int = DATASET_SIZE,
+    n: "int | None" = None,
     d: int = 6,
     mu: float = 10.0,
     **kwargs,
 ) -> Dataset:
-    return synthetic_dataset(n, d, mu=mu, seed=0, **kwargs)
+    # Defaults resolve at call time so --bench-quick (applied in
+    # pytest_configure, after this module is imported) takes effect.
+    if n is None:
+        n = DATASET_SIZE
+    key = ("synthetic", n, d, mu, tuple(sorted(kwargs.items())))
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = synthetic_dataset(n, d, mu=mu, seed=0, **kwargs)
+    return _DATASET_CACHE[key]
 
 
 def make_real(name: str, mu: float = 10.0) -> Dataset:
     # relative_radii rescales mu to each dataset's coordinate spread so
     # one sweep is meaningful on [0,1] features and 100s-range counts alike.
-    return real_dataset(name, mu=mu, relative_radii=True, size=REAL_SLICE)
+    key = ("real", name, mu, REAL_SLICE)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = real_dataset(
+            name, mu=mu, relative_radii=True, size=REAL_SLICE
+        )
+    return _DATASET_CACHE[key]
 
 
 def bench_criterion_workload(benchmark, criterion_name, workload):
@@ -102,7 +147,7 @@ def default_synthetic() -> Dataset:
 _KNN_WORLD_CACHE: dict = {}
 
 
-def knn_world(n: int = KNN_DATASET_SIZE, d: int = 6, mu: float = 10.0):
+def knn_world(n: "int | None" = None, d: int = 6, mu: float = 10.0):
     """(tree, reference index, query spheres) for one configuration.
 
     Cached per configuration: eight (strategy x criterion) benchmarks
@@ -112,6 +157,8 @@ def knn_world(n: int = KNN_DATASET_SIZE, d: int = 6, mu: float = 10.0):
     from repro.index.linear import LinearIndex
     from repro.index.sstree import SSTree
 
+    if n is None:
+        n = KNN_DATASET_SIZE
     key = (n, d, mu)
     if key not in _KNN_WORLD_CACHE:
         dataset = make_synthetic(n=n, d=d, mu=mu)
@@ -122,8 +169,7 @@ def knn_world(n: int = KNN_DATASET_SIZE, d: int = 6, mu: float = 10.0):
     return _KNN_WORLD_CACHE[key]
 
 
-def bench_knn(benchmark, *, strategy, criterion, k, n=KNN_DATASET_SIZE, d=6,
-              mu=10.0):
+def bench_knn(benchmark, *, strategy, criterion, k, n=None, d=6, mu=10.0):
     """Benchmark one (strategy, criterion) kNN combination; attach quality."""
     from repro.queries.knn import knn_query, knn_reference
 

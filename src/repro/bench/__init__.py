@@ -1,0 +1,31 @@
+"""The standing benchmark observatory (``repro bench``).
+
+A perf trajectory is only useful when every run measures the same
+thing: :mod:`repro.bench.topics` pins the parameter sweeps (paper-range
+dimensionality, cardinality and radius distributions, Section 7.1),
+:mod:`repro.bench.runner` executes them into machine-readable
+``BENCH_<topic>.json`` documents (git SHA, environment fingerprint,
+per-point latency percentiles and obs counter deltas), and
+:mod:`repro.bench.compare` diffs two trajectories with a configurable
+regression threshold — the non-zero exit code is the CI gate.
+
+The CLI front end lives in :mod:`repro.bench.cli` and is routed from
+``repro bench`` / ``repro bench compare``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import Regression, compare_documents, compare_runs
+from repro.bench.runner import BenchDocument, run_topic, write_document
+from repro.bench.topics import TOPICS, topic_points
+
+__all__ = [
+    "BenchDocument",
+    "Regression",
+    "TOPICS",
+    "compare_documents",
+    "compare_runs",
+    "run_topic",
+    "topic_points",
+    "write_document",
+]

@@ -247,6 +247,94 @@ def _snapshot_main(argv: "Sequence[str]") -> int:
     return 0
 
 
+_EXPLAIN_KINDS = ("knn", "rknn", "dominating")
+
+
+def _explain_main(argv: "Sequence[str]") -> int:
+    """The ``repro explain`` front end: one seeded query, dissected."""
+    from repro.data.workload import knn_queries as make_queries
+    from repro.index.linear import LinearIndex
+    from repro.queries.dominating import top_k_dominating
+    from repro.queries.rknn import rnn_candidates
+
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description=(
+            "Run one seeded query with explain=True and render its "
+            "execution breakdown (per-level node accesses, cascade "
+            "tiers, pruning effectiveness, budget use)."
+        ),
+    )
+    parser.add_argument(
+        "kind", choices=_EXPLAIN_KINDS, help="query kind to dissect"
+    )
+    parser.add_argument("--n", type=int, default=400, help="dataset size")
+    parser.add_argument(
+        "--dimension", type=int, default=3, help="dimensionality"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument(
+        "--k", type=int, default=5, help="k for knn/dominating (default 5)"
+    )
+    parser.add_argument(
+        "--criterion",
+        default="hyperbola",
+        help="dominance criterion name (default hyperbola)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="hs",
+        choices=("hs", "df"),
+        help="kNN traversal strategy (default hs)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="incremental",
+        choices=("incremental", "two-phase"),
+        help="kNN algorithm (default incremental)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured QueryExplain as JSON instead of the tree",
+    )
+    args = parser.parse_args(list(argv))
+
+    dataset = synthetic_dataset(args.n, args.dimension, seed=args.seed)
+    query = make_queries(dataset, count=1, seed=args.seed)[0]
+    try:
+        if args.kind == "knn":
+            tree = SSTree.bulk_load(dataset.items())
+            explained = knn_query(
+                tree,
+                query,
+                args.k,
+                criterion=args.criterion,
+                strategy=args.strategy,
+                algorithm=args.algorithm,
+                explain=True,
+            )
+        elif args.kind == "rknn":
+            index = LinearIndex(dataset.items())
+            explained = rnn_candidates(
+                index, query, criterion=args.criterion, explain=True
+            )
+        else:
+            index = LinearIndex(dataset.items())
+            explained = top_k_dominating(
+                index, query, args.k, criterion=args.criterion, explain=True
+            )
+    except ReproError as error:
+        print(f"explain error: {error}", file=sys.stderr)
+        return 1
+    detail = explained.explain  # type: ignore[union-attr]
+    if args.json:
+        print(json.dumps(detail.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(detail.render())
+    return 0
+
+
 def _run_stats_command(args: argparse.Namespace) -> int:
     log.debug("running canned stats workload (seed=%d)", args.seed)
     with obs.enabled_scope(True), obs.scope():
@@ -273,6 +361,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         # `repro snapshot save|load|verify` manages crash-safe index
         # persistence; like lint, it owns its own flags.
         return _snapshot_main(arguments[1:])
+    if arguments and arguments[0] == "bench":
+        # `repro bench [compare]` is the standing benchmark observatory;
+        # it owns its own flags.
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(arguments[1:])
+    if arguments and arguments[0] == "explain":
+        # `repro explain knn|rknn|dominating` dissects one seeded query.
+        return _explain_main(arguments[1:])
 
     parser = build_parser()
     args = parser.parse_args(arguments)

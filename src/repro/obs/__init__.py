@@ -34,6 +34,7 @@ Logging lives in the :mod:`repro.obs.log` submodule.
 
 from __future__ import annotations
 
+import bisect
 import functools
 import math
 import time
@@ -115,10 +116,96 @@ class Timer:
         }
 
 
-class Histogram:
-    """Streaming summary (count/sum/mean/std/min/max) of observed values."""
+class _P2Quantile:
+    """One streaming quantile via the P² algorithm (Jain & Chlamtac).
 
-    __slots__ = ("name", "count", "sum", "sum_sq", "min", "max")
+    Five markers track the running estimate in O(1) memory, so tail
+    latency (p95/p99) is reportable without keeping every sample.  The
+    first five observations are kept sorted and answered exactly; from
+    the sixth on, marker heights are adjusted by the classic
+    parabolic-prediction rule (falling back to linear interpolation when
+    the parabola would cross a neighbouring marker).
+    """
+
+    __slots__ = ("p", "_q", "_n", "_target", "_rate")
+
+    def __init__(self, p: float) -> None:
+        self.p = p
+        self._q: "list[float]" = []  # marker heights (raw samples until primed)
+        self._n = [0, 1, 2, 3, 4]  # marker positions (0-based)
+        self._target = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
+        self._rate = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+
+    def observe(self, value: float) -> None:
+        q, n = self._q, self._n
+        if len(q) < 5:
+            bisect.insort(q, value)
+            return
+        if value < q[0]:
+            q[0] = value
+            k = 0
+        elif value >= q[4]:
+            q[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        target = self._target
+        for i, rate in enumerate(self._rate):
+            target[i] += rate
+        for i in (1, 2, 3):
+            drift = target[i] - n[i]
+            if (drift >= 1.0 and n[i + 1] - n[i] > 1) or (
+                drift <= -1.0 and n[i - 1] - n[i] < -1
+            ):
+                step = 1 if drift >= 1.0 else -1
+                height = self._parabolic(i, step)
+                if not q[i - 1] < height < q[i + 1]:
+                    height = self._linear(i, step)
+                q[i] = height
+                n[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + step * (q[i + step] - q[i]) / (n[i + step] - n[i])
+
+    def value(self) -> float:
+        q = self._q
+        if not q:
+            return 0.0
+        if len(q) < 5:
+            # Exact nearest-rank quantile over the few buffered samples.
+            rank = max(int(math.ceil(self.p * len(q))) - 1, 0)
+            return q[min(rank, len(q) - 1)]
+        return q[2]
+
+
+class Histogram:
+    """Streaming summary (count/sum/mean/std/min/max + p50/p95/p99).
+
+    Quantiles are P² estimates (see :class:`_P2Quantile`): exact for the
+    first five observations, O(1)-memory approximations after that, so
+    tail latency is reportable without retaining samples.
+    """
+
+    __slots__ = ("name", "count", "sum", "sum_sq", "min", "max", "_quantiles")
+
+    #: The quantiles every histogram estimates, as (key, p) pairs.
+    QUANTILES: "tuple[tuple[str, float], ...]" = (
+        ("p50", 0.50),
+        ("p95", 0.95),
+        ("p99", 0.99),
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -127,6 +214,7 @@ class Histogram:
         self.sum_sq = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._quantiles = tuple(_P2Quantile(p) for _, p in self.QUANTILES)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -137,11 +225,14 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        for estimator in self._quantiles:
+            estimator.observe(value)
 
     def snapshot(self) -> dict:
         if not self.count:
             return {"count": 0, "sum": 0.0, "mean": 0.0, "std": 0.0,
-                    "min": 0.0, "max": 0.0}
+                    "min": 0.0, "max": 0.0,
+                    **{key: 0.0 for key, _ in self.QUANTILES}}
         mean = self.sum / self.count
         # Population variance; clamp tiny negative round-off.
         variance = max(self.sum_sq / self.count - mean * mean, 0.0)
@@ -152,6 +243,10 @@ class Histogram:
             "std": math.sqrt(variance),
             "min": self.min,
             "max": self.max,
+            **{
+                key: estimator.value()
+                for (key, _), estimator in zip(self.QUANTILES, self._quantiles)
+            },
         }
 
 

@@ -1,0 +1,298 @@
+"""Metric exporters: Prometheus text format and a JSONL query-event log.
+
+The instrumentation registry (:mod:`repro.obs`) collects numbers into a
+plain dict; this module turns such a snapshot into artifacts an
+operations stack can consume:
+
+- :func:`to_prometheus` renders any :func:`repro.obs.collect` snapshot
+  in the Prometheus text exposition format (``# TYPE``-prefixed metric
+  families, sanitised names, counters as ``_total``, timers and
+  histograms as summaries with ``quantile`` labels), ready to be served
+  from a ``/metrics`` endpoint or pushed through a textfile collector;
+- :class:`QueryEventLog` appends one structured JSON object per query
+  to a line-delimited log (stats delta, guarantee tier,
+  partial/complete flag, duration) — the substrate a serving front end
+  exposes per tenant.  :func:`scope` activates a log for the current
+  context the same way :func:`repro.obs.scope` activates a registry;
+  the query layer emits into whatever log is active, at the cost of a
+  single contextvar read per query when none is.
+
+Both exporters are pure functions of their inputs (plus an append-only
+file handle), keeping the zero-dependency discipline of the obs layer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterator
+
+from repro import obs
+from repro.obs import names
+
+__all__ = [
+    "QueryEvent",
+    "QueryEventLog",
+    "current_event_log",
+    "read_events",
+    "sanitize_metric_name",
+    "scope",
+    "to_prometheus",
+]
+
+# ----------------------------------------------------------------------
+# Prometheus text-format rendering
+# ----------------------------------------------------------------------
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+#: The stats-delta fields a query outcome may carry, in event order.
+_STAT_FIELDS = (
+    "nodes_visited",
+    "entries_considered",
+    "dominance_checks",
+    "pruned_case3",
+    "uncertain_decisions",
+    "absorbed_faults",
+    "degraded_checks",
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted obs name onto the Prometheus metric-name charset.
+
+    Dots (and anything else outside ``[a-zA-Z0-9_:]``) become
+    underscores; a leading digit is prefixed with an underscore.
+
+    >>> sanitize_metric_name("hyperbola.fast_path.overlap")
+    'hyperbola_fast_path_overlap'
+    """
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    """Float formatting per the exposition format (repr keeps precision)."""
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def to_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
+    """Render a :func:`repro.obs.collect` snapshot as Prometheus text.
+
+    Every obs instrument becomes one well-formed metric family:
+
+    - counters → ``<prefix>_<name>_total`` with ``# TYPE ... counter``;
+    - timers → ``<prefix>_<name>_seconds`` summaries (``_count`` and
+      ``_sum`` samples);
+    - histograms → ``<prefix>_<name>`` summaries with ``quantile``
+      labels for the streaming p50/p95/p99 estimates plus ``_count``
+      and ``_sum``.
+
+    Families are emitted sorted by name, each preceded by its ``# HELP``
+    and ``# TYPE`` lines, matching ``promtool check metrics``
+    conventions.  The output ends with a trailing newline (or is empty
+    for an empty snapshot).
+    """
+    out = io.StringIO()
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        family = f"{prefix}_{sanitize_metric_name(name)}_total"
+        out.write(f"# HELP {family} obs counter {name}\n")
+        out.write(f"# TYPE {family} counter\n")
+        out.write(f"{family} {_format_value(value)}\n")
+    for name, snap in sorted(snapshot.get("timers", {}).items()):
+        family = f"{prefix}_{sanitize_metric_name(name)}_seconds"
+        out.write(f"# HELP {family} obs timer {name}\n")
+        out.write(f"# TYPE {family} summary\n")
+        out.write(f"{family}_count {_format_value(snap['count'])}\n")
+        out.write(f"{family}_sum {_format_value(snap['total'])}\n")
+    for name, snap in sorted(snapshot.get("histograms", {}).items()):
+        family = f"{prefix}_{sanitize_metric_name(name)}"
+        out.write(f"# HELP {family} obs histogram {name}\n")
+        out.write(f"# TYPE {family} summary\n")
+        for key, p in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            if key in snap:
+                out.write(
+                    f'{family}{{quantile="{p}"}} {_format_value(snap[key])}\n'
+                )
+        out.write(f"{family}_count {_format_value(snap['count'])}\n")
+        out.write(f"{family}_sum {_format_value(snap['sum'])}\n")
+    if obs.ENABLED:
+        obs.incr(names.EXPORT_PROMETHEUS_RENDERS)
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# JSONL query-event log
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class QueryEvent:
+    """One structured record of one query execution."""
+
+    #: Query kind: ``"knn"``, ``"rknn"``, ``"dominating"``, ...
+    kind: str
+    #: Wall-clock duration of the query, in seconds.
+    duration_s: float
+    #: Number of keys/scores in the returned answer.
+    answer_size: int
+    #: Guarantee tier actually achieved (``"optimal"``/``"conservative"``).
+    tier: str = "optimal"
+    #: Whether the query ran to completion (False → partial answer).
+    complete: bool = True
+    #: Per-query stats delta (nodes visited, entries considered, ...).
+    stats: "dict[str, int]" = field(default_factory=dict)
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "kind": self.kind,
+            "duration_s": self.duration_s,
+            "answer_size": self.answer_size,
+            "tier": self.tier,
+            "complete": self.complete,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, Any]") -> "QueryEvent":
+        return cls(
+            kind=str(payload["kind"]),
+            duration_s=float(payload["duration_s"]),
+            answer_size=int(payload["answer_size"]),
+            tier=str(payload.get("tier", "optimal")),
+            complete=bool(payload.get("complete", True)),
+            stats={
+                key: int(value)
+                for key, value in payload.get("stats", {}).items()
+            },
+        )
+
+    @classmethod
+    def from_outcome(
+        cls, kind: str, outcome: Any, duration_s: float
+    ) -> "QueryEvent":
+        """Build an event from a query outcome, duck-typed.
+
+        Works for :class:`~repro.queries.knn.KNNResult`, plain lists of
+        keys/scores, and :class:`~repro.resilience.PartialResult`
+        envelopes around either (attribute forwarding surfaces the
+        wrapped stats; the report supplies tier/completeness).
+        """
+        stats: "dict[str, int]" = {}
+        for field_name in _STAT_FIELDS:
+            value = getattr(outcome, field_name, None)
+            if isinstance(value, int) and value:
+                stats[field_name] = value
+        tier = "optimal"
+        complete = True
+        report = getattr(outcome, "report", None)
+        if report is not None:
+            tier = report.tier.value
+            complete = bool(report.complete)
+        try:
+            answer_size = len(outcome)
+        except TypeError:
+            answer_size = 0
+        return cls(
+            kind=kind,
+            duration_s=duration_s,
+            answer_size=answer_size,
+            tier=tier,
+            complete=complete,
+            stats=stats,
+        )
+
+
+class QueryEventLog:
+    """An append-only JSONL sink of :class:`QueryEvent` records.
+
+    One JSON object per line, written eagerly so a crash loses at most
+    the event being written.  Usable as a context manager::
+
+        with QueryEventLog.open("queries.jsonl") as log, export.scope(log):
+            knn_query(tree, q, 5)     # emits one event per query
+    """
+
+    __slots__ = ("_sink", "_owns_sink", "events_written")
+
+    def __init__(self, sink: "IO[str]", *, owns_sink: bool = False) -> None:
+        self._sink = sink
+        self._owns_sink = owns_sink
+        self.events_written = 0
+
+    @classmethod
+    def open(cls, path: str) -> "QueryEventLog":
+        """Open (append) a log file at *path*."""
+        return cls(open(path, "a", encoding="utf-8"), owns_sink=True)
+
+    def emit(self, event: QueryEvent) -> None:
+        """Append one event (one line) and flush."""
+        self._sink.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._sink.flush()
+        self.events_written += 1
+        if obs.ENABLED:
+            obs.incr(names.EXPORT_EVENTS_LOGGED)
+
+    def emit_outcome(self, kind: str, outcome: Any, duration_s: float) -> None:
+        """Build an event from a query outcome and append it."""
+        self.emit(QueryEvent.from_outcome(kind, outcome, duration_s))
+
+    def close(self) -> None:
+        if self._owns_sink:
+            self._sink.close()
+
+    def __enter__(self) -> "QueryEventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: str) -> "list[QueryEvent]":
+    """Parse a JSONL event log back into :class:`QueryEvent` records."""
+    events: "list[QueryEvent]" = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(QueryEvent.from_dict(json.loads(line)))
+    return events
+
+
+# The active event log of the current context; None means no logging,
+# which costs the query layer one contextvar read per query.
+_event_log_var: "ContextVar[QueryEventLog | None]" = ContextVar(
+    "repro_obs_event_log", default=None
+)
+
+
+def current_event_log() -> "QueryEventLog | None":
+    """The event log active in the current context (``None`` when none)."""
+    return _event_log_var.get()
+
+
+@contextmanager
+def scope(log: "QueryEventLog | None") -> "Iterator[QueryEventLog | None]":
+    """Activate *log* for the current context until exit.
+
+    Mirrors :func:`repro.obs.scope`: nested scopes stack, sibling
+    contexts keep their own log.  Passing ``None`` explicitly shields
+    the block from any outer log.
+    """
+    token = _event_log_var.set(log)
+    try:
+        yield log
+    finally:
+        _event_log_var.reset(token)

@@ -39,6 +39,7 @@ __all__ = [
     "is_known",
     # families
     "batch_calls",
+    "bench_span",
     "dominance_span",
     "experiment_span",
     "fault",
@@ -117,6 +118,17 @@ RESILIENCE_DEGRADED_QUERIES = "resilience.degraded_queries"
 RESILIENCE_PARTIAL_QUERIES = "resilience.partial_queries"
 RESILIENCE_ABSORBED_FAULTS = "resilience.absorbed_faults"
 
+# repro.bench — standing benchmark observatory.
+BENCH_TOPICS = "bench.topics"
+BENCH_POINTS = "bench.points"
+
+# repro.queries.explain — per-query EXPLAIN captures.
+EXPLAIN_QUERIES = "explain.queries"
+
+# repro.obs.export — metric exporters.
+EXPORT_PROMETHEUS_RENDERS = "export.prometheus_renders"
+EXPORT_EVENTS_LOGGED = "export.events_logged"
+
 # repro.index.snapshot — crash-safe persistence outcomes.
 SNAPSHOT_SAVES = "snapshot.saves"
 SNAPSHOT_LOADS = "snapshot.loads"
@@ -151,6 +163,7 @@ SNAPSHOT_VERIFY_SPAN = "snapshot.verify"
 #: Dynamic name families: one ``*`` per varying dotted segment.
 PATTERNS: "tuple[str, ...]" = (
     "batch.calls.*",  # per-criterion batch evaluations
+    "bench.topic.*",  # per-topic benchmark spans
     "dominance.*",  # per-criterion dominance-experiment spans
     "knn.*.*",  # per-(strategy, criterion) kNN-experiment spans
     "verified.stage.*",  # ladder stage attempts
@@ -165,6 +178,11 @@ PATTERNS: "tuple[str, ...]" = (
 def batch_calls(criterion: str) -> str:
     """Per-criterion batch-evaluation counter (``batch.calls.<name>``)."""
     return f"batch.calls.{criterion}"
+
+
+def bench_span(topic: str) -> str:
+    """Per-topic benchmark-run span (``bench.topic.<topic>``)."""
+    return f"bench.topic.{topic}"
 
 
 def verified_stage(stage: str) -> str:

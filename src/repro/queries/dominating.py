@@ -26,16 +26,19 @@ returns a :class:`repro.resilience.PartialResult` flagged incomplete.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs import export as obs_export
 from repro.obs import names
 from repro.core.batch import batch_evaluate
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
+from repro.queries.explain import ExplainedResult, explain_capture
 from repro.queries.validation import validate_k, validate_query
 from repro.resilience.budget import current as current_budget
 from repro.resilience.partial import PartialResult, ResilienceReport
@@ -125,16 +128,43 @@ def top_k_dominating(
     k: int,
     *,
     criterion: str = "hyperbola",
-) -> "list[DominanceScore] | PartialResult":
+    explain: bool = False,
+) -> "list[DominanceScore] | PartialResult | ExplainedResult":
     """The k objects with the highest dominance scores (ties by order).
 
     Returns a plain list normally; a
     :class:`~repro.resilience.PartialResult` wrapping one (and carrying
-    the scoring pass's report) when a budget is active.
+    the scoring pass's report) when a budget is active; an
+    :class:`~repro.queries.explain.ExplainedResult` wrapping either when
+    ``explain=True`` (costs a single branch when off).
     """
     if not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
     k = validate_k(k, len(dataset))
+    event_log = obs_export.current_event_log()
+    if explain:
+        params = {"k": k, "criterion": criterion, "n": len(dataset)}
+        with explain_capture() as capture:
+            outcome = _run_top_k(dataset, query, k, criterion)
+            detail = capture.finish("dominating", params, outcome)
+        if event_log is not None:
+            event_log.emit_outcome("dominating", outcome, detail.duration_s)
+        return ExplainedResult(outcome, detail)
+    if event_log is None:
+        return _run_top_k(dataset, query, k, criterion)
+    started = time.perf_counter()
+    outcome = _run_top_k(dataset, query, k, criterion)
+    event_log.emit_outcome("dominating", outcome, time.perf_counter() - started)
+    return outcome
+
+
+def _run_top_k(
+    dataset: LinearIndex,
+    query: Hypersphere,
+    k: int,
+    criterion: str,
+) -> "list[DominanceScore] | PartialResult":
+    """The validated query body (see :func:`top_k_dominating`)."""
     scored = dominance_scores(dataset, query, criterion=criterion)
     if isinstance(scored, PartialResult):
         scores: "list[DominanceScore]" = scored.value

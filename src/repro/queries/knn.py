@@ -79,12 +79,14 @@ import bisect
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs import export as obs_export
 from repro.obs import names
 from repro.core.base import DominanceCriterion, get_criterion
 from repro.exceptions import QueryError
@@ -93,6 +95,7 @@ from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
 from repro.index.sstree import SSTree, SSTreeNode
 from repro.index.vptree import VPTree
+from repro.queries.explain import ExplainedResult, explain_capture
 from repro.queries.validation import validate_k, validate_query
 from repro.resilience.budget import Budget
 from repro.resilience.budget import current as current_budget
@@ -401,7 +404,8 @@ def knn_query(
     criterion: "DominanceCriterion | str" = "hyperbola",
     strategy: str = "hs",
     algorithm: str = "incremental",
-) -> "KNNResult | PartialResult":
+    explain: bool = False,
+) -> "KNNResult | PartialResult | ExplainedResult":
     """Answer the Definition-2 kNN query over *index*.
 
     Parameters
@@ -426,23 +430,70 @@ def knn_query(
         ``"incremental"`` — the paper's single-pass best-known list
         (Section 6), or ``"two-phase"`` — the Definition-2-exact
         variant (find ``Sk`` first, then collect survivors).
+    explain:
+        When true, run the query under a private enabled obs scope and
+        return an :class:`~repro.queries.explain.ExplainedResult`
+        carrying the answer plus a structured
+        :class:`~repro.queries.explain.QueryExplain` (per-level node
+        accesses, cascade tiers, pruning effectiveness, budget use).
+        Costs a single branch when off.
 
     Returns
     -------
     A plain :class:`KNNResult` normally; a
     :class:`~repro.resilience.PartialResult` wrapping one when a
     :class:`~repro.resilience.Budget` is active in the current context
-    (see :func:`repro.resilience.scope`).
+    (see :func:`repro.resilience.scope`); an
+    :class:`~repro.queries.explain.ExplainedResult` wrapping either
+    when ``explain=True``.
     """
     k = validate_k(k, len(index))
     validate_query(query, index.dimension)
     if isinstance(criterion, str):
         criterion = get_criterion(criterion)
+    event_log = obs_export.current_event_log()
+    if explain:
+        params = {
+            "k": k,
+            "criterion": criterion.name,
+            "strategy": strategy,
+            "algorithm": algorithm,
+            "index": type(index).__name__,
+        }
+        with explain_capture() as capture:
+            outcome = _run_knn(
+                index, query, k, criterion, strategy, algorithm,
+                levels=capture.levels,
+            )
+            detail = capture.finish("knn", params, outcome)
+        if event_log is not None:
+            event_log.emit_outcome("knn", outcome, detail.duration_s)
+        return ExplainedResult(outcome, detail)
+    if event_log is None:
+        return _run_knn(index, query, k, criterion, strategy, algorithm)
+    started = time.perf_counter()
+    outcome = _run_knn(index, query, k, criterion, strategy, algorithm)
+    event_log.emit_outcome("knn", outcome, time.perf_counter() - started)
+    return outcome
+
+
+def _run_knn(
+    index: "SSTree | VPTree | LinearIndex",
+    query: Hypersphere,
+    k: int,
+    criterion: DominanceCriterion,
+    strategy: str,
+    algorithm: str,
+    levels: "dict[int, int] | None" = None,
+) -> "KNNResult | PartialResult":
+    """The validated query body (see :func:`knn_query` for semantics)."""
     budget = current_budget()
     if budget is not None:
         budget.start()
     if algorithm == "two-phase":
-        result = _knn_two_phase(index, query, k, criterion, strategy, budget)
+        result = _knn_two_phase(
+            index, query, k, criterion, strategy, budget, levels
+        )
         return result if budget is None else _wrap_partial(result, budget)
     if algorithm != "incremental":
         raise QueryError(
@@ -465,9 +516,9 @@ def knn_query(
                 result.entries_considered += 1
                 best.offer(key, sphere)
     elif strategy == "df":
-        _depth_first(index.root, query, best, result, budget)
+        _depth_first(index.root, query, best, result, budget, levels=levels)
     elif strategy == "hs":
-        _best_first(index.root, query, best, result, budget)
+        _best_first(index.root, query, best, result, budget, levels=levels)
     else:
         raise QueryError(f"unknown strategy {strategy!r}; use 'df' or 'hs'")
 
@@ -493,11 +544,15 @@ def _depth_first(
     best: _BestKnownList,
     result: KNNResult,
     budget: "Budget | None" = None,
+    depth: int = 0,
+    levels: "dict[int, int] | None" = None,
 ) -> bool:
     """Visit *node*; returns ``False`` when the budget ran out (stop)."""
     if budget is not None and budget.charge_node() is not None:
         return False
     result.nodes_visited += 1
+    if levels is not None:
+        levels[depth] = levels.get(depth, 0) + 1
     if node.is_leaf:
         for key, sphere in node.entries:
             if budget is not None and budget.charge_candidate() is not None:
@@ -516,7 +571,9 @@ def _depth_first(
         # MinDist, so the whole branch is prunable.
         if gap > best.distk:
             continue
-        if not _depth_first(node.children[i], query, best, result, budget):
+        if not _depth_first(
+            node.children[i], query, best, result, budget, depth + 1, levels
+        ):
             return False
     return True
 
@@ -527,18 +584,21 @@ def _best_first(
     best: _BestKnownList,
     result: KNNResult,
     budget: "Budget | None" = None,
+    levels: "dict[int, int] | None" = None,
 ) -> None:
     counter = itertools.count()
-    heap: list[tuple[float, int, SSTreeNode]] = [
-        (_safe_node_min_dist(root, query, result), next(counter), root)
+    heap: list[tuple[float, int, SSTreeNode, int]] = [
+        (_safe_node_min_dist(root, query, result), next(counter), root, 0)
     ]
     while heap:
-        lower_bound, _, node = heapq.heappop(heap)
+        lower_bound, _, node, depth = heapq.heappop(heap)
         if lower_bound > best.distk:
             break  # every remaining node is at least this far: all prunable
         if budget is not None and budget.charge_node() is not None:
             break
         result.nodes_visited += 1
+        if levels is not None:
+            levels[depth] = levels.get(depth, 0) + 1
         if node.is_leaf:
             for key, sphere in node.entries:
                 if budget is not None and budget.charge_candidate() is not None:
@@ -549,7 +609,7 @@ def _best_first(
             for child in node.children:
                 gap = _safe_node_min_dist(child, query, result)
                 if gap <= best.distk:
-                    heapq.heappush(heap, (gap, next(counter), child))
+                    heapq.heappush(heap, (gap, next(counter), child, depth + 1))
 
 
 def _knn_two_phase(
@@ -559,6 +619,7 @@ def _knn_two_phase(
     criterion: DominanceCriterion,
     strategy: str,
     budget: "Budget | None" = None,
+    levels: "dict[int, int] | None" = None,
 ) -> KNNResult:
     """The Definition-2-exact variant: find ``Sk`` first, then collect."""
     result = KNNResult(keys=[], spheres=[], distk=float("inf"))
@@ -600,23 +661,26 @@ def _knn_two_phase(
     # Phase 1: the k-th smallest MaxDist via best-first search on the
     # MaxDist lower bound (exact regardless of the dominance criterion).
     counter = itertools.count()
-    heap: list[tuple[float, int, SSTreeNode]] = [
+    heap: list[tuple[float, int, SSTreeNode, int]] = [
         (
             _safe_node_max_dist_lower_bound(index.root, query, result),
             next(counter),
             index.root,
+            0,
         )
     ]
     top: list[tuple[float, int, Hypersphere]] = []  # max-heap via negation
     phase1_cut = False
     while heap:
-        bound, _, node = heapq.heappop(heap)
+        bound, _, node, depth = heapq.heappop(heap)
         if len(top) == k and bound > -top[0][0]:
             break
         if budget is not None and budget.charge_node() is not None:
             phase1_cut = True
             break
         result.nodes_visited += 1
+        if levels is not None:
+            levels[depth] = levels.get(depth, 0) + 1
         if node.is_leaf:
             for _, sphere in node.entries:
                 if budget is not None and budget.charge_candidate() is not None:
@@ -633,7 +697,9 @@ def _knn_two_phase(
             for child in node.children:
                 child_bound = _safe_node_max_dist_lower_bound(child, query, result)
                 if len(top) < k or child_bound <= -top[0][0]:
-                    heapq.heappush(heap, (child_bound, next(counter), child))
+                    heapq.heappush(
+                        heap, (child_bound, next(counter), child, depth + 1)
+                    )
     if len(top) < k:
         # The budget cut phase 1 before k objects were even seen; with
         # no usable distk nothing can be pruned safely.
@@ -651,10 +717,10 @@ def _knn_two_phase(
 
     # Phase 2: collect every object not dominated by Sk.  A subtree with
     # MinDist > distk is entirely dominated via MinMax (Lemma 9).
-    stack = [index.root]
+    stack: "list[tuple[SSTreeNode, int]]" = [(index.root, 0)]
     stopped = False
     while stack:
-        node = stack.pop()
+        node, depth = stack.pop()
         if stopped or (budget is not None and budget.charge_node() is not None):
             stopped = True
             break
@@ -662,6 +728,8 @@ def _knn_two_phase(
             result.pruned_case3 += 1
             continue
         result.nodes_visited += 1
+        if levels is not None:
+            levels[depth] = levels.get(depth, 0) + 1
         if node.is_leaf:
             for key, sphere in node.entries:
                 if budget is not None and budget.charge_candidate() is not None:
@@ -693,7 +761,7 @@ def _knn_two_phase(
             if stopped:
                 break
         else:
-            stack.extend(node.children)
+            stack.extend((child, depth + 1) for child in node.children)
     result.distk = distk
     result.uncertain_decisions = _uncertain_count(criterion) - uncertain_before
     _record_traversal(index, result)

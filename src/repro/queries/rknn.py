@@ -30,15 +30,18 @@ reverse-NN.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs import export as obs_export
 from repro.obs import names
 from repro.core.base import DominanceCriterion, get_criterion
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
+from repro.queries.explain import ExplainedResult, explain_capture
 from repro.queries.validation import validate_query
 from repro.resilience.budget import current as current_budget
 from repro.resilience.partial import PartialResult, ResilienceReport
@@ -51,7 +54,8 @@ def rnn_candidates(
     query: Hypersphere,
     *,
     criterion: "DominanceCriterion | str" = "hyperbola",
-) -> "list | PartialResult":
+    explain: bool = False,
+) -> "list | PartialResult | ExplainedResult":
     """Keys of objects that may have *query* as their nearest neighbour.
 
     An object ``Sb`` is pruned iff some other dataset object ``Sa``
@@ -68,13 +72,38 @@ def rnn_candidates(
 
     Returns a plain list normally; a
     :class:`~repro.resilience.PartialResult` wrapping one when a
-    :class:`~repro.resilience.Budget` is active in the current context.
+    :class:`~repro.resilience.Budget` is active in the current context;
+    an :class:`~repro.queries.explain.ExplainedResult` wrapping either
+    when ``explain=True`` (costs a single branch when off).
     """
     if not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
     validate_query(query, dataset.dimension)
     if isinstance(criterion, str):
         criterion = get_criterion(criterion)
+    event_log = obs_export.current_event_log()
+    if explain:
+        params = {"criterion": criterion.name, "n": len(dataset)}
+        with explain_capture() as capture:
+            outcome = _run_rnn(dataset, query, criterion)
+            detail = capture.finish("rknn", params, outcome)
+        if event_log is not None:
+            event_log.emit_outcome("rknn", outcome, detail.duration_s)
+        return ExplainedResult(outcome, detail)
+    if event_log is None:
+        return _run_rnn(dataset, query, criterion)
+    started = time.perf_counter()
+    outcome = _run_rnn(dataset, query, criterion)
+    event_log.emit_outcome("rknn", outcome, time.perf_counter() - started)
+    return outcome
+
+
+def _run_rnn(
+    dataset: LinearIndex,
+    query: Hypersphere,
+    criterion: DominanceCriterion,
+) -> "list | PartialResult":
+    """The validated query body (see :func:`rnn_candidates`)."""
     budget = current_budget()
     if budget is not None:
         budget.start()

@@ -1,0 +1,215 @@
+"""Tests for :mod:`repro.obs.export` (Prometheus + JSONL exporters).
+
+Covers the Prometheus text rendering against a golden document (family
+structure, ``# TYPE`` lines, name sanitisation, counter/summary
+conventions), the JSONL query-event log round trip, and the contextvar
+activation path that makes real queries emit events.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data.synthetic import synthetic_dataset
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.linear import LinearIndex
+from repro.index.sstree import SSTree
+from repro.obs import export
+from repro.queries.dominating import top_k_dominating
+from repro.queries.knn import knn_query
+from repro.queries.rknn import rnn_candidates
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert (
+            export.sanitize_metric_name("hyperbola.fast_path.overlap")
+            == "hyperbola_fast_path_overlap"
+        )
+
+    def test_leading_digit_prefixed(self):
+        assert export.sanitize_metric_name("2fast") == "_2fast"
+
+    def test_colons_survive(self):
+        assert export.sanitize_metric_name("a:b.c") == "a:b_c"
+
+
+class TestPrometheusRendering:
+    def test_golden_document(self):
+        # A small snapshot rendered end to end; this is the wire format
+        # contract, so the assertion is exact.
+        snapshot = {
+            "counters": {"cascade.calls": 7, "hyperbola.calls": 3},
+            "timers": {"stats.knn": {"count": 2, "total": 0.5}},
+            "histograms": {
+                "knn.answer_size": {
+                    "count": 4,
+                    "sum": 10.0,
+                    "mean": 2.5,
+                    "std": 0.5,
+                    "min": 2.0,
+                    "max": 3.0,
+                    "p50": 2.5,
+                    "p95": 3.0,
+                    "p99": 3.0,
+                }
+            },
+        }
+        expected = "\n".join(
+            [
+                "# HELP repro_cascade_calls_total obs counter cascade.calls",
+                "# TYPE repro_cascade_calls_total counter",
+                "repro_cascade_calls_total 7.0",
+                "# HELP repro_hyperbola_calls_total obs counter hyperbola.calls",
+                "# TYPE repro_hyperbola_calls_total counter",
+                "repro_hyperbola_calls_total 3.0",
+                "# HELP repro_stats_knn_seconds obs timer stats.knn",
+                "# TYPE repro_stats_knn_seconds summary",
+                "repro_stats_knn_seconds_count 2.0",
+                "repro_stats_knn_seconds_sum 0.5",
+                "# HELP repro_knn_answer_size obs histogram knn.answer_size",
+                "# TYPE repro_knn_answer_size summary",
+                'repro_knn_answer_size{quantile="0.5"} 2.5',
+                'repro_knn_answer_size{quantile="0.95"} 3.0',
+                'repro_knn_answer_size{quantile="0.99"} 3.0',
+                "repro_knn_answer_size_count 4.0",
+                "repro_knn_answer_size_sum 10.0",
+                "",
+            ]
+        )
+        assert export.to_prometheus(snapshot) == expected
+
+    def test_every_family_has_type_and_help_lines(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.incr("a.b")
+            obs.observe("c.d", 1.0)
+            with obs.trace("e.f"):
+                pass
+            text = export.to_prometheus(obs.collect())
+        families = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert len(families) == 3
+        for family in families:
+            assert f"# HELP {family} " in text
+            assert f"# TYPE {family} " in text
+
+    def test_sample_lines_use_sanitized_names_only(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.incr("weird.name-with.dash")
+            text = export.to_prometheus(obs.collect())
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            metric = line.split("{")[0].split()[0]
+            assert all(
+                ch.isalnum() or ch in "_:" for ch in metric
+            ), f"invalid metric name in line {line!r}"
+
+    def test_empty_snapshot_renders_empty(self):
+        assert export.to_prometheus({}) == ""
+
+    def test_custom_prefix(self):
+        text = export.to_prometheus(
+            {"counters": {"x": 1}}, prefix="hypersphere"
+        )
+        assert "hypersphere_x_total 1.0" in text
+
+
+class TestQueryEventLog:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with export.QueryEventLog.open(path) as log:
+            log.emit(
+                export.QueryEvent(
+                    kind="knn",
+                    duration_s=0.25,
+                    answer_size=7,
+                    tier="conservative",
+                    complete=False,
+                    stats={"nodes_visited": 12},
+                )
+            )
+            log.emit(export.QueryEvent(kind="rknn", duration_s=0.1, answer_size=0))
+            assert log.events_written == 2
+        events = export.read_events(path)
+        assert len(events) == 2
+        assert events[0].kind == "knn"
+        assert events[0].tier == "conservative"
+        assert not events[0].complete
+        assert events[0].stats == {"nodes_visited": 12}
+        assert events[1].kind == "rknn"
+        assert events[1].complete
+
+    def test_each_line_is_standalone_json(self):
+        sink = io.StringIO()
+        log = export.QueryEventLog(sink)
+        log.emit(export.QueryEvent(kind="knn", duration_s=0.1, answer_size=1))
+        log.emit(export.QueryEvent(kind="knn", duration_s=0.2, answer_size=2))
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            payload = json.loads(line)
+            assert payload["kind"] == "knn"
+
+    def test_real_queries_emit_one_event_each(self):
+        dataset = synthetic_dataset(120, 3, seed=3)
+        tree = SSTree.bulk_load(dataset.items())
+        flat = LinearIndex(dataset.items())
+        query = Hypersphere(np.asarray(dataset.centers[0]), 0.5)
+        sink = io.StringIO()
+        log = export.QueryEventLog(sink)
+        with export.scope(log):
+            knn_query(tree, query, 5)
+            rnn_candidates(flat, query)
+            top_k_dominating(flat, query, 3)
+        events = [
+            export.QueryEvent.from_dict(json.loads(line))
+            for line in sink.getvalue().strip().splitlines()
+        ]
+        assert [event.kind for event in events] == [
+            "knn",
+            "rknn",
+            "dominating",
+        ]
+        knn_event = events[0]
+        assert knn_event.duration_s > 0.0
+        assert knn_event.answer_size >= 5
+        assert knn_event.stats.get("nodes_visited", 0) > 0
+
+    def test_no_events_outside_scope(self):
+        dataset = synthetic_dataset(60, 3, seed=3)
+        tree = SSTree.bulk_load(dataset.items())
+        query = Hypersphere(np.asarray(dataset.centers[0]), 0.5)
+        sink = io.StringIO()
+        log = export.QueryEventLog(sink)
+        knn_query(tree, query, 3)
+        assert sink.getvalue() == ""
+        with export.scope(log):
+            with export.scope(None):  # explicit shield
+                knn_query(tree, query, 3)
+        assert sink.getvalue() == ""
+
+    def test_event_count_metric_recorded_when_enabled(self):
+        sink = io.StringIO()
+        log = export.QueryEventLog(sink)
+        with obs.enabled_scope(), obs.scope():
+            log.emit(export.QueryEvent(kind="knn", duration_s=0.1, answer_size=1))
+            counters = obs.collect()["counters"]
+        assert counters["export.events_logged"] == 1

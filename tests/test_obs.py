@@ -59,6 +59,43 @@ class TestHistograms:
         assert snap["min"] == 2.0
         assert snap["max"] == 6.0
 
+    def test_quantiles_exact_under_five_samples(self):
+        # Below the P-squared marker count the estimator is exact
+        # (nearest-rank over the sorted buffer).
+        with obs.enabled_scope(), obs.scope():
+            for value in (10.0, 30.0, 20.0):
+                obs.observe("h", value)
+            snap = obs.collect()["histograms"]["h"]
+        assert snap["p50"] == 20.0
+        assert snap["p95"] == 30.0
+        assert snap["p99"] == 30.0
+
+    def test_quantiles_empty_histogram_reports_zero(self):
+        with obs.enabled_scope(), obs.scope():
+            obs.observe("h", 1.0)
+            obs.reset()
+            obs.observe("h2", 0.0)
+            snap = obs.collect()["histograms"]["h2"]
+        assert snap["p50"] == 0.0
+        assert snap["p95"] == 0.0
+        assert snap["p99"] == 0.0
+
+    def test_p2_estimates_track_uniform_stream(self):
+        # The P-squared markers converge on the true quantiles of a
+        # large shuffled uniform stream within a few percent.
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        values = rng.uniform(0.0, 100.0, size=5000)
+        with obs.enabled_scope(), obs.scope():
+            for value in values:
+                obs.observe("h", float(value))
+            snap = obs.collect()["histograms"]["h"]
+        assert snap["p50"] == pytest.approx(50.0, abs=5.0)
+        assert snap["p95"] == pytest.approx(95.0, abs=5.0)
+        assert snap["p99"] == pytest.approx(99.0, abs=5.0)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
 
 class TestTimers:
     def test_add_time_accumulates(self):
