@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint fuzz chaos bench bench-smoke examples experiments claims profile clean
+.PHONY: install test lint fuzz chaos bench bench-smoke serve-smoke examples experiments claims profile clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,11 +30,24 @@ fuzz:
 
 # The resilience gate (docs/resilience.md): the chaos matrix (every
 # fault seam x mode), budget/degradation behaviour, snapshot integrity,
-# and the idle-budget overhead bound.
+# the serve seam matrix, and the idle-budget overhead bound.
 chaos:
 	$(PYTHON) -m pytest -q \
 		tests/test_chaos.py tests/test_resilience.py \
-		tests/test_snapshot.py benchmarks/test_budget_overhead.py
+		tests/test_snapshot.py tests/test_serve_chaos.py \
+		benchmarks/test_budget_overhead.py
+
+# The serving gate (docs/serving.md): boot a server on a fixture
+# snapshot, fire a fault-injected burst over real TCP, and fail unless
+# every response is 200/206/429 and /metrics scrapes — then the full
+# serve test suite (protocol, admission, breaker, retry, end-to-end,
+# concurrency).
+serve-smoke:
+	$(PYTHON) -m repro serve smoke
+	$(PYTHON) -m repro serve smoke --seam queue --mode nan --every 2
+	$(PYTHON) -m pytest -q \
+		tests/test_serve_protocol.py tests/test_serve_admission.py \
+		tests/test_serve_app.py tests/test_serve_concurrency.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

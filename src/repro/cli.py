@@ -50,12 +50,27 @@ from repro.index.sstree import SSTree
 from repro.obs import names
 from repro.obs.log import configure_logging, get_logger
 from repro.queries.knn import knn_query
+from repro.queries.validation import validate_deadline_ms
 
-__all__ = ["main", "build_parser", "run_canned_workload"]
+__all__ = ["main", "build_parser", "deadline_ms_argtype", "run_canned_workload"]
 
 DEFAULT_SCALE = 0.05
 
 log = get_logger("cli")
+
+
+def deadline_ms_argtype(text: str) -> float:
+    """Argparse ``type=`` adapter for ``--deadline-ms``.
+
+    Delegates to :func:`repro.queries.validation.validate_deadline_ms`
+    so a negative, zero, NaN or non-numeric deadline is rejected at the
+    CLI boundary (argparse answers with usage + exit code 2) instead of
+    surfacing as a confusing downstream failure.
+    """
+    try:
+        return validate_deadline_ms(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--deadline-ms",
-        type=float,
+        type=deadline_ms_argtype,
         default=None,
         metavar="MS",
         help=(
@@ -370,6 +385,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments and arguments[0] == "explain":
         # `repro explain knn|rknn|dominating` dissects one seeded query.
         return _explain_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        # `repro serve` is the fault-tolerant multi-tenant query
+        # service (and `repro serve smoke` its CI scenario); it owns
+        # its own flags.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(arguments[1:])
 
     parser = build_parser()
     args = parser.parse_args(arguments)

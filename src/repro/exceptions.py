@@ -59,6 +59,19 @@ class ValidationError(QueryError):
     """
 
 
+class ServeError(ReproError):
+    """The query service could not be configured or operated."""
+
+
+class ProtocolError(ServeError):
+    """A malformed or over-limit HTTP request reached the service.
+
+    Raised by :mod:`repro.serve.protocol` while parsing a request; the
+    connection handler answers with a 4xx status instead of letting the
+    connection die, so a garbage client can never take a worker down.
+    """
+
+
 class SnapshotError(ReproError):
     """An index snapshot could not be written or read."""
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import io
 import json
 import re
+import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -219,17 +220,20 @@ class QueryEventLog:
     """An append-only JSONL sink of :class:`QueryEvent` records.
 
     One JSON object per line, written eagerly so a crash loses at most
-    the event being written.  Usable as a context manager::
+    the event being written.  Emission is serialised by a lock, so one
+    log can be shared by the serving front end's executor threads
+    without interleaving half-lines.  Usable as a context manager::
 
         with QueryEventLog.open("queries.jsonl") as log, export.scope(log):
             knn_query(tree, q, 5)     # emits one event per query
     """
 
-    __slots__ = ("_sink", "_owns_sink", "events_written")
+    __slots__ = ("_sink", "_owns_sink", "_lock", "events_written")
 
     def __init__(self, sink: "IO[str]", *, owns_sink: bool = False) -> None:
         self._sink = sink
         self._owns_sink = owns_sink
+        self._lock = threading.Lock()
         self.events_written = 0
 
     @classmethod
@@ -239,9 +243,10 @@ class QueryEventLog:
 
     def emit(self, event: QueryEvent) -> None:
         """Append one event (one line) and flush."""
-        self._sink.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
-        self._sink.flush()
-        self.events_written += 1
+        with self._lock:
+            self._sink.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            self._sink.flush()
+            self.events_written += 1
         if obs.ENABLED:
             obs.incr(names.EXPORT_EVENTS_LOGGED)
 

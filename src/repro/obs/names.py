@@ -40,10 +40,12 @@ __all__ = [
     # families
     "batch_calls",
     "bench_span",
+    "breaker_transition",
     "dominance_span",
     "experiment_span",
     "fault",
     "knn_span",
+    "tenant_outcome",
     "verified_fallback",
     "verified_fallback_failed",
     "verified_stage",
@@ -129,6 +131,25 @@ EXPLAIN_QUERIES = "explain.queries"
 EXPORT_PROMETHEUS_RENDERS = "export.prometheus_renders"
 EXPORT_EVENTS_LOGGED = "export.events_logged"
 
+# repro.serve — the fault-tolerant multi-tenant query service.
+SERVE_REQUESTS = "serve.requests"
+SERVE_RESPONSES_OK = "serve.responses.ok"
+SERVE_RESPONSES_DEGRADED = "serve.responses.degraded"
+SERVE_RESPONSES_SHED = "serve.responses.shed"
+SERVE_RESPONSES_REJECTED = "serve.responses.rejected"
+SERVE_RESPONSES_UNAVAILABLE = "serve.responses.unavailable"
+SERVE_ADMISSION_ADMITTED = "serve.admission.admitted"
+SERVE_ADMISSION_QUEUE_FULL = "serve.admission.queue_full"
+SERVE_ADMISSION_RATE_LIMITED = "serve.admission.rate_limited"
+SERVE_ADMISSION_CLOCK_FAULTS = "serve.admission.clock_faults"
+SERVE_RETRIES = "serve.retries"
+SERVE_RETRY_RESCUES = "serve.retry_rescues"
+SERVE_HEDGES = "serve.hedges"
+SERVE_HANDLER_FAULTS = "serve.handler_faults"
+SERVE_PROTOCOL_ERRORS = "serve.protocol_errors"
+SERVE_QUARANTINED_INDEXES = "serve.quarantined_indexes"
+SERVE_BREAKER_SHORT_CIRCUITS = "serve.breaker_short_circuits"
+
 # repro.index.snapshot — crash-safe persistence outcomes.
 SNAPSHOT_SAVES = "snapshot.saves"
 SNAPSHOT_LOADS = "snapshot.loads"
@@ -144,6 +165,8 @@ QUARTIC_BATCH_ROWS = "quartic.batch_rows"
 BATCH_WORKLOAD_ROWS = "batch.workload_rows"
 KNN_ANSWER_SIZE = "knn.answer_size"
 SNAPSHOT_BYTES = "snapshot.bytes"
+SERVE_LATENCY_S = "serve.latency_s"
+SERVE_QUEUE_DEPTH = "serve.queue_depth"
 
 # ----------------------------------------------------------------------
 # Trace spans (timers)
@@ -172,6 +195,8 @@ PATTERNS: "tuple[str, ...]" = (
     "verified.fallback.*",  # conservative fallback outcomes
     "verified.fallback.*.failed",
     "faults.*.*",  # injected-fault activations per (seam, mode)
+    "serve.breaker.*.*",  # breaker transitions per (index, state)
+    "serve.tenant.*.*",  # per-(tenant-class, outcome) request counters
 )
 
 
@@ -213,6 +238,16 @@ def verified_fallback_failed(criterion: str) -> str:
 def fault(seam: str, mode: str) -> str:
     """Injected-fault activation counter (``faults.<seam>.<mode>``)."""
     return f"faults.{seam}.{mode}"
+
+
+def breaker_transition(index: str, state: str) -> str:
+    """Circuit-breaker transition counter (``serve.breaker.<index>.<state>``)."""
+    return f"serve.breaker.{index}.{state}"
+
+
+def tenant_outcome(tenant_class: str, outcome: str) -> str:
+    """Per-tenant-class outcome counter (``serve.tenant.<class>.<outcome>``)."""
+    return f"serve.tenant.{tenant_class}.{outcome}"
 
 
 def dominance_span(criterion: str) -> str:

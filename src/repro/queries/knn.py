@@ -132,6 +132,15 @@ def _record_traversal(index: object, result: "KNNResult") -> None:
             obs.incr(names.RESILIENCE_ABSORBED_FAULTS, result.absorbed_faults)
 
 
+def _jsonable_key(key: object) -> object:
+    """Entry keys restricted to JSON scalars (tuples become lists)."""
+    if key is None or isinstance(key, (bool, int, float, str)):
+        return key
+    if isinstance(key, tuple):
+        return [_jsonable_key(item) for item in key]
+    return str(key)
+
+
 def _uncertain_count(criterion: object) -> int:
     """Running UNCERTAIN tally of a certified criterion (0 otherwise).
 
@@ -170,6 +179,25 @@ class KNNResult:
     def key_set(self) -> set:
         """The answer keys as a set (order is not meaningful)."""
         return set(self.keys)
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly form: answer keys, distk and the stat tallies.
+
+        The spheres are deliberately omitted — callers that need the
+        geometry have the keys to look it up, and the serialised form is
+        what crosses the CLI ``--json`` and HTTP service boundaries.
+        """
+        return {
+            "keys": [_jsonable_key(key) for key in self.keys],
+            "distk": self.distk,
+            "nodes_visited": self.nodes_visited,
+            "entries_considered": self.entries_considered,
+            "dominance_checks": self.dominance_checks,
+            "pruned_case3": self.pruned_case3,
+            "uncertain_decisions": self.uncertain_decisions,
+            "absorbed_faults": self.absorbed_faults,
+            "degraded_checks": self.degraded_checks,
+        }
 
 
 # ----------------------------------------------------------------------

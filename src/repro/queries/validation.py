@@ -24,7 +24,47 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.geometry.hypersphere import Hypersphere
 
-__all__ = ["validate_k", "validate_query"]
+__all__ = ["validate_deadline_ms", "validate_k", "validate_query"]
+
+
+def validate_deadline_ms(value: object) -> float:
+    """Check a user-supplied ``--deadline-ms`` at the CLI/serve boundary.
+
+    Accepts an actual positive finite number (int or float, not bool)
+    and returns it as ``float``.  Everything else — negative, zero,
+    NaN, infinities, booleans, strings that don't parse — raises
+    :class:`~repro.exceptions.ValidationError` *before* a
+    :class:`~repro.resilience.Budget` is ever minted.  Zero is rejected
+    here even though :class:`Budget` technically accepts it: a 0 ms
+    deadline always yields an empty degraded answer, which at a user
+    boundary is virtually always a typo rather than intent.
+    """
+    if isinstance(value, bool):
+        raise ValidationError(
+            f"deadline-ms must be a number of milliseconds, got {value!r}"
+        )
+    if isinstance(value, str):
+        try:
+            value = float(value)
+        except ValueError:
+            raise ValidationError(
+                f"deadline-ms must be a number of milliseconds, got {value!r}"
+            ) from None
+    if not isinstance(value, (int, float, np.integer, np.floating)):
+        raise ValidationError(
+            f"deadline-ms must be a number of milliseconds, "
+            f"got {type(value).__name__} ({value!r})"
+        )
+    deadline_ms = float(value)
+    if not math.isfinite(deadline_ms):
+        raise ValidationError(
+            f"deadline-ms must be finite, got {deadline_ms!r}"
+        )
+    if deadline_ms <= 0.0:
+        raise ValidationError(
+            f"deadline-ms must be positive, got {deadline_ms!r}"
+        )
+    return deadline_ms
 
 
 def validate_k(k: int, size: int) -> int:

@@ -33,6 +33,7 @@ from repro.resilience.partial import (
     GuaranteeTier,
     PartialResult,
     ResilienceReport,
+    to_jsonable,
 )
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "GuaranteeTier",
     "PartialResult",
     "ResilienceReport",
+    "to_jsonable",
 ]

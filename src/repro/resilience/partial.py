@@ -34,11 +34,12 @@ them.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-__all__ = ["GuaranteeTier", "ResilienceReport", "PartialResult"]
+__all__ = ["GuaranteeTier", "ResilienceReport", "PartialResult", "to_jsonable"]
 
 
 class GuaranteeTier(enum.Enum):
@@ -102,6 +103,58 @@ class ResilienceReport:
             "notes": list(self.notes),
         }
 
+    @classmethod
+    def from_dict(cls, payload: "dict[str, Any]") -> "ResilienceReport":
+        """Rebuild a report from :meth:`to_dict` output (JSON round-trip).
+
+        The derived ``degraded`` key is ignored: it is recomputed from
+        the restored fields, so a hand-edited payload cannot claim a
+        clean run while carrying degradation markers.
+        """
+        exhausted = payload.get("exhausted")
+        return cls(
+            complete=bool(payload.get("complete", True)),
+            tier=GuaranteeTier(payload.get("tier", GuaranteeTier.OPTIMAL.value)),
+            exhausted=None if exhausted is None else str(exhausted),
+            uncertain=int(payload.get("uncertain", 0)),
+            absorbed_faults=int(payload.get("absorbed_faults", 0)),
+            notes=[str(note) for note in payload.get("notes", [])],
+        )
+
+
+def to_jsonable(value: Any) -> Any:
+    """Map a query answer onto JSON-serialisable primitives, duck-typed.
+
+    The serialisation ladder, most specific first: an object with a
+    ``to_dict()`` method uses it; a dataclass (e.g.
+    :class:`~repro.queries.dominating.DominanceScore`) is converted
+    field by field; lists/tuples/sets recurse elementwise; JSON scalars
+    pass through; anything else (NumPy scalars included) collapses to
+    ``float`` when numeric and ``str`` otherwise.  This is the one
+    shared path the CLI ``--json`` output and the HTTP 206 body go
+    through instead of picking attributes ad hoc per call site.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_jsonable(to_dict())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    try:
+        return float(value)  # NumPy scalars and other number-likes
+    except (TypeError, ValueError):
+        return str(value)
+
 
 class PartialResult:
     """A query answer plus the :class:`ResilienceReport` describing it.
@@ -147,6 +200,20 @@ class PartialResult:
     def tier(self) -> GuaranteeTier:
         """Shorthand for ``report.tier``."""
         return self.report.tier
+
+    def to_dict(self) -> "dict[str, Any]":
+        """A JSON-friendly form: the serialised value plus the report.
+
+        Everything the :class:`ResilienceReport` states survives a JSON
+        round-trip verbatim (``report`` is exactly
+        :meth:`ResilienceReport.to_dict`); the wrapped value goes
+        through :func:`to_jsonable`.  This is what the CLI ``--json``
+        path and the HTTP 206 response body serialise.
+        """
+        return {
+            "value": to_jsonable(self.value),
+            "report": self.report.to_dict(),
+        }
 
     def __repr__(self) -> str:
         return (

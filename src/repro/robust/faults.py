@@ -29,6 +29,21 @@ that claim testable by corrupting the kernels at their seams:
     The monotonic clock behind :class:`repro.resilience.budget.Budget`
     deadlines.  A skewed or broken clock must degrade a budgeted query
     conservatively (reason ``"clock"``), never disarm its deadline.
+    The serving layer's admission control and circuit breakers read
+    the same attribute, so this seam skews the whole serving stack.
+``"handler"``
+    The request-handler hook of the serving front end
+    (:func:`repro.serve.app._handler_hook`).  Scalar modes inject a
+    *delay* (``nan`` ≈ 50 ms, ``overflow`` ≈ 250 ms, ``perturb`` a
+    magnitude-scaled pause) that burns the request's budget; ``raise``
+    explodes mid-request.  The server must answer 206 (absorbed,
+    conservative) — never 5xx.
+``"queue"``
+    The admission queue-overflow probe
+    (:func:`repro.serve.admission._overflow_probe`).  Every mode forces
+    the overflow verdict (``raise`` by exploding inside the probe,
+    which admission absorbs); the server must shed with 429 +
+    Retry-After.
 
 and four corruption modes (seam-appropriate where outputs are not
 scalars — see each patcher):
@@ -74,7 +89,16 @@ from repro.geometry.transform import FocalFrame
 
 __all__ = ["FaultInjected", "InjectedFault", "inject", "SEAMS", "MODES"]
 
-SEAMS = ("quartic", "frame", "distance", "index", "snapshot", "clock")
+SEAMS = (
+    "quartic",
+    "frame",
+    "distance",
+    "index",
+    "snapshot",
+    "clock",
+    "handler",
+    "queue",
+)
 MODES = ("nan", "overflow", "perturb", "raise")
 
 
@@ -345,6 +369,54 @@ def _patch_clock(fault: InjectedFault) -> "Iterator[None]":
         _budget._monotonic = original_monotonic
 
 
+@contextlib.contextmanager
+def _patch_handler(fault: InjectedFault) -> "Iterator[None]":
+    from repro.serve import app as _app
+
+    original_hook = _app._handler_hook
+
+    def corrupted_hook() -> float:
+        delay = original_hook()
+        if not fault.fires():
+            return delay
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in request handler")
+        if fault.mode == "nan":
+            return delay + 0.05
+        if fault.mode == "overflow":
+            return delay + 0.25
+        # perturb: a pause scaled off the magnitude (default 1e-12
+        # → 1 ms), small enough that only tight deadlines notice.
+        return delay + fault.magnitude * 1e9
+
+    try:
+        _app._handler_hook = corrupted_hook
+        yield
+    finally:
+        _app._handler_hook = original_hook
+
+
+@contextlib.contextmanager
+def _patch_queue(fault: InjectedFault) -> "Iterator[None]":
+    from repro.serve import admission as _admission
+
+    original_probe = _admission._overflow_probe
+
+    def corrupted_probe() -> bool:
+        overflowing = original_probe()
+        if not fault.fires():
+            return overflowing
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in queue-overflow probe")
+        return True
+
+    try:
+        _admission._overflow_probe = corrupted_probe
+        yield
+    finally:
+        _admission._overflow_probe = original_probe
+
+
 _PATCHERS: "dict[str, Callable[[InjectedFault], contextlib.AbstractContextManager[None]]]" = {
     "quartic": _patch_quartic,
     "frame": _patch_frame,
@@ -352,6 +424,8 @@ _PATCHERS: "dict[str, Callable[[InjectedFault], contextlib.AbstractContextManage
     "index": _patch_index,
     "snapshot": _patch_snapshot,
     "clock": _patch_clock,
+    "handler": _patch_handler,
+    "queue": _patch_queue,
 }
 
 

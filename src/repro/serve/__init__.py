@@ -1,0 +1,40 @@
+"""``repro.serve`` — the fault-tolerant multi-tenant query service.
+
+A zero-dependency asyncio HTTP/JSON front end over the snapshot-backed
+indexes, composing the resilience layer end to end: tenant classes mint
+per-request budgets (:mod:`repro.serve.tenancy`), admission control
+sheds overload as 429 (:mod:`repro.serve.admission`), circuit breakers
+guard each index (:mod:`repro.serve.breaker`), transient absorbed-fault
+degradations get one retry or hedge (:mod:`repro.serve.retry`), and
+degraded answers ship as HTTP 206 with their serialised
+:class:`~repro.resilience.ResilienceReport`
+(:mod:`repro.serve.app`).  ``docs/serving.md`` is the operator's guide.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision, TokenBucket
+from repro.serve.app import IndexState, ServeApp, start_server
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.protocol import HttpRequest, HttpResponse, json_response
+from repro.serve.retry import RetryOutcome, RetryPolicy, is_transient, run_with_retry
+from repro.serve.tenancy import TenantClass, TenantPolicy, default_classes
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BreakerState",
+    "CircuitBreaker",
+    "HttpRequest",
+    "HttpResponse",
+    "IndexState",
+    "RetryOutcome",
+    "RetryPolicy",
+    "ServeApp",
+    "TenantClass",
+    "TenantPolicy",
+    "TokenBucket",
+    "default_classes",
+    "is_transient",
+    "json_response",
+    "run_with_retry",
+    "start_server",
+]

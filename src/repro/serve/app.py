@@ -1,0 +1,607 @@
+"""The fault-tolerant multi-tenant query service (``repro serve``).
+
+One :class:`ServeApp` serves kNN / RkNN / top-k-dominating queries over
+immutable snapshot-backed indexes, hardened end to end:
+
+- **Warm start with quarantine** — indexes load from crash-safe
+  snapshots (:mod:`repro.index.snapshot`); a
+  :class:`~repro.exceptions.SnapshotCorruptionError` at boot marks the
+  index *quarantined* instead of crashing the process, and ``/readyz``
+  reflects it.
+- **Admission first** — every query passes the tenant's token bucket
+  and the bounded queue (:mod:`repro.serve.admission`) before any work
+  starts; saturation is a 429 with Retry-After, never a timeout.
+- **A budget per request** — the tenant class mints a fresh
+  :class:`~repro.resilience.Budget`; past the deadline the query layer
+  degrades to certified-conservative partial answers (the paper's
+  MinMax tier), which the service returns as **HTTP 206** with the
+  serialised :class:`~repro.resilience.ResilienceReport`.
+- **Retries and hedging** — a request degraded by a *transient*
+  absorbed fault is retried once (jittered backoff, or a short hedge
+  stagger for interactive tenants) before the 206 is accepted
+  (:mod:`repro.serve.retry`).
+- **A circuit breaker per index** — consecutive absorbed-fault
+  interactions open the breaker (:mod:`repro.serve.breaker`); while
+  open, requests short-circuit to 429 without touching the index, and
+  half-open probes decide recovery.
+
+The degradation invariant, now spanning the network layer: **no fault
+or overload mode ever yields a wrong certified verdict, and overload /
+degradation surface only as 206 or 429, never as 5xx**
+(``tests/test_serve_chaos.py`` drives this across every serve seam ×
+mode of :mod:`repro.robust.faults`).
+
+Queries execute on a thread-pool executor sized to the admission
+concurrency bound, each under ``contextvars.copy_context()`` so the
+active obs registry, budget scope and event log all propagate into the
+worker thread.  The ``"handler"`` fault seam patches
+:func:`_handler_hook` to inject slow or exploding handlers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Mapping
+
+from repro import obs
+from repro.exceptions import (
+    ProtocolError,
+    ReproError,
+    ServeError,
+    SnapshotCorruptionError,
+    SnapshotError,
+    ValidationError,
+)
+from repro.geometry.hypersphere import Hypersphere
+from repro.index import snapshot as snapshot_io
+from repro.index.linear import LinearIndex
+from repro.obs import export as obs_export
+from repro.obs import names
+from repro.queries.dominating import top_k_dominating
+from repro.queries.knn import knn_query
+from repro.queries.rknn import rnn_candidates
+from repro.resilience.budget import scope as budget_scope
+from repro.resilience.partial import PartialResult, ResilienceReport, to_jsonable
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.protocol import (
+    HttpRequest,
+    HttpResponse,
+    json_response,
+    read_request,
+    write_response,
+)
+from repro.serve.retry import RetryPolicy, run_with_retry
+from repro.serve.tenancy import TenantClass, TenantPolicy
+
+__all__ = ["IndexState", "ServeApp", "start_server"]
+
+QUERY_KINDS = ("knn", "rknn", "dominating")
+
+#: Ceiling on one injected handler delay, seconds — keeps a poisoned
+#: hook from parking an executor thread indefinitely.
+_MAX_HANDLER_DELAY_S = 0.5
+
+#: How long one connection may take to deliver a full request.
+_READ_TIMEOUT_S = 10.0
+
+
+def _handler_hook() -> float:
+    """Extra handler delay in seconds (normally zero).
+
+    The ``"handler"`` fault seam (:mod:`repro.robust.faults`) patches
+    this attribute to simulate slow or exploding request handlers; a
+    raising hook is absorbed into a conservative 206, never a 5xx.
+    """
+    return 0.0
+
+
+@dataclass
+class IndexState:
+    """One served index: the structure, its flat view, its breaker."""
+
+    name: str
+    index: "Any | None"
+    #: Flat (key, sphere) view for the scan-shaped queries (RkNN,
+    #: top-k-dominating); built once at registration.
+    flat: "LinearIndex | None"
+    breaker: CircuitBreaker
+    healthy: bool = True
+    error: "str | None" = None
+    source: "str | None" = None
+
+    @property
+    def quarantined(self) -> bool:
+        return not self.healthy
+
+    def snapshot(self) -> "dict[str, Any]":
+        """The health block ``/readyz`` publishes for this index."""
+        info: "dict[str, Any]" = {
+            "healthy": self.healthy,
+            "breaker": self.breaker.snapshot(),
+        }
+        if self.index is not None:
+            info["entries"] = len(self.index)
+            info["dimension"] = self.index.dimension
+        if self.error is not None:
+            info["error"] = self.error
+        if self.source is not None:
+            info["source"] = self.source
+        return info
+
+
+class ServeApp:
+    """Routing, admission, execution and response shaping for one server."""
+
+    def __init__(
+        self,
+        *,
+        policy: "TenantPolicy | None" = None,
+        admission: "AdmissionController | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
+        event_log: "obs_export.QueryEventLog | None" = None,
+        breaker_failure_threshold: int = 5,
+        breaker_recovery_s: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        self.policy = policy if policy is not None else TenantPolicy()
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.event_log = event_log
+        self._breaker_failure_threshold = breaker_failure_threshold
+        self._breaker_recovery_s = breaker_recovery_s
+        self._rng = random.Random(seed)
+        self._indexes: "dict[str, IndexState]" = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.admission.max_concurrency,
+            thread_name_prefix="repro-serve",
+        )
+
+    # ------------------------------------------------------------------
+    # Index registration and warm start
+    # ------------------------------------------------------------------
+    def _new_breaker(self, name: str) -> CircuitBreaker:
+        return CircuitBreaker(
+            name,
+            failure_threshold=self._breaker_failure_threshold,
+            recovery_s=self._breaker_recovery_s,
+        )
+
+    def register_index(
+        self, name: str, index: Any, *, source: "str | None" = None
+    ) -> IndexState:
+        """Serve *index* (already built) under *name*."""
+        if not name:
+            raise ServeError("index name must be non-empty")
+        flat = (
+            index
+            if isinstance(index, LinearIndex)
+            else LinearIndex(list(index))
+        )
+        state = IndexState(
+            name=name,
+            index=index,
+            flat=flat,
+            breaker=self._new_breaker(name),
+            source=source,
+        )
+        self._indexes[name] = state
+        return state
+
+    def load_snapshot(self, name: str, path: str) -> IndexState:
+        """Warm-start *name* from *path*, quarantining corruption.
+
+        A corrupt or unreadable snapshot registers the index as
+        *quarantined*: the process stays up, ``/readyz`` reports the
+        index unhealthy, and queries against it answer 503 — the
+        runbook case, not a crash loop.
+        """
+        try:
+            index = snapshot_io.load(path)
+        except (SnapshotCorruptionError, SnapshotError, OSError) as error:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_QUARANTINED_INDEXES)
+            state = IndexState(
+                name=name,
+                index=None,
+                flat=None,
+                breaker=self._new_breaker(name),
+                healthy=False,
+                error=f"{type(error).__name__}: {error}",
+                source=str(path),
+            )
+            self._indexes[name] = state
+            return state
+        return self.register_index(name, index, source=str(path))
+
+    @classmethod
+    def from_snapshots(
+        cls, specs: "Mapping[str, str]", **kwargs: Any
+    ) -> "ServeApp":
+        """An app serving one index per ``{name: snapshot path}`` entry."""
+        app = cls(**kwargs)
+        for name, path in specs.items():
+            app.load_snapshot(name, path)
+        return app
+
+    @property
+    def indexes(self) -> "dict[str, IndexState]":
+        return dict(self._indexes)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Route one parsed request to its handler."""
+        if obs.ENABLED:
+            obs.incr(names.SERVE_REQUESTS)
+        if request.path == "/healthz":
+            return json_response(200, {"status": "ok"})
+        if request.path == "/readyz":
+            return self._readyz()
+        if request.path == "/metrics":
+            return self._metrics()
+        if request.path in ("/query", "/v1/query"):
+            if request.method != "POST":
+                return json_response(
+                    405, {"error": "method_not_allowed", "allow": "POST"}
+                )
+            return await self._handle_query(request)
+        return json_response(404, {"error": "not_found", "path": request.path})
+
+    def _readyz(self) -> HttpResponse:
+        indexes = {
+            name: state.snapshot() for name, state in self._indexes.items()
+        }
+        ready = any(state.healthy for state in self._indexes.values())
+        return json_response(
+            200 if ready else 503, {"ready": ready, "indexes": indexes}
+        )
+
+    def _metrics(self) -> HttpResponse:
+        text = obs_export.to_prometheus(obs.collect())
+        return HttpResponse(
+            status=200,
+            body=text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4",
+        )
+
+    # ------------------------------------------------------------------
+    # The query path
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: HttpRequest) -> HttpResponse:
+        started = time.perf_counter()
+        tenant = self.policy.resolve(request.header("x-tenant-class") or None)
+        if obs.ENABLED:
+            obs.incr(names.tenant_outcome(tenant.name, "requests"))
+        try:
+            params = _parse_query_payload(request.json())
+        except (ProtocolError, ValidationError) as error:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_REJECTED)
+            return json_response(
+                400, {"error": "validation", "message": str(error)}
+            )
+
+        state = self._indexes.get(params["index"])
+        if state is None:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_REJECTED)
+            return json_response(
+                404,
+                {
+                    "error": "unknown_index",
+                    "index": params["index"],
+                    "known": sorted(self._indexes),
+                },
+            )
+        if state.quarantined:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_UNAVAILABLE)
+            return json_response(
+                503,
+                {
+                    "error": "index_quarantined",
+                    "index": state.name,
+                    "detail": state.error,
+                },
+            )
+        if not state.breaker.allow():
+            return self._shed(
+                tenant, "breaker_open", state.breaker.retry_after_s()
+            )
+
+        decision = self.admission.try_admit(tenant)
+        if not decision.admitted:
+            # The breaker probe (if any) was never spent on the index;
+            # settle it as a success so a shed cannot re-open a breaker.
+            if state.breaker.state is not BreakerState.CLOSED:
+                state.breaker.record_success()
+            return self._shed(
+                tenant, decision.reason or "queue_full", decision.retry_after_s
+            )
+
+        try:
+            async with self.admission.slot():
+                settled = await run_with_retry(
+                    self._attempt_factory(state, tenant, params),
+                    self.retry_policy,
+                    self._rng,
+                    allow_retry=tenant.retry,
+                    hedge=tenant.hedge,
+                )
+        except ValidationError as error:
+            # The query layer rejected the request (dimension mismatch,
+            # bad criterion): the client's fault, not the index's.
+            if state.breaker.state is not BreakerState.CLOSED:
+                state.breaker.record_success()
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_REJECTED)
+            return json_response(
+                400, {"error": "validation", "message": str(error)}
+            )
+        outcome = settled.outcome
+        self._settle_breaker(state, outcome)
+        duration_s = time.perf_counter() - started
+        if obs.ENABLED:
+            obs.observe(names.SERVE_LATENCY_S, duration_s)
+        if self.event_log is not None:
+            self.event_log.emit_outcome(
+                f"serve.{params['kind']}", outcome, duration_s
+            )
+        return self._render_outcome(tenant, params, outcome, settled.attempts)
+
+    def _attempt_factory(
+        self,
+        state: IndexState,
+        tenant: TenantClass,
+        params: "dict[str, Any]",
+    ) -> "Callable[[], Awaitable[Any]]":
+        """One factory per request; each call is one budgeted attempt."""
+
+        def attempt_sync() -> Any:
+            budget = tenant.mint_budget()
+            with budget_scope(budget):
+                try:
+                    delay = float(_handler_hook())
+                except ArithmeticError as error:
+                    return _absorbed_handler_fault(error)
+                if delay > 0.0:
+                    time.sleep(min(delay, _MAX_HANDLER_DELAY_S))
+                try:
+                    return _execute_query(state, params)
+                except ArithmeticError as error:
+                    # An explosion that escaped the query layer's own
+                    # absorption: still a conservative 206, never a 5xx.
+                    return _absorbed_handler_fault(error)
+
+        async def attempt() -> Any:
+            loop = asyncio.get_running_loop()
+            context = contextvars.copy_context()
+            return await loop.run_in_executor(
+                self._executor, context.run, attempt_sync
+            )
+
+        return attempt
+
+    def _settle_breaker(self, state: IndexState, outcome: Any) -> None:
+        """Feed the request's index-health signal to the breaker.
+
+        Absorbed faults are the breaker's failure signal; deadline or
+        quota exhaustion is load, not index damage, and counts as a
+        success so overload alone can never open a breaker.
+        """
+        report = getattr(outcome, "report", None)
+        if report is not None and report.absorbed_faults > 0:
+            state.breaker.record_failure()
+        else:
+            state.breaker.record_success()
+
+    def _shed(
+        self, tenant: TenantClass, reason: str, retry_after_s: float
+    ) -> HttpResponse:
+        if obs.ENABLED:
+            obs.incr(names.SERVE_RESPONSES_SHED)
+            obs.incr(names.tenant_outcome(tenant.name, "shed"))
+        retry_after = max(retry_after_s, 0.05)
+        return json_response(
+            429,
+            {
+                "error": "shed",
+                "reason": reason,
+                "retry_after_s": retry_after,
+                "tenant_class": tenant.name,
+            },
+            headers={"Retry-After": f"{retry_after:.3f}"},
+        )
+
+    def _render_outcome(
+        self,
+        tenant: TenantClass,
+        params: "dict[str, Any]",
+        outcome: Any,
+        attempts: int,
+    ) -> HttpResponse:
+        degraded = isinstance(outcome, PartialResult) and outcome.report.degraded
+        payload: "dict[str, Any]" = {
+            "kind": params["kind"],
+            "index": params["index"],
+            "tenant_class": tenant.name,
+            "attempts": attempts,
+            "degraded": degraded,
+        }
+        if isinstance(outcome, PartialResult):
+            serialised = outcome.to_dict()
+            payload["result"] = serialised["value"]
+            payload["report"] = serialised["report"]
+        else:
+            payload["result"] = to_jsonable(outcome)
+            payload["report"] = None
+        if degraded:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_DEGRADED)
+                obs.incr(names.tenant_outcome(tenant.name, "degraded"))
+            return json_response(206, payload)
+        if obs.ENABLED:
+            obs.incr(names.SERVE_RESPONSES_OK)
+            obs.incr(names.tenant_outcome(tenant.name, "ok"))
+        return json_response(200, payload)
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: one request, one response, close."""
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader), timeout=_READ_TIMEOUT_S
+                )
+            except asyncio.TimeoutError:
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_PROTOCOL_ERRORS)
+                await write_response(
+                    writer, json_response(408, {"error": "request_timeout"})
+                )
+                return
+            except ProtocolError as error:
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_PROTOCOL_ERRORS)
+                status = int(getattr(error, "status", 400))
+                await write_response(
+                    writer,
+                    json_response(
+                        status, {"error": "protocol", "message": str(error)}
+                    ),
+                )
+                return
+            try:
+                response = await self.handle(request)
+            except ReproError as error:
+                # A typed library failure on a non-degraded path: the
+                # honest admission that this one request failed.
+                response = json_response(
+                    500, {"error": type(error).__name__, "message": str(error)}
+                )
+            await write_response(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # the client hung up; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+def _absorbed_handler_fault(error: ArithmeticError) -> PartialResult:
+    """A handler-level explosion, absorbed into an honest empty 206.
+
+    The report carries ``exhausted="fault"`` (a *transient* reason, so
+    the retry policy may spend a second attempt) and one absorbed
+    fault; the empty answer plus ``complete=False`` is conservative —
+    no certified verdict is fabricated.
+    """
+    if obs.ENABLED:
+        obs.incr(names.SERVE_HANDLER_FAULTS)
+    report = ResilienceReport()
+    report.mark_incomplete("fault")
+    report.absorbed_faults = 1
+    report.mark_conservative(f"handler fault absorbed: {error}")
+    return PartialResult([], report)
+
+
+def _parse_query_payload(payload: "dict[str, Any]") -> "dict[str, Any]":
+    """Validate one /query body into executable parameters (or 400)."""
+    kind = payload.get("kind", "knn")
+    if kind not in QUERY_KINDS:
+        raise ValidationError(
+            f"kind must be one of {', '.join(QUERY_KINDS)}; got {kind!r}"
+        )
+    index_name = payload.get("index", "default")
+    if not isinstance(index_name, str) or not index_name:
+        raise ValidationError(f"index must be a non-empty string, got {index_name!r}")
+    center = payload.get("center")
+    if not isinstance(center, list) or not center or not all(
+        isinstance(c, (int, float)) and not isinstance(c, bool) for c in center
+    ):
+        raise ValidationError("center must be a non-empty list of numbers")
+    radius = payload.get("radius", 0.0)
+    if isinstance(radius, bool) or not isinstance(radius, (int, float)):
+        raise ValidationError(f"radius must be a number, got {radius!r}")
+    try:
+        query = Hypersphere([float(c) for c in center], float(radius))
+    except ReproError as error:
+        raise ValidationError(f"invalid query sphere: {error}") from None
+    k = payload.get("k", 1)
+    if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+        raise ValidationError(f"k must be a positive integer, got {k!r}")
+    criterion = payload.get("criterion", "hyperbola")
+    if not isinstance(criterion, str):
+        raise ValidationError(f"criterion must be a string, got {criterion!r}")
+    strategy = payload.get("strategy", "hs")
+    if strategy not in ("hs", "df"):
+        raise ValidationError(f"strategy must be 'hs' or 'df', got {strategy!r}")
+    algorithm = payload.get("algorithm", "incremental")
+    if algorithm not in ("incremental", "two-phase"):
+        raise ValidationError(
+            f"algorithm must be 'incremental' or 'two-phase', got {algorithm!r}"
+        )
+    return {
+        "kind": kind,
+        "index": index_name,
+        "query": query,
+        "k": k,
+        "criterion": criterion,
+        "strategy": strategy,
+        "algorithm": algorithm,
+    }
+
+
+def _execute_query(state: IndexState, params: "dict[str, Any]") -> Any:
+    """Run the validated query against the (healthy) index state.
+
+    Runs on an executor thread, inside the request's budget scope and
+    copied context.  :class:`ValidationError` from the query layer
+    (bad ``k``, dimension mismatch) propagates to the caller, which
+    maps it onto a 400 — see :meth:`ServeApp._handle_query`.
+    """
+    kind = params["kind"]
+    assert state.index is not None and state.flat is not None
+    if kind == "knn":
+        return knn_query(
+            state.index,
+            params["query"],
+            params["k"],
+            criterion=params["criterion"],
+            strategy=params["strategy"],
+            algorithm=params["algorithm"],
+        )
+    if kind == "rknn":
+        return rnn_candidates(
+            state.flat, params["query"], criterion=params["criterion"]
+        )
+    return top_k_dominating(
+        state.flat, params["query"], params["k"], criterion=params["criterion"]
+    )
+
+
+async def start_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> "asyncio.AbstractServer":
+    """Bind the app; ``server.sockets[0].getsockname()`` has the port."""
+    return await asyncio.start_server(app.handle_connection, host=host, port=port)

@@ -1,0 +1,183 @@
+"""A circuit breaker per index/snapshot seam.
+
+A single corrupted snapshot page or a flaky kernel under one index must
+not let every request into that index burn its full deadline before
+degrading.  Each served index sits behind one :class:`CircuitBreaker`:
+
+- **CLOSED** — requests flow; consecutive *absorbed-fault or
+  corruption* failures are counted (a success resets the streak).
+- **OPEN** — after ``failure_threshold`` consecutive failures the
+  breaker opens for ``recovery_s`` seconds; requests short-circuit to
+  a 429 shed (reason ``"breaker_open"``) without touching the index.
+- **HALF_OPEN** — once the recovery window elapses, up to
+  ``half_open_probes`` requests are let through as probes; one success
+  closes the breaker, one failure re-opens it for another window.
+
+What counts as a *failure* is the caller's decision
+(:meth:`record_failure` vs :meth:`record_success`); the serving layer
+feeds it requests whose results carried absorbed faults or whose index
+raised — the same events the resilience layer tallies — so the breaker
+trips on genuine index-health signals, not on load shedding or
+deadline exhaustion (an overloaded index is not a broken one).
+
+Clock reads go through the guarded resilience clock
+(:func:`repro.serve.admission._read_clock`), so a skewed clock can
+delay recovery but never flaps the breaker into admitting against a
+failing index.  Transitions are counted per index and state on the
+``serve.breaker.<index>.<state>`` obs family; the current state rides
+on ``/readyz``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro import obs
+from repro.exceptions import ServeError
+from repro.obs import names
+from repro.serve.admission import _read_clock
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state breaker vocabulary."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes."""
+
+    __slots__ = (
+        "name",
+        "failure_threshold",
+        "recovery_s",
+        "half_open_probes",
+        "_state",
+        "_streak",
+        "_opened_at",
+        "_probes_in_flight",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 5,
+        recovery_s: float = 5.0,
+        half_open_probes: int = 1,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServeError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if recovery_s <= 0.0:
+            raise ServeError(f"recovery_s must be positive, got {recovery_s!r}")
+        if half_open_probes < 1:
+            raise ServeError(
+                f"half_open_probes must be >= 1, got {half_open_probes!r}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.half_open_probes = half_open_probes
+        self._state = BreakerState.CLOSED
+        self._streak = 0
+        self._opened_at: "float | None" = None
+        self._probes_in_flight = 0
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def failure_streak(self) -> int:
+        """Consecutive failures since the last success (diagnostics)."""
+        return self._streak
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        if obs.ENABLED:
+            obs.incr(names.breaker_transition(self.name, state.value))
+
+    def allow(self) -> bool:
+        """Whether one request may proceed against this index now.
+
+        In OPEN state, a ``True`` return means the recovery window
+        elapsed and this request was admitted as a half-open probe —
+        the caller *must* follow up with :meth:`record_success` or
+        :meth:`record_failure` to settle the probe.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            now = _read_clock()
+            if now is not None and self._opened_at is None:
+                # The clock was broken when the breaker opened; anchor
+                # the recovery window at its first healthy reading.
+                self._opened_at = now
+            if (
+                now is None
+                or self._opened_at is None
+                or now - self._opened_at < self.recovery_s
+            ):
+                # Unreadable clock: stay open — never flap into
+                # admitting against a failing index on a broken clock.
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_BREAKER_SHORT_CIRCUITS)
+                return False
+            self._transition(BreakerState.HALF_OPEN)
+            self._probes_in_flight = 0
+        if self._probes_in_flight < self.half_open_probes:
+            self._probes_in_flight += 1
+            return True
+        if obs.ENABLED:
+            obs.incr(names.SERVE_BREAKER_SHORT_CIRCUITS)
+        return False
+
+    def record_success(self) -> None:
+        """One healthy interaction: resets the streak, closes a probe."""
+        self._streak = 0
+        if self._state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED)
+            self._opened_at = None
+            self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        """One absorbed-fault/corruption interaction against the index."""
+        self._streak += 1
+        if self._state is BreakerState.HALF_OPEN:
+            self._open()
+        elif (
+            self._state is BreakerState.CLOSED
+            and self._streak >= self.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._transition(BreakerState.OPEN)
+        self._opened_at = _read_clock()
+        self._probes_in_flight = 0
+
+    def retry_after_s(self) -> float:
+        """Suggested client back-off while the breaker is not closed."""
+        if self._state is BreakerState.CLOSED:
+            return 0.0
+        now = _read_clock()
+        if now is None or self._opened_at is None:
+            return self.recovery_s
+        return max(self.recovery_s - (now - self._opened_at), 0.05)
+
+    def snapshot(self) -> "dict[str, object]":
+        """The state block ``/readyz`` publishes for this index."""
+        return {
+            "state": self._state.value,
+            "failure_streak": self._streak,
+            "failure_threshold": self.failure_threshold,
+            "recovery_s": self.recovery_s,
+        }

@@ -1,0 +1,213 @@
+"""The ``repro serve`` front end.
+
+Boots one :class:`~repro.serve.app.ServeApp` over snapshot-backed
+indexes and serves until interrupted::
+
+    repro snapshot save /var/lib/repro/spheres.snap --kind sstree
+    repro serve --snapshot default=/var/lib/repro/spheres.snap --port 8080
+
+With no ``--snapshot`` the server builds one synthetic SS-tree in
+memory (name ``default``) — enough to demo the API and drive the smoke
+suite.  A corrupt snapshot does **not** abort boot: the index comes up
+quarantined, ``/readyz`` says so, and queries against it answer 503
+(see ``docs/serving.md`` for the runbook).
+
+``repro serve smoke`` runs the self-contained smoke scenario
+(:mod:`repro.serve.smoke`): boot on a fixture snapshot, fire a burst of
+queries with a fault seam enabled, and fail unless every response is
+200/206/429 and ``/metrics`` scrapes.
+
+``--deadline-ms`` is validated at this boundary
+(:func:`repro.queries.validation.validate_deadline_ms`): a negative,
+zero, NaN or non-numeric value is rejected with exit code 2 before any
+socket is bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Sequence
+
+from repro import obs
+from repro.cli import deadline_ms_argtype
+from repro.exceptions import ReproError
+from repro.obs import export as obs_export
+from repro.serve.admission import AdmissionController
+from repro.serve.app import ServeApp, start_server
+from repro.serve.tenancy import TenantPolicy, default_classes
+
+__all__ = ["build_parser", "main"]
+
+#: The standard tenant class's stock deadline; ``--deadline-ms`` is
+#: interpreted as the new standard deadline and every class scales
+#: proportionally (interactive stays ~7x tighter, batch ~10x looser).
+_STANDARD_DEADLINE_MS = 1000.0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve kNN/RkNN/top-k-dominating queries over snapshot-backed "
+            "indexes with admission control, per-tenant budgets, retries "
+            "and circuit breakers."
+        ),
+    )
+    parser.add_argument(
+        "--snapshot",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help=(
+            "serve the snapshot at PATH under index NAME (repeatable); "
+            "a corrupt snapshot quarantines the index instead of aborting"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (default 8080; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=deadline_ms_argtype,
+        default=None,
+        metavar="MS",
+        help=(
+            "per-request wall-clock budget for the 'standard' tenant class; "
+            "all classes scale proportionally (default 1000)"
+        ),
+    )
+    parser.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        help="concurrent query executions (default 8)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="admitted requests allowed to wait for a slot (default 32)",
+    )
+    parser.add_argument(
+        "--event-log",
+        metavar="PATH",
+        default=None,
+        help="append one JSONL record per query to PATH",
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=400,
+        help="synthetic dataset size when no --snapshot is given (default 400)",
+    )
+    parser.add_argument(
+        "--dimension",
+        type=int,
+        default=3,
+        help="synthetic dimensionality when no --snapshot is given (default 3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for the synthetic fallback"
+    )
+    return parser
+
+
+def _parse_snapshot_specs(specs: "Sequence[str]") -> "dict[str, str]":
+    table: "dict[str, str]" = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(
+                f"--snapshot expects NAME=PATH, got {spec!r}"
+            )
+        table[name] = path
+    return table
+
+
+def build_app(args: argparse.Namespace) -> ServeApp:
+    """One configured :class:`ServeApp` from parsed CLI arguments."""
+    scale = (
+        args.deadline_ms / _STANDARD_DEADLINE_MS
+        if args.deadline_ms is not None
+        else 1.0
+    )
+    app = ServeApp(
+        policy=TenantPolicy(default_classes(deadline_scale=scale)),
+        admission=AdmissionController(
+            max_concurrency=args.max_concurrency, max_queue=args.max_queue
+        ),
+        event_log=(
+            obs_export.QueryEventLog.open(args.event_log)
+            if args.event_log
+            else None
+        ),
+        seed=args.seed,
+    )
+    specs = _parse_snapshot_specs(args.snapshot)
+    if specs:
+        for name, path in specs.items():
+            state = app.load_snapshot(name, path)
+            if state.quarantined:
+                print(
+                    f"warning: index {name!r} quarantined at boot: "
+                    f"{state.error}",
+                    file=sys.stderr,
+                )
+    else:
+        from repro.data.synthetic import synthetic_dataset
+        from repro.index.sstree import SSTree
+
+        dataset = synthetic_dataset(args.n, args.dimension, seed=args.seed)
+        tree = SSTree.bulk_load(dataset.items())
+        app.register_index("default", tree, source="synthetic")
+    return app
+
+
+async def _serve_forever(app: ServeApp, host: str, port: int) -> None:
+    server = await start_server(app, host=host, port=port)
+    bound = server.sockets[0].getsockname()
+    healthy = sum(1 for state in app.indexes.values() if state.healthy)
+    print(
+        f"repro serve listening on {bound[0]}:{bound[1]} "
+        f"({healthy}/{len(app.indexes)} index(es) healthy)",
+        flush=True,
+    )
+    async with server:
+        await server.serve_forever()
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "smoke":
+        from repro.serve.smoke import main as smoke_main
+
+        return smoke_main(arguments[1:])
+    parser = build_parser()
+    args = parser.parse_args(arguments)
+    obs.enable()
+    try:
+        app = build_app(args)
+    except ReproError as error:
+        print(f"serve error: {error}", file=sys.stderr)
+        return 1
+    try:
+        asyncio.run(_serve_forever(app, args.host, args.port))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        app.close()
+        if app.event_log is not None:
+            app.event_log.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

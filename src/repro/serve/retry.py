@@ -1,0 +1,159 @@
+"""Server-side retries with jittered backoff, and optional hedging.
+
+Some degradations are *transient*: an absorbed kernel fault or a
+corrupted intermediate that poisoned one attempt will usually not
+recur, because the fault absorption machinery (PR 4) turned it into a
+conservative answer rather than an error.  For tenants entitled to it,
+the server spends one extra attempt on such requests:
+
+- **Sequential retry** — wait ``backoff_s`` ± jitter, then rerun the
+  query with a *fresh* budget.  Jitter is decorrelated per request so
+  a burst of faulted requests does not resynchronise into a retry
+  stampede.
+- **Hedged retry** — for latency-sensitive tenants the second attempt
+  starts after only a short fixed stagger (``hedge_delay_s``) instead
+  of a full exponential backoff, and the *better* outcome wins (clean
+  beats degraded; ties go to the first attempt).  Hedging trades work
+  for tail latency, so only the interactive class defaults to it.
+
+What is retryable is deliberately narrow (:func:`is_transient`): only
+outcomes degraded by **absorbed faults** qualify.  Deadline or quota
+exhaustion is *not* retried — the budget was the product decision, and
+retrying an exhausted request doubles load exactly when the server can
+least afford it.  Load sheds never reach this module (they are decided
+before execution).
+
+Randomness comes from a :class:`random.Random` seeded per policy, so
+tests replay byte-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
+
+from repro import obs
+from repro.exceptions import ServeError
+from repro.obs import names
+from repro.resilience.partial import PartialResult
+
+__all__ = ["RetryPolicy", "RetryOutcome", "is_transient", "run_with_retry"]
+
+
+#: Exhaustion reasons that mean "the budget was spent", where a retry
+#: would just spend another budget on the same outcome.
+_BUDGET_REASONS = frozenset({"deadline", "candidates", "escalations", "clock"})
+
+
+def is_transient(outcome: "Any") -> bool:
+    """Whether *outcome* degraded in a way a retry could repair.
+
+    True exactly when the resilience report carries absorbed faults —
+    the marker of a corrupted intermediate rather than an exhausted
+    budget.  A clean result, a non-degraded partial, or a
+    deadline/quota exhaustion all return False.  (A handler-level fault
+    absorbed by the serving layer records reason ``"fault"``, which is
+    deliberately *not* in the budget-reason set: it is transient.)
+    """
+    if not isinstance(outcome, PartialResult):
+        return False
+    report = outcome.report
+    if not report.degraded:
+        return False
+    return (
+        report.absorbed_faults > 0 and report.exhausted not in _BUDGET_REASONS
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How much extra work a degraded request may cost the server."""
+
+    #: Total attempts, first included (2 = one retry).
+    max_attempts: int = 2
+    #: Base pause before a sequential retry, seconds.
+    backoff_s: float = 0.01
+    #: Jitter fraction: the pause is drawn from backoff_s * [1-j, 1+j].
+    jitter: float = 0.5
+    #: Stagger before a hedged second attempt, seconds.
+    hedge_delay_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServeError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.backoff_s < 0.0 or self.hedge_delay_s < 0.0:
+            raise ServeError("backoff_s and hedge_delay_s must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServeError(f"jitter must be in [0, 1], got {self.jitter!r}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """The jittered pause before *attempt* (1-based retry index)."""
+        base = self.backoff_s * (2.0 ** (attempt - 1))
+        spread = self.jitter * base
+        return max(base - spread + rng.random() * 2.0 * spread, 0.0)
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """What the retry loop settled on, plus its spend."""
+
+    outcome: Any
+    attempts: int
+    hedged: bool
+    #: Whether a retry turned a degraded outcome into a clean one.
+    rescued: bool
+
+
+def _better(first: Any, second: Any) -> Any:
+    """Prefer the clean outcome; tie-break toward the first attempt."""
+    return second if not _degraded(second) else first
+
+
+def _degraded(outcome: Any) -> bool:
+    return isinstance(outcome, PartialResult) and outcome.report.degraded
+
+
+async def run_with_retry(
+    attempt: "Callable[[], Awaitable[Any]]",
+    policy: RetryPolicy,
+    rng: random.Random,
+    *,
+    allow_retry: bool = True,
+    hedge: bool = False,
+) -> RetryOutcome:
+    """Run *attempt* under *policy*; every attempt gets a fresh call.
+
+    The callable owns budget minting, so each attempt runs against a
+    full per-tenant budget rather than the exhausted remains of the
+    previous one.
+    """
+    first = await attempt()
+    if (
+        not allow_retry
+        or policy.max_attempts < 2
+        or not is_transient(first)
+    ):
+        return RetryOutcome(outcome=first, attempts=1, hedged=False, rescued=False)
+
+    if obs.ENABLED:
+        obs.incr(names.SERVE_RETRIES)
+    if hedge:
+        if obs.ENABLED:
+            obs.incr(names.SERVE_HEDGES)
+        if policy.hedge_delay_s:
+            await asyncio.sleep(policy.hedge_delay_s)
+        second = await attempt()
+    else:
+        await asyncio.sleep(policy.backoff(1, rng))
+        second = await attempt()
+    settled = _better(first, second)
+    rescued = _degraded(first) and not _degraded(settled)
+    if rescued and obs.ENABLED:
+        obs.incr(names.SERVE_RETRY_RESCUES)
+    return RetryOutcome(
+        outcome=settled, attempts=2, hedged=hedge, rescued=rescued
+    )

@@ -1,0 +1,251 @@
+"""The serve smoke scenario: boot, burst, fault, assert — in-process.
+
+``make serve-smoke`` (and ``repro serve smoke``) runs this end to end:
+
+1. build a synthetic SS-tree, snapshot it to a temp file, and boot a
+   :class:`~repro.serve.app.ServeApp` from that snapshot on an
+   ephemeral port — the warm-start path, not a shortcut;
+2. fire a burst of kNN/RkNN/top-k-dominating requests across tenant
+   classes **with a fault seam enabled** (default: the ``"handler"``
+   seam in ``raise`` mode, firing every third request);
+3. fail unless every response is **200, 206 or 429**, at least one
+   clean answer came back, and ``/metrics`` scrapes as Prometheus text
+   carrying the ``serve.*`` families.
+
+The module also hosts :func:`request`, the dependency-free asyncio
+HTTP client the serve test suite drives the real network stack with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro import obs
+from repro.data.synthetic import synthetic_dataset
+from repro.data.workload import knn_queries
+from repro.index import snapshot as snapshot_io
+from repro.index.sstree import SSTree
+from repro.serve.admission import AdmissionController
+from repro.serve.app import ServeApp, start_server
+
+__all__ = ["main", "request", "run_smoke"]
+
+
+async def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    *,
+    body: "dict[str, Any] | None" = None,
+    headers: "dict[str, str] | None" = None,
+) -> "tuple[int, dict[str, str], bytes]":
+    """One HTTP/1.1 exchange; returns ``(status, headers, body)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            f"Content-Length: {len(payload)}",
+            "Content-Type: application/json",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, response_body = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split(" ")[1])
+    response_headers: "dict[str, str]" = {}
+    for line in head_lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            response_headers[name.strip().lower()] = value.strip()
+    return status, response_headers, response_body
+
+
+def _smoke_bodies(
+    dataset: Any, count: int, seed: int
+) -> "list[dict[str, Any]]":
+    """A mixed burst: all three query kinds over seeded query spheres."""
+    kinds = ("knn", "rknn", "dominating")
+    bodies = []
+    for i, sphere in enumerate(knn_queries(dataset, count=count, seed=seed)):
+        bodies.append(
+            {
+                "kind": kinds[i % len(kinds)],
+                "index": "default",
+                "center": [float(c) for c in sphere.center],
+                "radius": float(sphere.radius),
+                "k": 3,
+            }
+        )
+    return bodies
+
+
+async def _run_burst(
+    app: ServeApp,
+    bodies: "Sequence[dict[str, Any]]",
+    seam: str,
+    mode: str,
+    every: int,
+) -> "dict[str, Any]":
+    from repro.robust import faults
+
+    server = await start_server(app)
+    host, port = server.sockets[0].getsockname()[:2]
+    tenants = ("interactive", "standard", "batch")
+    statuses: "list[int]" = []
+    try:
+        with faults.inject(seam, mode, every=every):
+            for i, body in enumerate(bodies):
+                status, _, _ = await request(
+                    host,
+                    port,
+                    "POST",
+                    "/query",
+                    body=body,
+                    headers={"x-tenant-class": tenants[i % len(tenants)]},
+                )
+                statuses.append(status)
+        metrics_status, _, metrics_body = await request(
+            host, port, "GET", "/metrics"
+        )
+        readyz_status, _, _ = await request(host, port, "GET", "/readyz")
+    finally:
+        server.close()
+        await server.wait_closed()
+    return {
+        "statuses": statuses,
+        "metrics_status": metrics_status,
+        "metrics_text": metrics_body.decode("utf-8"),
+        "readyz_status": readyz_status,
+    }
+
+
+def run_smoke(
+    *,
+    requests: int = 30,
+    seam: str = "handler",
+    mode: str = "raise",
+    every: int = 3,
+    seed: int = 0,
+) -> "dict[str, Any]":
+    """Run the scenario; returns a summary dict with ``"ok"``."""
+    obs.enable()
+    dataset = synthetic_dataset(200, 3, seed=seed)
+    tree = SSTree.bulk_load(dataset.items())
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        path = str(Path(tmp) / "smoke.snap")
+        snapshot_io.save(tree, path)
+        with obs.scope():
+            app = ServeApp.from_snapshots(
+                {"default": path},
+                admission=AdmissionController(max_concurrency=4, max_queue=8),
+                seed=seed,
+            )
+            bodies = _smoke_bodies(dataset, requests, seed)
+            try:
+                summary = asyncio.run(
+                    _run_burst(app, bodies, seam, mode, every)
+                )
+            finally:
+                app.close()
+    statuses = summary["statuses"]
+    allowed = {200, 206, 429}
+    offenders = sorted({s for s in statuses if s not in allowed})
+    counts = {code: statuses.count(code) for code in sorted(set(statuses))}
+    ok = (
+        not offenders
+        and counts.get(200, 0) > 0
+        and summary["metrics_status"] == 200
+        and "repro_serve_requests_total" in summary["metrics_text"]
+        and summary["readyz_status"] == 200
+    )
+    summary.update(
+        {
+            "ok": ok,
+            "counts": counts,
+            "offenders": offenders,
+            "seam": seam,
+            "mode": mode,
+        }
+    )
+    return summary
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve smoke",
+        description=(
+            "Boot a server on a fixture snapshot, fire a fault-injected "
+            "burst, and assert 200/206/429-only plus a scrape-able /metrics."
+        ),
+    )
+    parser.add_argument(
+        "--requests", type=int, default=30, help="burst size (default 30)"
+    )
+    parser.add_argument(
+        "--seam",
+        default="handler",
+        help="fault seam to enable during the burst (default handler)",
+    )
+    parser.add_argument(
+        "--mode", default="raise", help="fault mode (default raise)"
+    )
+    parser.add_argument(
+        "--every",
+        type=int,
+        default=3,
+        help="fire the fault on every Nth seam call (default 3)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+
+    summary = run_smoke(
+        requests=args.requests,
+        seam=args.seam,
+        mode=args.mode,
+        every=args.every,
+        seed=args.seed,
+    )
+    print(
+        f"serve smoke: seam={summary['seam']} mode={summary['mode']} "
+        f"statuses={summary['counts']}"
+    )
+    if not summary["ok"]:
+        if summary["offenders"]:
+            print(
+                f"FAIL: disallowed status codes {summary['offenders']} "
+                "(only 200/206/429 may appear under faults)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "FAIL: no clean 200, unhealthy /readyz, or /metrics did "
+                "not scrape",
+                file=sys.stderr,
+            )
+        return 1
+    print("serve smoke: OK (200/206/429 only; /metrics scraped)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

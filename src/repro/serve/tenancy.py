@@ -1,0 +1,161 @@
+"""Tenant classes: per-class deadline policy, quotas and rate limits.
+
+A multi-tenant deployment does not give every caller the same slice of
+the machine.  A :class:`TenantClass` bundles what one class of tenants
+is entitled to:
+
+- a **deadline policy** — the wall-clock budget (and optional
+  candidate/escalation quotas) minted into a fresh
+  :class:`~repro.resilience.Budget` for every admitted request, so an
+  interactive tenant degrades to a conservative partial answer in
+  150 ms while a batch tenant is allowed to grind;
+- a **token-bucket rate** (requests/second with a burst allowance)
+  enforced by :mod:`repro.serve.admission`;
+- a **retry entitlement** — whether the server spends extra work
+  retrying (or hedging) a request that degraded on a transient
+  absorbed fault (:mod:`repro.serve.retry`).
+
+The :class:`TenantPolicy` maps the ``x-tenant-class`` request header
+onto a class; unknown or absent values fall back to the default class
+rather than erroring, because misconfigured clients should get *worse
+service*, not *no service*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import ServeError
+from repro.queries.validation import validate_deadline_ms
+from repro.resilience.budget import Budget
+
+__all__ = ["TenantClass", "TenantPolicy", "default_classes"]
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """What one class of tenants is entitled to per request."""
+
+    name: str
+    #: Wall-clock budget per request, in milliseconds.
+    deadline_ms: float
+    #: Candidate quota per request (``None`` — deadline-bounded only).
+    max_candidates: "int | None" = None
+    #: Precision-ladder escalation quota per request.
+    max_escalations: "int | None" = None
+    #: Sustained admission rate, requests per second.
+    rate_per_s: float = 100.0
+    #: Burst allowance on top of the sustained rate.
+    burst: int = 50
+    #: Whether a transiently degraded request may be retried server-side.
+    retry: bool = True
+    #: Whether the retry may run as a concurrent hedge instead of
+    #: sequentially after a backoff.
+    hedge: bool = False
+
+    def __post_init__(self) -> None:
+        validate_deadline_ms(self.deadline_ms)
+        if not self.name:
+            raise ServeError("tenant class name must be non-empty")
+        if self.rate_per_s <= 0.0:
+            raise ServeError(
+                f"tenant class {self.name!r}: rate_per_s must be positive, "
+                f"got {self.rate_per_s!r}"
+            )
+        if self.burst < 1:
+            raise ServeError(
+                f"tenant class {self.name!r}: burst must be >= 1, "
+                f"got {self.burst!r}"
+            )
+
+    def mint_budget(self) -> Budget:
+        """A fresh per-request :class:`Budget` (never shared)."""
+        return Budget(
+            deadline_s=self.deadline_ms / 1000.0,
+            max_candidates=self.max_candidates,
+            max_escalations=self.max_escalations,
+        )
+
+
+def default_classes(
+    *, deadline_scale: float = 1.0
+) -> "dict[str, TenantClass]":
+    """The stock three-class policy (interactive / standard / batch).
+
+    ``deadline_scale`` multiplies every deadline — the CLI's
+    ``--deadline-ms`` override maps onto it so operators can tighten or
+    relax the whole ladder with one flag.
+    """
+    if not deadline_scale > 0.0:
+        raise ServeError(
+            f"deadline_scale must be positive, got {deadline_scale!r}"
+        )
+    classes = (
+        TenantClass(
+            name="interactive",
+            deadline_ms=150.0 * deadline_scale,
+            max_escalations=64,
+            rate_per_s=100.0,
+            burst=50,
+            retry=True,
+            hedge=True,
+        ),
+        TenantClass(
+            name="standard",
+            deadline_ms=1000.0 * deadline_scale,
+            rate_per_s=50.0,
+            burst=25,
+            retry=True,
+        ),
+        TenantClass(
+            name="batch",
+            deadline_ms=10_000.0 * deadline_scale,
+            rate_per_s=5.0,
+            burst=5,
+            retry=False,
+        ),
+    )
+    return {cls.name: cls for cls in classes}
+
+
+class TenantPolicy:
+    """The tenant-class registry one server instance enforces."""
+
+    __slots__ = ("_classes", "_default")
+
+    def __init__(
+        self,
+        classes: "Mapping[str, TenantClass] | Iterable[TenantClass] | None" = None,
+        *,
+        default: str = "standard",
+    ) -> None:
+        if classes is None:
+            table = default_classes()
+        elif isinstance(classes, Mapping):
+            table = dict(classes)
+        else:
+            table = {cls.name: cls for cls in classes}
+        if not table:
+            raise ServeError("a TenantPolicy needs at least one tenant class")
+        if default not in table:
+            raise ServeError(
+                f"default tenant class {default!r} is not registered "
+                f"(have: {', '.join(sorted(table))})"
+            )
+        self._classes = table
+        self._default = default
+
+    @property
+    def classes(self) -> "dict[str, TenantClass]":
+        return dict(self._classes)
+
+    @property
+    def default_class(self) -> TenantClass:
+        return self._classes[self._default]
+
+    def resolve(self, name: "str | None") -> TenantClass:
+        """The class for one request's tenant header (default on miss)."""
+        if name is None:
+            return self.default_class
+        return self._classes.get(name.strip().lower(), self.default_class)

@@ -1,0 +1,448 @@
+"""Serve building blocks: tenancy, admission, breaker, retry, validation.
+
+Clock-dependent behaviour is tested against a *fake* monotonic clock
+patched onto :data:`repro.resilience.budget._monotonic` — the same
+attribute the ``"clock"`` fault seam corrupts — so token refills and
+breaker recovery windows are exact, not sleep-based.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ServeError, ValidationError
+from repro.obs import names
+from repro.queries.validation import validate_deadline_ms
+from repro.resilience import budget as budget_mod
+from repro.resilience.partial import (
+    GuaranteeTier,
+    PartialResult,
+    ResilienceReport,
+    to_jsonable,
+)
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.retry import RetryPolicy, is_transient, run_with_retry
+from repro.serve.tenancy import TenantClass, TenantPolicy, default_classes
+
+
+class FakeClock:
+    """A controllable stand-in for the guarded monotonic clock."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+        self.broken = False
+
+    def __call__(self) -> float:
+        if self.broken:
+            raise ArithmeticError("injected clock failure")
+        return self.now
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr(budget_mod, "_monotonic", fake)
+    return fake
+
+
+# ----------------------------------------------------------------------
+# --deadline-ms validation (the CLI/serve boundary)
+# ----------------------------------------------------------------------
+class TestDeadlineValidation:
+    @pytest.mark.parametrize(
+        "value", [-1, 0, 0.0, -0.5, math.nan, math.inf, -math.inf]
+    )
+    def test_rejects_nonpositive_and_nonfinite(self, value):
+        with pytest.raises(ValidationError):
+            validate_deadline_ms(value)
+
+    @pytest.mark.parametrize("value", [True, False, None, [150], "soon", ""])
+    def test_rejects_non_numbers(self, value):
+        with pytest.raises(ValidationError):
+            validate_deadline_ms(value)
+
+    @pytest.mark.parametrize(
+        "value, expected", [(150, 150.0), (0.25, 0.25), ("99.5", 99.5)]
+    )
+    def test_accepts_positive_numbers_and_numeric_strings(
+        self, value, expected
+    ):
+        assert validate_deadline_ms(value) == expected
+
+    def test_cli_rejects_bad_deadline_with_exit_2(self, capsys):
+        from repro.cli import main
+
+        for bad in ("-5", "0", "nan", "soon"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["fig9", "--deadline-ms", bad])
+            assert excinfo.value.code == 2
+        assert "deadline-ms" in capsys.readouterr().err
+
+    def test_serve_cli_rejects_bad_deadline_with_exit_2(self, capsys):
+        from repro.serve.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--deadline-ms", "-150"])
+        assert excinfo.value.code == 2
+        assert "deadline-ms" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# PartialResult / ResilienceReport JSON round-trip (the 206 body)
+# ----------------------------------------------------------------------
+class TestPartialResultSerialization:
+    def _degraded_report(self) -> ResilienceReport:
+        report = ResilienceReport()
+        report.mark_incomplete("deadline")
+        report.absorbed_faults = 2
+        report.uncertain = 1
+        report.mark_conservative("index bound corrupted")
+        return report
+
+    def test_report_roundtrip_preserves_every_field(self):
+        report = self._degraded_report()
+        restored = ResilienceReport.from_dict(report.to_dict())
+        assert restored.to_dict() == report.to_dict()
+        assert restored.degraded and restored.exhausted == "deadline"
+        assert restored.tier is GuaranteeTier.CONSERVATIVE
+
+    def test_roundtrip_recomputes_degraded_flag(self):
+        payload = ResilienceReport().to_dict()
+        payload["degraded"] = True  # a lie: no degradation markers
+        assert ResilienceReport.from_dict(payload).degraded is False
+
+    def test_partial_result_to_dict_is_json_clean(self):
+        import json
+
+        result = PartialResult(["a", "b"], self._degraded_report())
+        payload = result.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["value"] == ["a", "b"]
+        assert payload["report"]["absorbed_faults"] == 2
+        assert payload["report"]["degraded"] is True
+
+    def test_to_jsonable_handles_knn_results_and_numpy(self):
+        import json
+
+        import numpy as np
+
+        from repro.data.synthetic import synthetic_dataset
+        from repro.data.workload import knn_queries
+        from repro.index.sstree import SSTree
+        from repro.queries.knn import knn_query
+
+        dataset = synthetic_dataset(60, 3, seed=3)
+        tree = SSTree.bulk_load(dataset.items())
+        query = knn_queries(dataset, count=1, seed=3)[0]
+        result = knn_query(tree, query, 4)
+        payload = to_jsonable(result)
+        assert json.loads(json.dumps(payload))  # JSON-clean
+        assert payload["keys"] == [to_jsonable(key) for key in result.keys]
+        assert isinstance(payload["distk"], float)
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable({1: (2, 3)}) == {"1": [2, 3]}
+
+
+# ----------------------------------------------------------------------
+# Tenancy
+# ----------------------------------------------------------------------
+class TestTenancy:
+    def test_tenant_class_validates_its_policy(self):
+        with pytest.raises(ValidationError):
+            TenantClass(name="x", deadline_ms=-1.0)
+        with pytest.raises(ServeError):
+            TenantClass(name="", deadline_ms=100.0)
+        with pytest.raises(ServeError):
+            TenantClass(name="x", deadline_ms=100.0, rate_per_s=0.0)
+        with pytest.raises(ServeError):
+            TenantClass(name="x", deadline_ms=100.0, burst=0)
+
+    def test_mint_budget_is_fresh_per_call(self):
+        cls = TenantClass(name="x", deadline_ms=100.0, max_candidates=7)
+        first, second = cls.mint_budget(), cls.mint_budget()
+        assert first is not second
+        assert first.max_candidates == 7
+        assert first.deadline_s == pytest.approx(0.1)
+
+    def test_policy_resolves_unknown_to_default(self):
+        policy = TenantPolicy()
+        assert policy.resolve(None).name == "standard"
+        assert policy.resolve("no-such-class").name == "standard"
+        assert policy.resolve("  Interactive ").name == "interactive"
+
+    def test_deadline_scale_multiplies_every_class(self):
+        classes = default_classes(deadline_scale=2.0)
+        assert classes["interactive"].deadline_ms == pytest.approx(300.0)
+        assert classes["batch"].deadline_ms == pytest.approx(20_000.0)
+        with pytest.raises(ServeError):
+            default_classes(deadline_scale=0.0)
+
+
+# ----------------------------------------------------------------------
+# Token bucket + admission controller
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self, clock):
+        bucket = TokenBucket(rate_per_s=10.0, burst=2)
+        assert bucket.try_take() == (True, 0.0)
+        assert bucket.try_take() == (True, 0.0)
+        granted, retry_after = bucket.try_take()
+        assert not granted and retry_after == pytest.approx(0.1)
+        clock.now += 0.15  # ~1.5 tokens refilled
+        assert bucket.try_take()[0]
+        assert not bucket.try_take()[0]
+
+    def test_broken_clock_never_mints_tokens(self, clock):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=1)
+        assert bucket.try_take()[0]
+        clock.broken = True
+        with obs.enabled_scope(True), obs.scope():
+            for _ in range(5):
+                assert not bucket.try_take()[0]
+            assert obs.counter_value(names.SERVE_ADMISSION_CLOCK_FAULTS) == 5
+        clock.broken = False
+        clock.now += 1.0
+        assert bucket.try_take()[0]
+
+    def test_rewound_clock_reanchors_without_minting(self, clock):
+        bucket = TokenBucket(rate_per_s=1.0, burst=1)
+        assert bucket.try_take()[0]
+        clock.now -= 50.0  # a rewind must not look like 50s of refill
+        assert not bucket.try_take()[0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServeError):
+            TokenBucket(rate_per_s=0.0, burst=1)
+        with pytest.raises(ServeError):
+            TokenBucket(rate_per_s=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def _tenant(self, **kwargs) -> TenantClass:
+        defaults = dict(
+            name="t", deadline_ms=100.0, rate_per_s=1000.0, burst=1000
+        )
+        defaults.update(kwargs)
+        return TenantClass(**defaults)
+
+    def test_admits_within_bounds(self, clock):
+        controller = AdmissionController(max_concurrency=2, max_queue=2)
+        decision = controller.try_admit(self._tenant())
+        assert decision.admitted and decision.reason is None
+
+    def test_rate_limit_sheds_with_retry_after(self, clock):
+        controller = AdmissionController()
+        tenant = self._tenant(rate_per_s=10.0, burst=1)
+        assert controller.try_admit(tenant).admitted
+        decision = controller.try_admit(tenant)
+        assert not decision.admitted
+        assert decision.reason == "rate_limited"
+        assert decision.retry_after_s >= 0.05
+
+    def test_queue_bound_sheds(self, clock):
+        controller = AdmissionController(max_concurrency=1, max_queue=1)
+        controller._in_flight = 2  # one running + one queued
+        decision = controller.try_admit(self._tenant())
+        assert not decision.admitted and decision.reason == "queue_full"
+
+    def test_raising_overflow_probe_absorbed_into_shed(self, clock, monkeypatch):
+        from repro.serve import admission as admission_mod
+
+        def exploding_probe() -> bool:
+            raise ArithmeticError("boom")
+
+        monkeypatch.setattr(admission_mod, "_overflow_probe", exploding_probe)
+        decision = AdmissionController().try_admit(self._tenant())
+        assert not decision.admitted and decision.reason == "queue_full"
+
+    def test_slot_bookkeeping(self, clock):
+        controller = AdmissionController(max_concurrency=2, max_queue=4)
+
+        async def go():
+            async with controller.slot():
+                assert controller.in_flight == 1
+            assert controller.in_flight == 0
+
+        asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures_only(self, clock):
+        breaker = CircuitBreaker("idx", failure_threshold=3, recovery_s=1.0)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = CircuitBreaker("idx", failure_threshold=1, recovery_s=1.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now += 1.5
+        assert breaker.allow()  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self, clock):
+        breaker = CircuitBreaker("idx", failure_threshold=1, recovery_s=1.0)
+        breaker.record_failure()
+        clock.now += 1.5
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_broken_clock_keeps_breaker_open(self, clock):
+        breaker = CircuitBreaker("idx", failure_threshold=1, recovery_s=1.0)
+        breaker.record_failure()
+        clock.broken = True
+        clock.now += 100.0
+        assert not breaker.allow()  # never flap open on a broken clock
+        clock.broken = False
+        assert breaker.allow()  # healthy again: window re-anchors, probes
+        assert breaker.state is BreakerState.HALF_OPEN or not breaker.allow()
+
+    def test_breaker_opened_on_broken_clock_recovers(self, clock):
+        breaker = CircuitBreaker("idx", failure_threshold=1, recovery_s=1.0)
+        clock.broken = True
+        breaker.record_failure()  # _opened_at is None
+        assert not breaker.allow()
+        clock.broken = False
+        assert not breaker.allow()  # anchors the window at this reading
+        clock.now += 1.5
+        assert breaker.allow()
+
+    def test_retry_after_counts_down(self, clock):
+        breaker = CircuitBreaker("idx", failure_threshold=1, recovery_s=2.0)
+        assert breaker.retry_after_s() == 0.0
+        breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(2.0)
+        clock.now += 1.5
+        assert breaker.retry_after_s() == pytest.approx(0.5)
+
+    def test_transitions_are_counted(self, clock):
+        with obs.enabled_scope(True), obs.scope():
+            breaker = CircuitBreaker("idx", failure_threshold=1, recovery_s=1.0)
+            breaker.record_failure()
+            clock.now += 1.5
+            breaker.allow()
+            breaker.record_success()
+            assert obs.counter_value(names.breaker_transition("idx", "open")) == 1
+            assert (
+                obs.counter_value(names.breaker_transition("idx", "half_open"))
+                == 1
+            )
+            assert (
+                obs.counter_value(names.breaker_transition("idx", "closed")) == 1
+            )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServeError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ServeError):
+            CircuitBreaker("x", recovery_s=0.0)
+        with pytest.raises(ServeError):
+            CircuitBreaker("x", half_open_probes=0)
+
+
+# ----------------------------------------------------------------------
+# Retry / hedging
+# ----------------------------------------------------------------------
+def _faulted(reason: str = "fault", absorbed: int = 1) -> PartialResult:
+    report = ResilienceReport()
+    report.mark_incomplete(reason)
+    report.absorbed_faults = absorbed
+    return PartialResult([], report)
+
+
+class TestRetry:
+    def test_is_transient_classification(self):
+        assert is_transient(_faulted())
+        assert is_transient(_faulted(reason="index-fault"))
+        # Budget exhaustion is not transient, faults or not.
+        assert not is_transient(_faulted(reason="deadline"))
+        assert not is_transient(_faulted(reason="clock"))
+        # Degradation without absorbed faults is not transient.
+        assert not is_transient(_faulted(absorbed=0))
+        # Clean outcomes are not transient.
+        assert not is_transient([1, 2, 3])
+        assert not is_transient(PartialResult([1], ResilienceReport()))
+
+    def test_policy_validation_and_backoff_jitter(self):
+        with pytest.raises(ServeError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ServeError):
+            RetryPolicy(jitter=1.5)
+        policy = RetryPolicy(backoff_s=0.1, jitter=0.5)
+        rng = random.Random(7)
+        pauses = [policy.backoff(1, rng) for _ in range(50)]
+        assert all(0.05 <= p <= 0.15 for p in pauses)
+        assert len({round(p, 9) for p in pauses}) > 1  # actually jittered
+
+    def _run(self, outcomes, *, allow_retry=True, hedge=False):
+        calls = []
+
+        async def attempt():
+            calls.append(None)
+            return outcomes[min(len(calls) - 1, len(outcomes) - 1)]
+
+        policy = RetryPolicy(backoff_s=0.0, hedge_delay_s=0.0)
+        settled = asyncio.run(
+            run_with_retry(
+                attempt,
+                policy,
+                random.Random(0),
+                allow_retry=allow_retry,
+                hedge=hedge,
+            )
+        )
+        return settled, len(calls)
+
+    def test_clean_outcome_never_retried(self):
+        settled, calls = self._run([[1, 2]])
+        assert settled.outcome == [1, 2] and calls == 1
+        assert not settled.rescued
+
+    def test_transient_fault_retried_and_rescued(self):
+        settled, calls = self._run([_faulted(), [1, 2]])
+        assert calls == 2
+        assert settled.outcome == [1, 2]
+        assert settled.attempts == 2 and settled.rescued
+
+    def test_double_fault_keeps_first_outcome(self):
+        first = _faulted()
+        settled, calls = self._run([first, _faulted()])
+        assert calls == 2 and settled.outcome is first and not settled.rescued
+
+    def test_deadline_exhaustion_not_retried(self):
+        settled, calls = self._run([_faulted(reason="deadline"), [1]])
+        assert calls == 1 and settled.outcome is not None
+        assert settled.attempts == 1
+
+    def test_retry_disabled_per_tenant(self):
+        settled, calls = self._run([_faulted(), [1]], allow_retry=False)
+        assert calls == 1 and settled.attempts == 1
+
+    def test_hedge_counts_and_rescues(self):
+        with obs.enabled_scope(True), obs.scope():
+            settled, calls = self._run([_faulted(), [5]], hedge=True)
+            assert calls == 2 and settled.hedged and settled.rescued
+            assert obs.counter_value(names.SERVE_HEDGES) == 1
+            assert obs.counter_value(names.SERVE_RETRY_RESCUES) == 1

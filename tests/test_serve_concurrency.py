@@ -1,0 +1,149 @@
+"""Concurrent snapshot readers see bit-identical results — no races.
+
+The serving model's core assumption: a snapshot-backed index is
+*immutable*, so any number of threads, event-loop tasks or server
+workers may load and query the same snapshot file with no
+synchronisation and no divergence.  These tests drive that assumption
+hard: every reader must produce **bit-identical** answers (exact float
+equality, not approximate) to every other reader and to a serial
+baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.data.synthetic import synthetic_dataset
+from repro.data.workload import knn_queries
+from repro.index import snapshot as snapshot_io
+from repro.index.sstree import SSTree
+from repro.queries.knn import knn_query
+from repro.serve.app import ServeApp, start_server
+from repro.serve.smoke import request
+from repro.serve.tenancy import TenantClass, TenantPolicy
+
+THREADS, QUERIES, K = 8, 5, 4
+
+
+@pytest.fixture(scope="module", params=(3, 19))
+def fixture(request, tmp_path_factory):
+    seed = request.param
+    dataset = synthetic_dataset(100, 3, mu=0.2, seed=seed)
+    tree = SSTree.bulk_load(dataset.items(), max_entries=8)
+    path = tmp_path_factory.mktemp("concurrency") / f"seed{seed}.snap"
+    snapshot_io.save(tree, path)
+    queries = knn_queries(dataset, count=QUERIES, seed=seed + 1)
+    return str(path), queries
+
+
+def _fingerprint(result) -> "list[tuple[list, float]]":
+    """Exact (keys, distk) signature — any bit of drift breaks equality."""
+    return [(sorted(map(str, r.keys)), r.distk) for r in result]
+
+
+class TestConcurrentSnapshotReaders:
+    def test_threads_loading_and_querying_agree_bitwise(self, fixture):
+        path, queries = fixture
+        barrier = threading.Barrier(THREADS)
+
+        def reader(_: int):
+            index = snapshot_io.load(path)
+            barrier.wait()  # maximise overlap of the query phase
+            return _fingerprint(
+                [knn_query(index, query, K) for query in queries]
+            )
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            fingerprints = list(pool.map(reader, range(THREADS)))
+
+        serial = _fingerprint(
+            [knn_query(snapshot_io.load(path), query, K) for query in queries]
+        )
+        assert all(fp == serial for fp in fingerprints)
+
+    def test_threads_sharing_one_loaded_index_agree_bitwise(self, fixture):
+        path, queries = fixture
+        index = snapshot_io.load(path)  # one shared, immutable structure
+        barrier = threading.Barrier(THREADS)
+
+        def reader(_: int):
+            barrier.wait()
+            return _fingerprint(
+                [knn_query(index, query, K) for query in queries]
+            )
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            fingerprints = list(pool.map(reader, range(THREADS)))
+        assert all(fp == fingerprints[0] for fp in fingerprints)
+
+    def test_event_loop_tasks_against_one_server_agree_bitwise(self, fixture):
+        path, queries = fixture
+        # A roomy tenant class: this test is about determinism under
+        # concurrency, not admission (which has its own suites).
+        roomy = TenantClass(
+            name="roomy", deadline_ms=30_000.0, rate_per_s=10_000.0, burst=1000
+        )
+        app = ServeApp.from_snapshots(
+            {"default": path},
+            policy=TenantPolicy({"roomy": roomy}, default="roomy"),
+        )
+        bodies = [
+            {
+                "kind": "knn",
+                "index": "default",
+                "center": [float(c) for c in query.center],
+                "radius": float(query.radius),
+                "k": K,
+            }
+            for query in queries
+        ]
+
+        async def client(host, port):
+            results = []
+            for body in bodies:
+                status, _, raw = await request(
+                    host, port, "POST", "/query", body=body
+                )
+                assert status == 200
+                payload = json.loads(raw)
+                results.append(
+                    (
+                        sorted(map(str, payload["result"]["keys"])),
+                        payload["result"]["distk"],
+                    )
+                )
+            return results
+
+        async def go():
+            server = await start_server(app)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                return await asyncio.gather(
+                    *(client(host, port) for _ in range(THREADS))
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        try:
+            per_client = asyncio.run(go())
+        finally:
+            app.close()
+        assert all(results == per_client[0] for results in per_client)
+        # And the served answers match a direct in-process query bitwise.
+        direct = [
+            (
+                sorted(map(str, r.keys)),
+                r.distk,
+            )
+            for r in (
+                knn_query(snapshot_io.load(path), query, K)
+                for query in queries
+            )
+        ]
+        assert per_client[0] == direct
