@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint fuzz chaos bench bench-smoke serve-smoke examples experiments claims profile clean
+.PHONY: install test lint fuzz chaos stream-chaos bench bench-smoke serve-smoke examples experiments claims profile clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,6 +36,15 @@ chaos:
 		tests/test_chaos.py tests/test_resilience.py \
 		tests/test_snapshot.py tests/test_serve_chaos.py \
 		benchmarks/test_budget_overhead.py
+
+# The streaming durability gate (docs/streaming.md): the crash matrix
+# (SIGKILL at every WAL/compaction seam under load) plus the WAL,
+# overlay, engine, property and serve-mutation suites.
+stream-chaos:
+	$(PYTHON) -m pytest -q \
+		tests/test_stream_chaos.py tests/test_stream_wal.py \
+		tests/test_stream_overlay.py tests/test_stream_engine.py \
+		tests/test_stream_property.py tests/test_serve_mutate.py
 
 # The serving gate (docs/serving.md): boot a server on a fixture
 # snapshot, fire a fault-injected burst over real TCP, and fail unless

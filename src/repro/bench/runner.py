@@ -231,11 +231,100 @@ def _measure_dominating(
     return samples, repeats * len(queries), instrumented
 
 
+def _stream_workload(
+    params: "dict[str, Any]", seed: int
+) -> "tuple[list[tuple[Any, Any]], list[tuple[str, Any, Any]]]":
+    """Base entries plus a deterministic insert/delete mutation mix.
+
+    Every fourth mutation tombstones a base key (round-robin) so the
+    measured path exercises both the memtable and the tombstone set;
+    the rest insert fresh spheres keyed past the base range.
+    """
+    dataset = _point_dataset(params, seed)
+    entries = list(dataset.items())
+    count = int(params["mutations"])
+    fresh = _point_dataset({**params, "n": count}, seed + 101)
+    mutations: "list[tuple[str, Any, Any]]" = []
+    base_keys = [key for key, _ in entries]
+    for index, (_, sphere) in enumerate(fresh.items()):
+        if index % 4 == 3 and base_keys:
+            mutations.append(
+                ("delete", base_keys[(index // 4) % len(base_keys)], None)
+            )
+        else:
+            mutations.append(("insert", len(entries) + index, sphere))
+    return entries, mutations
+
+
+def _measure_stream(
+    params: "dict[str, Any]", seed: int, repeats: int
+) -> "tuple[list[float], int, Callable[[], None]]":
+    import shutil
+    import tempfile
+
+    from repro.stream.engine import StreamingIndex
+
+    entries, mutations = _stream_workload(params, seed)
+    phase = str(params.get("phase", "mutate"))
+    samples: "list[float]" = []
+
+    def apply_all(stream: "StreamingIndex", timed: bool) -> None:
+        for op, key, sphere in mutations:
+            started = time.perf_counter()
+            if op == "insert":
+                stream.insert(key, sphere)
+            else:
+                stream.delete(key)
+            if timed:
+                samples.append(time.perf_counter() - started)
+
+    if phase == "recover":
+        # One directory, `mutations` WAL records; each sample is a full
+        # warm restart (snapshot load + WAL replay) over that log.  The
+        # directory outlives this call (the instrumented pass reopens
+        # it), so cleanup rides process exit.
+        import atexit
+
+        directory = tempfile.mkdtemp(prefix="repro-bench-stream-")
+        atexit.register(shutil.rmtree, directory, ignore_errors=True)
+        with StreamingIndex.create(directory, entries) as stream:
+            apply_all(stream, timed=False)
+        for _ in range(repeats):
+            started = time.perf_counter()
+            StreamingIndex.open(directory).close()
+            samples.append(time.perf_counter() - started)
+
+        def instrumented() -> None:
+            StreamingIndex.open(directory).close()
+
+        return samples, repeats, instrumented
+    # "mutate": each repeat streams the full mix into a fresh directory;
+    # one sample per acked (fsynced) mutation.
+    for _ in range(repeats):
+        directory = tempfile.mkdtemp(prefix="repro-bench-stream-")
+        try:
+            with StreamingIndex.create(directory, entries) as stream:
+                apply_all(stream, timed=True)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def instrumented() -> None:
+        directory = tempfile.mkdtemp(prefix="repro-bench-stream-")
+        try:
+            with StreamingIndex.create(directory, entries) as stream:
+                apply_all(stream, timed=False)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    return samples, repeats * len(mutations), instrumented
+
+
 _MEASURERS: "dict[str, Callable[[dict[str, Any], int, int], tuple[list[float], int, Callable[[], None]]]]" = {
     "build": _measure_build,
     "knn": _measure_knn,
     "rknn": _measure_rknn,
     "dominating": _measure_dominating,
+    "stream": _measure_stream,
 }
 
 

@@ -97,6 +97,32 @@ _SWEEPS: "dict[str, dict[str, list[dict[str, object]]]]" = {
                    criterion="hyperbola"),
         ],
     },
+    # Durable streaming mutations: WAL-acked insert/delete throughput
+    # ("mutate" points, throughput_ops = mutations/sec) and warm-restart
+    # replay cost ("recover" points, latency = one full reopen over a
+    # WAL of `mutations` records).
+    "stream": {
+        "quick": [
+            _point(phase="mutate", n=300, d=3, radius="gaussian",
+                   mutations=120),
+            _point(phase="mutate", n=300, d=8, radius="gaussian",
+                   mutations=120),
+            _point(phase="recover", n=300, d=3, radius="gaussian",
+                   mutations=400),
+        ],
+        "full": [
+            _point(phase="mutate", n=300, d=3, radius="gaussian",
+                   mutations=120),
+            _point(phase="mutate", n=300, d=8, radius="gaussian",
+                   mutations=120),
+            _point(phase="recover", n=300, d=3, radius="gaussian",
+                   mutations=400),
+            _point(phase="mutate", n=1000, d=3, radius="gaussian",
+                   mutations=500),
+            _point(phase="recover", n=1000, d=3, radius="gaussian",
+                   mutations=2000),
+        ],
+    },
     # Top-k dominating: the vectorised n x (n-1) scoring pass.
     "dominating": {
         "quick": [

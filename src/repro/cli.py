@@ -262,6 +262,139 @@ def _snapshot_main(argv: "Sequence[str]") -> int:
     return 0
 
 
+def _parse_stream_key(text: str) -> object:
+    """CLI keys: an int when it parses as one, else the literal string."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _stream_main(argv: "Sequence[str]") -> int:
+    """The ``repro stream init|insert|delete|status|compact`` front end.
+
+    Mutation payloads pass :func:`repro.queries.validation.validate_mutation`
+    before any byte reaches the write-ahead log; invalid geometry exits
+    with status 2 (the established bad-input code), durable success
+    prints the acked sequence number.
+    """
+    from repro.exceptions import StreamError, ValidationError
+    from repro.queries.validation import validate_mutation
+    from repro.stream.engine import StreamingIndex
+
+    parser = argparse.ArgumentParser(
+        prog="repro stream",
+        description=(
+            "Durable streaming mutations over a snapshot-backed index: "
+            "every acked insert/delete survives a crash (WAL + replay), "
+            "and compaction folds the overlay into a fresh snapshot."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_init = sub.add_parser(
+        "init", help="initialise a streaming directory over a synthetic dataset"
+    )
+    p_init.add_argument("directory", help="streaming index directory to create")
+    p_init.add_argument(
+        "--kind", choices=_SNAPSHOT_KINDS, default="sstree", help="index structure"
+    )
+    p_init.add_argument("--n", type=int, default=400, help="dataset size")
+    p_init.add_argument("--dimension", type=int, default=3, help="dimensionality")
+    p_init.add_argument("--seed", type=int, default=0, help="dataset seed")
+    p_insert = sub.add_parser("insert", help="durably insert (upsert) one sphere")
+    p_insert.add_argument("directory", help="streaming index directory")
+    p_insert.add_argument("--key", required=True, help="object key")
+    p_insert.add_argument(
+        "--center", required=True, help="comma-separated coordinates"
+    )
+    p_insert.add_argument("--radius", required=True, help="sphere radius")
+    p_delete = sub.add_parser("delete", help="durably tombstone one key")
+    p_delete.add_argument("directory", help="streaming index directory")
+    p_delete.add_argument("--key", required=True, help="object key")
+    p_status = sub.add_parser("status", help="report entries/overlay/WAL state")
+    p_status.add_argument("directory", help="streaming index directory")
+    p_compact = sub.add_parser(
+        "compact", help="fold the overlay into a fresh snapshot and truncate"
+    )
+    p_compact.add_argument("directory", help="streaming index directory")
+    args = parser.parse_args(list(argv))
+
+    try:
+        if args.command == "init":
+            dataset = synthetic_dataset(args.n, args.dimension, seed=args.seed)
+            stream = StreamingIndex.create(
+                args.directory, list(dataset.items()), kind=args.kind
+            )
+            print(
+                f"initialised streaming index: {len(stream)} entries, "
+                f"d={stream.dimension}, kind={args.kind} -> {args.directory}"
+            )
+            stream.close()
+            return 0
+        if args.command == "insert":
+            try:
+                center = [float(c) for c in args.center.split(",") if c.strip()]
+                radius = float(args.radius)
+            except ValueError as error:
+                print(f"stream validation error: {error}", file=sys.stderr)
+                return 2
+            with StreamingIndex.open(args.directory) as stream:
+                try:
+                    op, key, sphere = validate_mutation(
+                        {
+                            "op": "insert",
+                            "key": _parse_stream_key(args.key),
+                            "center": center,
+                            "radius": radius,
+                        },
+                        stream.dimension,
+                    )
+                except ValidationError as error:
+                    print(f"stream validation error: {error}", file=sys.stderr)
+                    return 2
+                assert sphere is not None
+                seq = stream.insert(key, sphere)
+            print(f"acked insert seq={seq} key={key!r}")
+            return 0
+        if args.command == "delete":
+            with StreamingIndex.open(args.directory) as stream:
+                try:
+                    _, key, _ = validate_mutation(
+                        {"op": "delete", "key": _parse_stream_key(args.key)}
+                    )
+                except ValidationError as error:
+                    print(f"stream validation error: {error}", file=sys.stderr)
+                    return 2
+                seq = stream.delete(key)
+            print(f"acked delete seq={seq} key={key!r}")
+            return 0
+        if args.command == "compact":
+            with StreamingIndex.open(args.directory) as stream:
+                result = stream.checkpoint()
+            print(
+                f"compacted: {result.entries} entries, "
+                f"{result.dropped_tombstones} tombstone(s) dropped, "
+                f"{result.snapshot_bytes} snapshot bytes, "
+                f"{result.wal_segments_removed} WAL segment(s) removed"
+            )
+            return 0
+        with StreamingIndex.open(args.directory) as stream:
+            replayed = len(stream.wal.replayed)
+            truncated = stream.wal.truncated_frames
+            print(
+                f"streaming index at {args.directory}: "
+                f"{len(stream)} effective entries, d={stream.dimension}, "
+                f"overlay={len(stream.overlay)} insert(s) + "
+                f"{len(stream.overlay.tombstones)} tombstone(s), "
+                f"last_seq={stream.last_seq}, wal_records={replayed}"
+                + (f", truncated_frames={truncated}" if truncated else "")
+            )
+        return 0
+    except StreamError as error:
+        print(f"stream error: {error}", file=sys.stderr)
+        return 1
+
+
 _EXPLAIN_KINDS = ("knn", "rknn", "dominating")
 
 
@@ -382,6 +515,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(arguments[1:])
+    if arguments and arguments[0] == "stream":
+        # `repro stream init|insert|delete|status|compact` manages a
+        # durable mutable index (WAL + overlay); it owns its own flags.
+        return _stream_main(arguments[1:])
     if arguments and arguments[0] == "explain":
         # `repro explain knn|rknn|dominating` dissects one seeded query.
         return _explain_main(arguments[1:])

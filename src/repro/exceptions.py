@@ -86,6 +86,28 @@ class SnapshotCorruptionError(SnapshotError):
     """
 
 
+class StreamError(ReproError):
+    """The durable streaming-mutation pipeline failed an operation."""
+
+
+class WalError(StreamError):
+    """The write-ahead log could not be opened, appended or replayed."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL frame failed an integrity check (magic, length or CRC).
+
+    Raised only for damage *before* the recoverable tail: a torn or
+    corrupt final frame is truncated silently (the recovery contract),
+    while an unreadable header or an impossible structural claim is
+    surfaced as this typed error, never as silently wrong mutations.
+    """
+
+
+class CompactionError(StreamError):
+    """A checkpoint/compaction cycle could not fold the overlay safely."""
+
+
 class DatasetError(ReproError):
     """A dataset could not be generated or loaded."""
 

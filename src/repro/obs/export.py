@@ -155,9 +155,13 @@ class QueryEvent:
     complete: bool = True
     #: Per-query stats delta (nodes visited, entries considered, ...).
     stats: "dict[str, int]" = field(default_factory=dict)
+    #: Tenant class the request ran under (serving only; None elsewhere).
+    tenant: "str | None" = None
+    #: HTTP status the serving layer answered with (0 outside serving).
+    status: int = 0
 
     def to_dict(self) -> "dict[str, Any]":
-        return {
+        payload: "dict[str, Any]" = {
             "kind": self.kind,
             "duration_s": self.duration_s,
             "answer_size": self.answer_size,
@@ -165,9 +169,17 @@ class QueryEvent:
             "complete": self.complete,
             "stats": dict(self.stats),
         }
+        # Serving-only fields stay absent outside the serving layer so
+        # pre-existing logs and goldens round-trip unchanged.
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
+        if self.status:
+            payload["status"] = self.status
+        return payload
 
     @classmethod
     def from_dict(cls, payload: "dict[str, Any]") -> "QueryEvent":
+        tenant = payload.get("tenant")
         return cls(
             kind=str(payload["kind"]),
             duration_s=float(payload["duration_s"]),
@@ -178,6 +190,8 @@ class QueryEvent:
                 key: int(value)
                 for key, value in payload.get("stats", {}).items()
             },
+            tenant=None if tenant is None else str(tenant),
+            status=int(payload.get("status", 0)),
         )
 
     @classmethod
@@ -250,9 +264,22 @@ class QueryEventLog:
         if obs.ENABLED:
             obs.incr(names.EXPORT_EVENTS_LOGGED)
 
-    def emit_outcome(self, kind: str, outcome: Any, duration_s: float) -> None:
+    def emit_outcome(
+        self,
+        kind: str,
+        outcome: Any,
+        duration_s: float,
+        *,
+        tenant: "str | None" = None,
+        status: int = 0,
+    ) -> None:
         """Build an event from a query outcome and append it."""
-        self.emit(QueryEvent.from_outcome(kind, outcome, duration_s))
+        event = QueryEvent.from_outcome(kind, outcome, duration_s)
+        if tenant is not None:
+            event.tenant = tenant
+        if status:
+            event.status = status
+        self.emit(event)
 
     def close(self) -> None:
         if self._owns_sink:

@@ -150,6 +150,34 @@ SERVE_PROTOCOL_ERRORS = "serve.protocol_errors"
 SERVE_QUARANTINED_INDEXES = "serve.quarantined_indexes"
 SERVE_BREAKER_SHORT_CIRCUITS = "serve.breaker_short_circuits"
 
+# repro.stream.wal — write-ahead-log durability outcomes.
+WAL_APPENDS = "wal.appends"
+WAL_FSYNCS = "wal.fsyncs"
+WAL_ROTATIONS = "wal.rotations"
+WAL_REPLAYED_RECORDS = "wal.replayed_records"
+WAL_TRUNCATED_FRAMES = "wal.truncated_frames"
+WAL_CORRUPTIONS = "wal.corruptions"
+WAL_TRUNCATIONS = "wal.truncations"
+
+# repro.stream — the durable mutation pipeline over immutable snapshots.
+STREAM_INSERTS = "stream.inserts"
+STREAM_DELETES = "stream.deletes"
+STREAM_MUTATIONS_ACKED = "stream.mutations_acked"
+STREAM_REPLAYS = "stream.replays"
+STREAM_MERGED_QUERIES = "stream.merged_queries"
+STREAM_TOMBSTONE_HITS = "stream.tombstone_hits"
+
+# repro.stream.compact — checkpoint/compaction cycle outcomes.
+COMPACT_RUNS = "compact.runs"
+COMPACT_FAILURES = "compact.failures"
+COMPACT_FOLDED_ENTRIES = "compact.folded_entries"
+COMPACT_DROPPED_TOMBSTONES = "compact.dropped_tombstones"
+
+# repro.serve — the streaming-mutation endpoint.
+SERVE_MUTATIONS = "serve.mutations"
+SERVE_MUTATIONS_ACKED = "serve.mutations.acked"
+SERVE_MUTATIONS_REJECTED = "serve.mutations.rejected"
+
 # repro.index.snapshot — crash-safe persistence outcomes.
 SNAPSHOT_SAVES = "snapshot.saves"
 SNAPSHOT_LOADS = "snapshot.loads"
@@ -167,6 +195,9 @@ KNN_ANSWER_SIZE = "knn.answer_size"
 SNAPSHOT_BYTES = "snapshot.bytes"
 SERVE_LATENCY_S = "serve.latency_s"
 SERVE_QUEUE_DEPTH = "serve.queue_depth"
+WAL_RECORD_BYTES = "wal.record_bytes"
+STREAM_OVERLAY_SIZE = "stream.overlay_size"
+STREAM_MUTATE_LATENCY_S = "stream.mutate_latency_s"
 
 # ----------------------------------------------------------------------
 # Trace spans (timers)
@@ -182,6 +213,9 @@ KNN_REFERENCE = "knn.reference"
 SNAPSHOT_SAVE_SPAN = "snapshot.save"
 SNAPSHOT_LOAD_SPAN = "snapshot.load"
 SNAPSHOT_VERIFY_SPAN = "snapshot.verify"
+WAL_REPLAY_SPAN = "wal.replay"
+STREAM_OPEN_SPAN = "stream.open"
+COMPACT_RUN_SPAN = "compact.run"
 
 #: Dynamic name families: one ``*`` per varying dotted segment.
 PATTERNS: "tuple[str, ...]" = (

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -42,6 +42,9 @@ from repro.queries.explain import ExplainedResult, explain_capture
 from repro.queries.validation import validate_k, validate_query
 from repro.resilience.budget import current as current_budget
 from repro.resilience.partial import PartialResult, ResilienceReport
+
+if TYPE_CHECKING:
+    from repro.stream.overlay import DeltaOverlay
 
 __all__ = ["DominanceScore", "dominance_scores", "top_k_dominating"]
 
@@ -59,14 +62,21 @@ def dominance_scores(
     query: Hypersphere,
     *,
     criterion: str = "hyperbola",
+    overlay: "DeltaOverlay | None" = None,
 ) -> "list[DominanceScore] | PartialResult":
     """The dominance score of every object, in dataset order.
 
     Returns a plain list normally; a
     :class:`~repro.resilience.PartialResult` wrapping one when a
     :class:`~repro.resilience.Budget` is active in the current context.
+    With ``overlay`` the scores are computed over the effective
+    streaming dataset (base minus shadowed keys, plus the memtable).
     """
-    if not isinstance(dataset, LinearIndex):
+    if overlay is not None and overlay:
+        dataset = LinearIndex(overlay.fold(iter(dataset)))
+        if obs.ENABLED:
+            obs.incr(names.STREAM_MERGED_QUERIES)
+    elif not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
     validate_query(query, dataset.dimension)
     budget = current_budget()
@@ -129,6 +139,7 @@ def top_k_dominating(
     *,
     criterion: str = "hyperbola",
     explain: bool = False,
+    overlay: "DeltaOverlay | None" = None,
 ) -> "list[DominanceScore] | PartialResult | ExplainedResult":
     """The k objects with the highest dominance scores (ties by order).
 
@@ -136,9 +147,15 @@ def top_k_dominating(
     :class:`~repro.resilience.PartialResult` wrapping one (and carrying
     the scoring pass's report) when a budget is active; an
     :class:`~repro.queries.explain.ExplainedResult` wrapping either when
-    ``explain=True`` (costs a single branch when off).
+    ``explain=True`` (costs a single branch when off).  With ``overlay``
+    the ranking runs over the effective streaming dataset (base minus
+    shadowed keys, plus the memtable).
     """
-    if not isinstance(dataset, LinearIndex):
+    if overlay is not None and overlay:
+        dataset = LinearIndex(overlay.fold(iter(dataset)))
+        if obs.ENABLED:
+            obs.incr(names.STREAM_MERGED_QUERIES)
+    elif not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
     k = validate_k(k, len(dataset))
     event_log = obs_export.current_event_log()

@@ -81,7 +81,7 @@ import itertools
 import math
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -100,6 +100,9 @@ from repro.queries.validation import validate_k, validate_query
 from repro.resilience.budget import Budget
 from repro.resilience.budget import current as current_budget
 from repro.resilience.partial import PartialResult, ResilienceReport
+
+if TYPE_CHECKING:
+    from repro.stream.overlay import DeltaOverlay
 
 __all__ = ["KNNResult", "knn_query", "knn_reference"]
 
@@ -404,6 +407,37 @@ class _BestKnownList:
         return keys, spheres, self.distk
 
 
+class _ShadowedOffers:
+    """Offer filter that hides overlay-shadowed base entries.
+
+    A streaming overlay (:mod:`repro.stream.overlay`) tombstones or
+    re-inserts keys whose base-index copies must not participate in the
+    answer.  The traversals only need ``offer`` and ``distk``, so this
+    thin proxy drops shadowed candidates before they ever reach the
+    best-known list — everything that survives runs through the exact
+    same certified cascade.
+    """
+
+    __slots__ = ("_best", "_shadowed", "tombstone_hits")
+
+    def __init__(
+        self, best: _BestKnownList, shadowed: "frozenset[object]"
+    ) -> None:
+        self._best = best
+        self._shadowed = shadowed
+        self.tombstone_hits = 0
+
+    @property
+    def distk(self) -> float:
+        return self._best.distk
+
+    def offer(self, key: object, sphere: Hypersphere) -> None:
+        if key in self._shadowed:
+            self.tombstone_hits += 1
+            return
+        self._best.offer(key, sphere)
+
+
 def _wrap_partial(result: KNNResult, budget: Budget) -> PartialResult:
     """Assemble the :class:`ResilienceReport` for one budgeted query."""
     report = ResilienceReport()
@@ -433,6 +467,7 @@ def knn_query(
     strategy: str = "hs",
     algorithm: str = "incremental",
     explain: bool = False,
+    overlay: "DeltaOverlay | None" = None,
 ) -> "KNNResult | PartialResult | ExplainedResult":
     """Answer the Definition-2 kNN query over *index*.
 
@@ -458,6 +493,15 @@ def knn_query(
         ``"incremental"`` — the paper's single-pass best-known list
         (Section 6), or ``"two-phase"`` — the Definition-2-exact
         variant (find ``Sk`` first, then collect survivors).
+    overlay:
+        An optional :class:`repro.stream.overlay.DeltaOverlay` of
+        streaming mutations to merge at query time.  Base entries whose
+        key is tombstoned or re-inserted are excluded; memtable entries
+        run through the same certified cascade as base entries.  With
+        ``algorithm="two-phase"`` the effective dataset is materialised
+        and answered exactly (Definition 2 over base ⊖ shadowed ⊕
+        memtable); the incremental path offers memtable entries first
+        and shadow-filters the traversal.
     explain:
         When true, run the query under a private enabled obs scope and
         return an :class:`~repro.queries.explain.ExplainedResult`
@@ -475,8 +519,27 @@ def knn_query(
     :class:`~repro.queries.explain.ExplainedResult` wrapping either
     when ``explain=True``.
     """
-    k = validate_k(k, len(index))
-    validate_query(query, index.dimension)
+    if overlay is not None and not overlay:
+        overlay = None  # an empty overlay merges to the plain query
+    if overlay is None:
+        k = validate_k(k, len(index))
+        validate_query(query, index.dimension)
+    elif algorithm == "two-phase":
+        validate_query(query, index.dimension)
+        # Materialise the effective dataset once: the two-phase path is
+        # Definition-2-exact over whatever index it scans, so folding
+        # keeps exactness while making the merge trivial.
+        folded = overlay.fold(iter(index))
+        k = validate_k(k, len(folded))
+        index = LinearIndex(folded)
+        if obs.ENABLED:
+            obs.incr(names.STREAM_MERGED_QUERIES)
+        overlay = None
+    else:
+        validate_query(query, index.dimension)
+        shadowed = overlay.shadowed_keys()
+        live = sum(1 for key, _ in index if key not in shadowed)
+        k = validate_k(k, live + len(overlay))
     if isinstance(criterion, str):
         criterion = get_criterion(criterion)
     event_log = obs_export.current_event_log()
@@ -488,19 +551,23 @@ def knn_query(
             "algorithm": algorithm,
             "index": type(index).__name__,
         }
+        if overlay is not None:
+            params["overlay"] = len(overlay)
         with explain_capture() as capture:
             outcome = _run_knn(
                 index, query, k, criterion, strategy, algorithm,
-                levels=capture.levels,
+                levels=capture.levels, overlay=overlay,
             )
             detail = capture.finish("knn", params, outcome)
         if event_log is not None:
             event_log.emit_outcome("knn", outcome, detail.duration_s)
         return ExplainedResult(outcome, detail)
     if event_log is None:
-        return _run_knn(index, query, k, criterion, strategy, algorithm)
+        return _run_knn(index, query, k, criterion, strategy, algorithm,
+                        overlay=overlay)
     started = time.perf_counter()
-    outcome = _run_knn(index, query, k, criterion, strategy, algorithm)
+    outcome = _run_knn(index, query, k, criterion, strategy, algorithm,
+                       overlay=overlay)
     event_log.emit_outcome("knn", outcome, time.perf_counter() - started)
     return outcome
 
@@ -513,12 +580,15 @@ def _run_knn(
     strategy: str,
     algorithm: str,
     levels: "dict[int, int] | None" = None,
+    overlay: "DeltaOverlay | None" = None,
 ) -> "KNNResult | PartialResult":
     """The validated query body (see :func:`knn_query` for semantics)."""
     budget = current_budget()
     if budget is not None:
         budget.start()
     if algorithm == "two-phase":
+        # knn_query folds an overlay into a LinearIndex before reaching
+        # this branch, so the two-phase body never sees one.
         result = _knn_two_phase(
             index, query, k, criterion, strategy, budget, levels
         )
@@ -532,23 +602,47 @@ def _run_knn(
     result = KNNResult(keys=[], spheres=[], distk=float("inf"))
     uncertain_before = _uncertain_count(criterion)
 
+    offers: "_BestKnownList | _ShadowedOffers" = best
+    if overlay is not None:
+        # Memtable entries go first: a deterministic offer order, and
+        # distk can only shrink, so every later Case-3 prune stays valid.
+        if budget is None:
+            for key, sphere in overlay.entries():
+                result.entries_considered += 1
+                best.offer(key, sphere)
+        else:
+            for key, sphere in overlay.entries():
+                if budget.charge_candidate() is not None:
+                    break
+                result.entries_considered += 1
+                best.offer(key, sphere)
+        shadowed = overlay.shadowed_keys()
+        if shadowed:
+            offers = _ShadowedOffers(best, shadowed)
+        if obs.ENABLED:
+            obs.incr(names.STREAM_MERGED_QUERIES)
+
     if isinstance(index, LinearIndex):
         if budget is None:
             for key, sphere in index:
                 result.entries_considered += 1
-                best.offer(key, sphere)
+                offers.offer(key, sphere)
         else:
             for key, sphere in index:
                 if budget.charge_candidate() is not None:
                     break
                 result.entries_considered += 1
-                best.offer(key, sphere)
+                offers.offer(key, sphere)
     elif strategy == "df":
-        _depth_first(index.root, query, best, result, budget, levels=levels)
+        _depth_first(index.root, query, offers, result, budget, levels=levels)
     elif strategy == "hs":
-        _best_first(index.root, query, best, result, budget, levels=levels)
+        _best_first(index.root, query, offers, result, budget, levels=levels)
     else:
         raise QueryError(f"unknown strategy {strategy!r}; use 'df' or 'hs'")
+
+    if isinstance(offers, _ShadowedOffers) and obs.ENABLED:
+        if offers.tombstone_hits:
+            obs.incr(names.STREAM_TOMBSTONE_HITS, offers.tombstone_hits)
 
     if budget is not None and budget.exhausted() is not None:
         # Out of budget: the remaining filtering work (the finalize
@@ -569,7 +663,7 @@ def _run_knn(
 def _depth_first(
     node: SSTreeNode,
     query: Hypersphere,
-    best: _BestKnownList,
+    best: "_BestKnownList | _ShadowedOffers",
     result: KNNResult,
     budget: "Budget | None" = None,
     depth: int = 0,
@@ -609,7 +703,7 @@ def _depth_first(
 def _best_first(
     root: SSTreeNode,
     query: Hypersphere,
-    best: _BestKnownList,
+    best: "_BestKnownList | _ShadowedOffers",
     result: KNNResult,
     budget: "Budget | None" = None,
     levels: "dict[int, int] | None" = None,

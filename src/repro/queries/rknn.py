@@ -31,7 +31,7 @@ reverse-NN.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -46,6 +46,9 @@ from repro.queries.validation import validate_query
 from repro.resilience.budget import current as current_budget
 from repro.resilience.partial import PartialResult, ResilienceReport
 
+if TYPE_CHECKING:
+    from repro.stream.overlay import DeltaOverlay
+
 __all__ = ["rnn_candidates"]
 
 
@@ -55,6 +58,7 @@ def rnn_candidates(
     *,
     criterion: "DominanceCriterion | str" = "hyperbola",
     explain: bool = False,
+    overlay: "DeltaOverlay | None" = None,
 ) -> "list | PartialResult | ExplainedResult":
     """Keys of objects that may have *query* as their nearest neighbour.
 
@@ -75,8 +79,19 @@ def rnn_candidates(
     :class:`~repro.resilience.Budget` is active in the current context;
     an :class:`~repro.queries.explain.ExplainedResult` wrapping either
     when ``explain=True`` (costs a single branch when off).
+
+    With ``overlay`` (a :class:`repro.stream.overlay.DeltaOverlay` of
+    streaming mutations) the candidate universe is the *effective*
+    dataset — base entries minus tombstoned/re-inserted keys, plus the
+    memtable — and both membership and refutation run over that merged
+    set, so a tombstoned object can neither appear as a candidate nor
+    refute one.
     """
-    if not isinstance(dataset, LinearIndex):
+    if overlay is not None and overlay:
+        dataset = LinearIndex(overlay.fold(iter(dataset)))
+        if obs.ENABLED:
+            obs.incr(names.STREAM_MERGED_QUERIES)
+    elif not isinstance(dataset, LinearIndex):
         dataset = LinearIndex(dataset)
     validate_query(query, dataset.dimension)
     if isinstance(criterion, str):

@@ -21,10 +21,15 @@ import math
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import GeometryError, ValidationError
 from repro.geometry.hypersphere import Hypersphere
 
-__all__ = ["validate_deadline_ms", "validate_k", "validate_query"]
+__all__ = [
+    "validate_deadline_ms",
+    "validate_k",
+    "validate_mutation",
+    "validate_query",
+]
 
 
 def validate_deadline_ms(value: object) -> float:
@@ -82,6 +87,65 @@ def validate_k(k: int, size: int) -> int:
     if k > size:
         raise ValidationError(f"k={k} exceeds the dataset size {size}")
     return int(k)
+
+
+def validate_mutation(
+    payload: object, dimension: "int | None" = None
+) -> "tuple[str, object, Hypersphere | None]":
+    """Check a streaming-mutation payload at the serve/CLI boundary.
+
+    *payload* is the decoded JSON body of a ``POST /mutate`` request (or
+    the equivalent CLI arguments): ``{"op": "insert", "key": ...,
+    "center": [...], "radius": ...}`` or ``{"op": "delete", "key":
+    ...}``.  Returns ``(op, key, sphere)`` with ``sphere is None`` for
+    deletes.  Non-finite centers, negative or non-finite radii, a
+    dimensionality mismatch against *dimension* (when given), unknown
+    ops and unusable keys all raise
+    :class:`~repro.exceptions.ValidationError` *before* any byte hits
+    the write-ahead log.
+    """
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"mutation must be an object, got {type(payload).__name__}"
+        )
+    op = payload.get("op")
+    if op not in ("insert", "delete"):
+        raise ValidationError(
+            f"mutation op must be 'insert' or 'delete', got {op!r}"
+        )
+    if "key" not in payload:
+        raise ValidationError("mutation must carry a 'key'")
+    key = payload["key"]
+    if isinstance(key, (dict, list)):
+        raise ValidationError(
+            f"mutation key must be a scalar, got {type(key).__name__}"
+        )
+    if op == "delete":
+        unexpected = set(payload) - {"op", "key"}
+        if unexpected:
+            raise ValidationError(
+                f"delete mutation has unexpected fields: {sorted(unexpected)}"
+            )
+        return op, key, None
+    if "center" not in payload or "radius" not in payload:
+        raise ValidationError("insert mutation must carry 'center' and 'radius'")
+    center = payload["center"]
+    if not isinstance(center, (list, tuple)) or not center:
+        raise ValidationError("mutation center must be a non-empty array")
+    radius = payload["radius"]
+    if isinstance(radius, bool) or not isinstance(radius, (int, float)):
+        raise ValidationError(
+            f"mutation radius must be a number, got {type(radius).__name__}"
+        )
+    try:
+        sphere = Hypersphere([float(c) for c in center], float(radius))
+    except (GeometryError, TypeError, ValueError) as error:
+        raise ValidationError(f"invalid mutation geometry: {error}") from None
+    if dimension is not None and sphere.dimension != dimension:
+        raise ValidationError(
+            f"mutation dimension {sphere.dimension} != index dimension {dimension}"
+        )
+    return op, key, sphere
 
 
 def validate_query(query: Hypersphere, dimension: int) -> Hypersphere:

@@ -44,6 +44,23 @@ that claim testable by corrupting the kernels at their seams:
     the overflow verdict (``raise`` by exploding inside the probe,
     which admission absorbs); the server must shed with 429 +
     Retry-After.
+``"wal_append"``
+    The raw write of :mod:`repro.stream.wal` (``_io_write``) — a torn
+    or corrupted append.  Recovery must keep the good prefix and
+    truncate at the first bad frame, never replay garbage.
+``"wal_fsync"``
+    The durability barrier of the write-ahead log (``_fsync``).
+    ``raise`` explodes (the ack must not happen); scalar modes *skip*
+    the sync — the lying-disk case the crash matrix pairs with a kill.
+``"wal_read"``
+    The raw read of the WAL replay path (``_io_read``).  Corrupt bytes
+    must surface as a truncated (prefix-preserving) recovery, never as
+    silently wrong mutations.
+``"compact_rename"``
+    The atomic commit point of :mod:`repro.stream.compact`
+    (``_rename``).  Every mode raises: a failed rename must leave the
+    old snapshot + WAL fully intact (typed
+    :class:`~repro.exceptions.CompactionError`, no partial state).
 
 and four corruption modes (seam-appropriate where outputs are not
 scalars — see each patcher):
@@ -98,6 +115,10 @@ SEAMS = (
     "clock",
     "handler",
     "queue",
+    "wal_append",
+    "wal_fsync",
+    "wal_read",
+    "compact_rename",
 )
 MODES = ("nan", "overflow", "perturb", "raise")
 
@@ -417,6 +438,95 @@ def _patch_queue(fault: InjectedFault) -> "Iterator[None]":
         _admission._overflow_probe = original_probe
 
 
+@contextlib.contextmanager
+def _patch_wal_append(fault: InjectedFault) -> "Iterator[None]":
+    from repro.stream import wal as _wal
+
+    original_write = _wal._io_write
+
+    def corrupted_write(handle: BinaryIO, data: bytes) -> None:
+        if fault.fires():
+            if fault.mode == "raise":
+                raise FaultInjected("injected fault in WAL append")
+            data = fault.corrupt_bytes(data)
+        original_write(handle, data)
+
+    try:
+        _wal._io_write = corrupted_write
+        yield
+    finally:
+        _wal._io_write = original_write
+
+
+@contextlib.contextmanager
+def _patch_wal_fsync(fault: InjectedFault) -> "Iterator[None]":
+    from repro.stream import wal as _wal
+
+    original_fsync = _wal._fsync
+
+    def corrupted_fsync(fileno: int) -> None:
+        if fault.fires():
+            if fault.mode == "raise":
+                raise FaultInjected("injected fault in WAL fsync")
+            # Scalar modes model a lying disk: the sync is silently
+            # skipped.  On its own this is invisible; the crash matrix
+            # pairs it with a process kill to test the exposure.
+            return
+        original_fsync(fileno)
+
+    try:
+        _wal._fsync = corrupted_fsync
+        yield
+    finally:
+        _wal._fsync = original_fsync
+
+
+@contextlib.contextmanager
+def _patch_wal_read(fault: InjectedFault) -> "Iterator[None]":
+    from repro.stream import wal as _wal
+
+    original_read = _wal._io_read
+
+    def corrupted_read(handle: BinaryIO, size: int) -> bytes:
+        data = original_read(handle, size)
+        if not fault.fires():
+            return data
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in WAL read")
+        return fault.corrupt_bytes(data)
+
+    try:
+        _wal._io_read = corrupted_read
+        yield
+    finally:
+        _wal._io_read = original_read
+
+
+@contextlib.contextmanager
+def _patch_compact_rename(fault: InjectedFault) -> "Iterator[None]":
+    # Not ``from repro.stream import compact``: the package re-exports
+    # the compact *function* under that name, shadowing the module
+    # attribute, so the module must be fetched from the import system.
+    import importlib
+
+    _compact = importlib.import_module("repro.stream.compact")
+
+    original_rename = _compact._rename
+
+    def corrupted_rename(source: str, destination: str) -> None:
+        if fault.fires():
+            # Every mode explodes: a rename has no scalar output to
+            # poison, and a failed commit is the interesting case.
+            raise FaultInjected("injected fault in compaction rename")
+        original_rename(source, destination)
+
+    try:
+        _compact._rename = corrupted_rename
+        yield
+    finally:
+        _compact._rename = original_rename
+
+
 _PATCHERS: "dict[str, Callable[[InjectedFault], contextlib.AbstractContextManager[None]]]" = {
     "quartic": _patch_quartic,
     "frame": _patch_frame,
@@ -426,6 +536,10 @@ _PATCHERS: "dict[str, Callable[[InjectedFault], contextlib.AbstractContextManage
     "clock": _patch_clock,
     "handler": _patch_handler,
     "queue": _patch_queue,
+    "wal_append": _patch_wal_append,
+    "wal_fsync": _patch_wal_fsync,
+    "wal_read": _patch_wal_read,
+    "compact_rename": _patch_compact_rename,
 }
 
 

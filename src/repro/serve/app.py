@@ -55,7 +55,9 @@ from repro.exceptions import (
     ServeError,
     SnapshotCorruptionError,
     SnapshotError,
+    StreamError,
     ValidationError,
+    WalError,
 )
 from repro.geometry.hypersphere import Hypersphere
 from repro.index import snapshot as snapshot_io
@@ -65,6 +67,7 @@ from repro.obs import names
 from repro.queries.dominating import top_k_dominating
 from repro.queries.knn import knn_query
 from repro.queries.rknn import rnn_candidates
+from repro.queries.validation import validate_mutation
 from repro.resilience.budget import scope as budget_scope
 from repro.resilience.partial import PartialResult, ResilienceReport, to_jsonable
 from repro.serve.admission import AdmissionController
@@ -78,6 +81,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.retry import RetryPolicy, run_with_retry
 from repro.serve.tenancy import TenantClass, TenantPolicy
+from repro.stream.engine import StreamingIndex
 
 __all__ = ["IndexState", "ServeApp", "start_server"]
 
@@ -114,10 +118,18 @@ class IndexState:
     healthy: bool = True
     error: "str | None" = None
     source: "str | None" = None
+    #: The durable mutation pipeline behind this index, when serving a
+    #: streaming directory instead of a frozen snapshot.  Queries then
+    #: merge the live overlay and ``POST /mutate`` is accepted.
+    stream: "StreamingIndex | None" = None
 
     @property
     def quarantined(self) -> bool:
         return not self.healthy
+
+    @property
+    def mutable(self) -> bool:
+        return self.stream is not None
 
     def snapshot(self) -> "dict[str, Any]":
         """The health block ``/readyz`` publishes for this index."""
@@ -125,7 +137,13 @@ class IndexState:
             "healthy": self.healthy,
             "breaker": self.breaker.snapshot(),
         }
-        if self.index is not None:
+        if self.stream is not None:
+            info["mutable"] = True
+            info["last_seq"] = self.stream.last_seq
+            info["overlay_entries"] = len(self.stream.overlay)
+            info["entries"] = len(self.stream.base)  # type: ignore[arg-type]
+            info["dimension"] = self.stream.dimension
+        elif self.index is not None:
             info["entries"] = len(self.index)
             info["dimension"] = self.index.dimension
         if self.error is not None:
@@ -223,6 +241,56 @@ class ServeApp:
             return state
         return self.register_index(name, index, source=str(path))
 
+    def load_stream(self, name: str, directory: str) -> IndexState:
+        """Warm-start a *mutable* index from a streaming directory.
+
+        The snapshot passes the full integrity check, then the WAL is
+        replayed over it (the recovery contract of
+        :mod:`repro.stream.wal`).  Corruption quarantines the index
+        exactly like :meth:`load_snapshot` — the process never crash
+        loops on a bad disk.
+        """
+        try:
+            stream = StreamingIndex.open(directory, verify=True)
+        except (
+            StreamError,
+            WalError,
+            SnapshotCorruptionError,
+            SnapshotError,
+            OSError,
+        ) as error:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_QUARANTINED_INDEXES)
+            state = IndexState(
+                name=name,
+                index=None,
+                flat=None,
+                breaker=self._new_breaker(name),
+                healthy=False,
+                error=f"{type(error).__name__}: {error}",
+                source=str(directory),
+            )
+            self._indexes[name] = state
+            return state
+        return self.register_stream(name, stream, source=str(directory))
+
+    def register_stream(
+        self, name: str, stream: StreamingIndex, *, source: "str | None" = None
+    ) -> IndexState:
+        """Serve the (already opened) streaming index under *name*."""
+        if not name:
+            raise ServeError("index name must be non-empty")
+        state = IndexState(
+            name=name,
+            index=stream.base,
+            flat=None,
+            breaker=self._new_breaker(name),
+            source=source,
+            stream=stream,
+        )
+        self._indexes[name] = state
+        return state
+
     @classmethod
     def from_snapshots(
         cls, specs: "Mapping[str, str]", **kwargs: Any
@@ -259,6 +327,12 @@ class ServeApp:
                     405, {"error": "method_not_allowed", "allow": "POST"}
                 )
             return await self._handle_query(request)
+        if request.path in ("/mutate", "/v1/mutate"):
+            if request.method != "POST":
+                return json_response(
+                    405, {"error": "method_not_allowed", "allow": "POST"}
+                )
+            return await self._handle_mutate(request)
         return json_response(404, {"error": "not_found", "path": request.path})
 
     def _readyz(self) -> HttpResponse:
@@ -358,10 +432,155 @@ class ServeApp:
         if obs.ENABLED:
             obs.observe(names.SERVE_LATENCY_S, duration_s)
         if self.event_log is not None:
+            degraded = (
+                isinstance(outcome, PartialResult) and outcome.report.degraded
+            )
             self.event_log.emit_outcome(
-                f"serve.{params['kind']}", outcome, duration_s
+                f"serve.{params['kind']}",
+                outcome,
+                duration_s,
+                tenant=tenant.name,
+                status=206 if degraded else 200,
             )
         return self._render_outcome(tenant, params, outcome, settled.attempts)
+
+    # ------------------------------------------------------------------
+    # The mutation path (streaming indexes only)
+    # ------------------------------------------------------------------
+    async def _handle_mutate(self, request: HttpRequest) -> HttpResponse:
+        """One durable mutation: validate → admit → WAL append → ack.
+
+        The 200 is sent only after the record is fsynced (the append
+        returns post-sync); a failed append answers 503 with
+        ``acked: false`` — the service never fabricates durability.
+        Invalid payloads are 400 with a typed ``ValidationError`` body,
+        and overload sheds with 429 exactly like the query path.
+        """
+        started = time.perf_counter()
+        tenant = self.policy.resolve(request.header("x-tenant-class") or None)
+        if obs.ENABLED:
+            obs.incr(names.SERVE_MUTATIONS)
+            obs.incr(names.tenant_outcome(tenant.name, "requests"))
+        try:
+            payload = request.json()
+        except ProtocolError as error:
+            return self._reject_mutation(tenant, str(error))
+        index_name = payload.get("index", "default")
+        if not isinstance(index_name, str) or not index_name:
+            return self._reject_mutation(
+                tenant, f"index must be a non-empty string, got {index_name!r}"
+            )
+        state = self._indexes.get(index_name)
+        if state is None:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_MUTATIONS_REJECTED)
+            return json_response(
+                404,
+                {
+                    "error": "unknown_index",
+                    "index": index_name,
+                    "known": sorted(self._indexes),
+                },
+            )
+        if state.quarantined:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_UNAVAILABLE)
+            return json_response(
+                503,
+                {
+                    "error": "index_quarantined",
+                    "index": state.name,
+                    "detail": state.error,
+                },
+            )
+        stream = state.stream
+        if stream is None:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_MUTATIONS_REJECTED)
+            return json_response(
+                409,
+                {
+                    "error": "immutable_index",
+                    "index": state.name,
+                    "message": "index was loaded from a frozen snapshot; "
+                    "serve it with --stream to accept mutations",
+                },
+            )
+        try:
+            op, key, sphere = validate_mutation(
+                {k: v for k, v in payload.items() if k != "index"},
+                stream.dimension,
+            )
+        except ValidationError as error:
+            return self._reject_mutation(tenant, str(error))
+
+        decision = self.admission.try_admit(tenant)
+        if not decision.admitted:
+            return self._shed(
+                tenant, decision.reason or "queue_full", decision.retry_after_s
+            )
+
+        def mutate_sync() -> int:
+            if op == "insert":
+                assert sphere is not None
+                return stream.insert(key, sphere)
+            return stream.delete(key)
+
+        try:
+            async with self.admission.slot():
+                loop = asyncio.get_running_loop()
+                seq = await loop.run_in_executor(self._executor, mutate_sync)
+        except (StreamError, OSError, ArithmeticError) as error:
+            # The append (or its fsync) failed — including an injected
+            # WAL-seam explosion: nothing was acked, and saying so
+            # honestly beats a fabricated 200.
+            if obs.ENABLED:
+                obs.incr(names.SERVE_MUTATIONS_REJECTED)
+            return json_response(
+                503,
+                {
+                    "error": "mutation_failed",
+                    "acked": False,
+                    "message": f"{type(error).__name__}: {error}",
+                },
+            )
+        duration_s = time.perf_counter() - started
+        if obs.ENABLED:
+            obs.incr(names.SERVE_MUTATIONS_ACKED)
+            obs.incr(names.tenant_outcome(tenant.name, "ok"))
+        if self.event_log is not None:
+            self.event_log.emit_outcome(
+                "serve.mutate", [], duration_s, tenant=tenant.name, status=200
+            )
+        return json_response(
+            200,
+            {
+                "acked": True,
+                "seq": seq,
+                "op": op,
+                "key": key,
+                "index": state.name,
+                "tenant_class": tenant.name,
+            },
+        )
+
+    def _reject_mutation(
+        self, tenant: TenantClass, message: str
+    ) -> HttpResponse:
+        if obs.ENABLED:
+            obs.incr(names.SERVE_MUTATIONS_REJECTED)
+        if self.event_log is not None:
+            self.event_log.emit_outcome(
+                "serve.mutate", [], 0.0, tenant=tenant.name, status=400
+            )
+        return json_response(
+            400,
+            {
+                "error": "validation",
+                "type": "ValidationError",
+                "message": message,
+            },
+        )
 
     def _attempt_factory(
         self,
@@ -415,6 +634,10 @@ class ServeApp:
         if obs.ENABLED:
             obs.incr(names.SERVE_RESPONSES_SHED)
             obs.incr(names.tenant_outcome(tenant.name, "shed"))
+        if self.event_log is not None:
+            self.event_log.emit_outcome(
+                "serve.shed", [], 0.0, tenant=tenant.name, status=429
+            )
         retry_after = max(retry_after_s, 0.05)
         return json_response(
             429,
@@ -581,6 +804,25 @@ def _execute_query(state: IndexState, params: "dict[str, Any]") -> Any:
     maps it onto a 400 — see :meth:`ServeApp._handle_query`.
     """
     kind = params["kind"]
+    stream = state.stream
+    if stream is not None:
+        # Streaming index: the engine captures a consistent (base,
+        # overlay) pair under its lock and merges at query time.
+        if kind == "knn":
+            return stream.query_knn(
+                params["query"],
+                params["k"],
+                criterion=params["criterion"],
+                strategy=params["strategy"],
+                algorithm=params["algorithm"],
+            )
+        if kind == "rknn":
+            return stream.query_rknn(
+                params["query"], criterion=params["criterion"]
+            )
+        return stream.query_dominating(
+            params["query"], params["k"], criterion=params["criterion"]
+        )
     assert state.index is not None and state.flat is not None
     if kind == "knn":
         return knn_query(

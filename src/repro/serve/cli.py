@@ -12,10 +12,20 @@ suite.  A corrupt snapshot does **not** abort boot: the index comes up
 quarantined, ``/readyz`` says so, and queries against it answer 503
 (see ``docs/serving.md`` for the runbook).
 
+``--stream NAME=DIR`` serves a *mutable* streaming index from DIR (a
+directory created with ``repro stream init``): the snapshot is
+integrity-checked, the write-ahead log is replayed over it, and
+``POST /mutate`` accepts durable inserts/deletes (see
+``docs/streaming.md``).
+
 ``repro serve smoke`` runs the self-contained smoke scenario
 (:mod:`repro.serve.smoke`): boot on a fixture snapshot, fire a burst of
 queries with a fault seam enabled, and fail unless every response is
 200/206/429 and ``/metrics`` scrapes.
+
+``repro serve slo`` aggregates a ``--event-log`` JSONL file into
+per-tenant p50/p95/p99 latency and shed/degraded/error counts
+(:mod:`repro.serve.slo`).
 
 ``--deadline-ms`` is validated at this boundary
 (:func:`repro.queries.validation.validate_deadline_ms`): a negative,
@@ -63,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve the snapshot at PATH under index NAME (repeatable); "
             "a corrupt snapshot quarantines the index instead of aborting"
+        ),
+    )
+    parser.add_argument(
+        "--stream",
+        action="append",
+        default=[],
+        metavar="NAME=DIR",
+        help=(
+            "serve the streaming index directory DIR under NAME "
+            "(repeatable); the WAL is replayed at boot and POST /mutate "
+            "accepts durable inserts/deletes"
         ),
     )
     parser.add_argument(
@@ -152,6 +173,21 @@ def build_app(args: argparse.Namespace) -> ServeApp:
         seed=args.seed,
     )
     specs = _parse_snapshot_specs(args.snapshot)
+    stream_specs = _parse_snapshot_specs(getattr(args, "stream", []))
+    overlap = set(specs) & set(stream_specs)
+    if overlap:
+        raise ReproError(
+            f"index name(s) given to both --snapshot and --stream: "
+            f"{sorted(overlap)}"
+        )
+    for name, directory in stream_specs.items():
+        state = app.load_stream(name, directory)
+        if state.quarantined:
+            print(
+                f"warning: streaming index {name!r} quarantined at boot: "
+                f"{state.error}",
+                file=sys.stderr,
+            )
     if specs:
         for name, path in specs.items():
             state = app.load_snapshot(name, path)
@@ -161,7 +197,7 @@ def build_app(args: argparse.Namespace) -> ServeApp:
                     f"{state.error}",
                     file=sys.stderr,
                 )
-    else:
+    elif not stream_specs:
         from repro.data.synthetic import synthetic_dataset
         from repro.index.sstree import SSTree
 
@@ -190,6 +226,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         from repro.serve.smoke import main as smoke_main
 
         return smoke_main(arguments[1:])
+    if arguments and arguments[0] == "slo":
+        from repro.serve.slo import main as slo_main
+
+        return slo_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
     obs.enable()

@@ -1,0 +1,162 @@
+"""``repro serve slo`` — SLO aggregation over the JSONL event log.
+
+The serving front end can append one structured
+:class:`~repro.obs.export.QueryEvent` per request (``--event-log``);
+each record carries the tenant class and the HTTP status it was
+answered with.  This module folds that log into the numbers an
+operator actually pages on: per-tenant p50/p95/p99 latency and the
+shed / degraded / error tallies::
+
+    repro serve slo /var/log/repro/queries.jsonl
+    repro serve slo /var/log/repro/queries.jsonl --json
+
+Events written before the ``tenant``/``status`` fields existed (or by
+non-serving code, which never sets them) aggregate under tenant
+``"unknown"`` with their status bucketed as ``ok`` — the tool degrades
+on old logs instead of refusing them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.export import QueryEvent, read_events
+
+__all__ = ["TenantSlo", "aggregate", "build_parser", "main"]
+
+#: Latency quantiles reported per tenant.
+QUANTILES = (0.50, 0.95, 0.99)
+
+
+def _quantile(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank quantile over an already-sorted, non-empty list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(int(q * len(sorted_values) + 0.5), 1)
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class TenantSlo:
+    """One tenant class's aggregated service-level numbers."""
+
+    tenant: str
+    requests: int = 0
+    ok: int = 0
+    degraded: int = 0
+    shed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    #: Latencies (seconds) of the requests that actually executed —
+    #: sheds and rejections are control-plane refusals, not latency.
+    latencies_s: "list[float]" = field(default_factory=list)
+
+    def add(self, event: QueryEvent) -> None:
+        self.requests += 1
+        status = event.status or 200
+        if status == 200:
+            self.ok += 1
+        elif status == 206:
+            self.degraded += 1
+        elif status == 429:
+            self.shed += 1
+        elif 400 <= status < 500:
+            self.rejected += 1
+        else:
+            self.errors += 1
+        if status in (200, 206):
+            self.latencies_s.append(float(event.duration_s))
+
+    def to_dict(self) -> "dict[str, object]":
+        ordered = sorted(self.latencies_s)
+        return {
+            "tenant": self.tenant,
+            "requests": self.requests,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "latency_s": {
+                f"p{int(q * 100)}": _quantile(ordered, q) for q in QUANTILES
+            },
+        }
+
+
+def aggregate(events: "Sequence[QueryEvent]") -> "dict[str, TenantSlo]":
+    """Fold *events* into per-tenant SLO summaries (tenant-sorted)."""
+    table: "dict[str, TenantSlo]" = {}
+    for event in events:
+        tenant = event.tenant or "unknown"
+        slo = table.get(tenant)
+        if slo is None:
+            slo = table[tenant] = TenantSlo(tenant=tenant)
+        slo.add(event)
+    return dict(sorted(table.items()))
+
+
+def _render_table(table: "dict[str, TenantSlo]") -> str:
+    header = (
+        f"{'tenant':<14} {'reqs':>6} {'ok':>6} {'206':>5} {'429':>5} "
+        f"{'4xx':>5} {'5xx':>5} {'p50ms':>8} {'p95ms':>8} {'p99ms':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for slo in table.values():
+        stats = slo.to_dict()
+        latency = stats["latency_s"]
+        assert isinstance(latency, dict)
+        lines.append(
+            f"{slo.tenant:<14} {slo.requests:>6} {slo.ok:>6} "
+            f"{slo.degraded:>5} {slo.shed:>5} {slo.rejected:>5} "
+            f"{slo.errors:>5} "
+            f"{latency['p50'] * 1e3:>8.2f} "
+            f"{latency['p95'] * 1e3:>8.2f} "
+            f"{latency['p99'] * 1e3:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve slo",
+        description=(
+            "Aggregate a serve event log (JSONL) into per-tenant "
+            "p50/p95/p99 latency and shed/degraded/error counts."
+        ),
+    )
+    parser.add_argument("log", help="path to the JSONL event log")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(
+        list(sys.argv[1:] if argv is None else argv)
+    )
+    try:
+        events = read_events(args.log)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"slo error: cannot read {args.log!r}: {error}", file=sys.stderr)
+        return 1
+    table = aggregate(events)
+    if args.json:
+        print(
+            json.dumps(
+                {name: slo.to_dict() for name, slo in table.items()},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif not table:
+        print("no events in log")
+    else:
+        print(_render_table(table))
+    return 0

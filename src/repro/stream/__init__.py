@@ -1,0 +1,42 @@
+"""Durable streaming mutations over immutable snapshot-backed indexes.
+
+The paper's dominance queries were served only from bulk-loaded,
+immutable snapshots; this package turns that archive into a live system
+the robustness-first way — every acknowledged mutation survives a crash
+at any instant, and recovery always produces a consistent index:
+
+- :mod:`repro.stream.wal` — a CRC32-framed, versioned write-ahead log
+  with atomic append, fsync-on-ack, segment rotation, and
+  truncate-at-first-bad-frame recovery for torn/partial/corrupt tails;
+- :mod:`repro.stream.overlay` — the mutable delta overlay (a memtable
+  of inserts plus a tombstone set for deletes) merged into
+  kNN/RkNN/top-k-dominating results at query time;
+- :mod:`repro.stream.compact` — the checkpoint/compaction cycle that
+  folds overlay + base snapshot into a fresh snapshot atomically and
+  then truncates the WAL;
+- :mod:`repro.stream.engine` — :class:`StreamingIndex`, the pipeline
+  tying the three together behind ``insert``/``delete``/``query_*``.
+
+The crash matrix (``tests/test_stream_chaos.py``) kills a child process
+at every WAL/compaction seam under load and asserts that recovery loses
+no acked mutation, applies no partial mutation, and answers queries
+bit-identically to an oracle replay of the recovered history.  See
+``docs/streaming.md`` for the WAL format, the recovery contract and the
+compaction state machine.
+"""
+
+from __future__ import annotations
+
+from repro.stream.compact import CompactionResult, compact
+from repro.stream.engine import StreamingIndex
+from repro.stream.overlay import DeltaOverlay
+from repro.stream.wal import Mutation, WriteAheadLog
+
+__all__ = [
+    "CompactionResult",
+    "DeltaOverlay",
+    "Mutation",
+    "StreamingIndex",
+    "WriteAheadLog",
+    "compact",
+]

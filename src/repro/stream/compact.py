@@ -1,0 +1,138 @@
+"""Checkpoint/compaction: fold the overlay into a fresh base snapshot.
+
+The compaction state machine has exactly four externally visible steps,
+and a crash between *any* two of them recovers to a consistent state —
+either entirely the old snapshot-plus-WAL or entirely the new snapshot,
+never a hybrid:
+
+1. **Fold + save** — build the effective dataset
+   (:meth:`~repro.stream.overlay.DeltaOverlay.fold` over the live base),
+   rebuild an index of the same kind, and
+   :func:`~repro.index.snapshot.save` it to ``<base>.next``.  ``save``
+   is internally atomic (tmp + fsync + rename), so a crash here leaves
+   at most a stray ``.next`` file that the next compaction overwrites.
+2. **Rename** — :func:`_rename` (``os.replace``, the ``compact_rename``
+   fault seam) moves ``<base>.next`` over the live snapshot path, then
+   the directory is fsynced.  This is the commit point.
+3. **WAL truncate** — the log's records are now folded into the base,
+   so the segments are deleted.  A crash *before* this step is safe
+   because WAL replay is idempotent over the new snapshot: inserts are
+   upserts and deletes are idempotent tombstones, so re-applying the
+   already-folded history changes nothing.
+4. **Overlay clear** — in-memory only; rebuilt from the (now empty)
+   WAL on restart regardless.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro import obs
+from repro.exceptions import CompactionError
+from repro.index import snapshot as snapshot_io
+from repro.index.linear import LinearIndex
+from repro.index.mtree import MTree
+from repro.index.sstree import SSTree
+from repro.index.vptree import VPTree
+from repro.obs import names
+from repro.stream.overlay import DeltaOverlay
+from repro.stream.wal import WriteAheadLog, _fsync_directory
+
+__all__ = ["CompactionResult", "compact", "rebuild_like"]
+
+
+def _rename(source: str, destination: str) -> None:
+    """Atomically commit the new snapshot; the ``compact_rename`` seam."""
+    os.replace(source, destination)
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one compaction cycle did."""
+
+    entries: int
+    dropped_tombstones: int
+    snapshot_bytes: int
+    wal_segments_removed: int
+
+
+def rebuild_like(template: object, entries: "list") -> object:
+    """Build an index of the same kind as *template* over *entries*."""
+    if isinstance(template, LinearIndex):
+        return LinearIndex(entries)
+    if isinstance(template, SSTree):
+        return SSTree.bulk_load(entries, max_entries=template.max_entries)
+    if isinstance(template, MTree):
+        return MTree.build(entries, max_entries=template.max_entries)
+    if isinstance(template, VPTree):
+        return VPTree.build(entries, leaf_capacity=template.leaf_capacity)
+    raise CompactionError(
+        f"cannot rebuild index of kind {type(template).__name__!r}"
+    )
+
+
+def compact(
+    base_index: object,
+    overlay: DeltaOverlay,
+    wal: WriteAheadLog,
+    snapshot_path: str,
+) -> "tuple[object, CompactionResult]":
+    """Fold *overlay* into *base_index* and commit a fresh snapshot.
+
+    Returns the new base index and a :class:`CompactionResult`.  On any
+    failure before the rename, the old snapshot and WAL are untouched;
+    after the rename, replaying the surviving WAL over the new snapshot
+    is a no-op (idempotence), so every crash point recovers cleanly.
+    """
+    with obs.trace(names.COMPACT_RUN_SPAN):
+        folded = overlay.fold(iter(base_index))  # type: ignore[call-overload]
+        if not folded:
+            raise CompactionError(
+                "compaction would produce an empty index; "
+                "refusing to fold away the last entry"
+            )
+        dropped = len(overlay.tombstones)
+        try:
+            new_index = rebuild_like(base_index, folded)
+        except CompactionError:
+            raise
+        except Exception as error:
+            if obs.ENABLED:
+                obs.incr(names.COMPACT_FAILURES)
+            raise CompactionError(f"index rebuild failed: {error}") from error
+
+        next_path = snapshot_path + ".next"
+        try:
+            summary = snapshot_io.save(new_index, next_path)
+        except Exception as error:
+            if obs.ENABLED:
+                obs.incr(names.COMPACT_FAILURES)
+            raise CompactionError(f"snapshot save failed: {error}") from error
+
+        try:
+            _rename(next_path, snapshot_path)
+        except Exception as error:
+            if obs.ENABLED:
+                obs.incr(names.COMPACT_FAILURES)
+            try:
+                os.unlink(next_path)
+            except OSError:
+                pass
+            raise CompactionError(f"snapshot commit failed: {error}") from error
+        _fsync_directory(os.path.dirname(snapshot_path) or ".")
+
+        # Commit point passed: the WAL is now redundant.
+        removed = wal.truncate()
+        overlay.clear()
+
+    if obs.ENABLED:
+        obs.incr(names.COMPACT_RUNS)
+        obs.incr(names.COMPACT_FOLDED_ENTRIES, len(folded))
+        obs.incr(names.COMPACT_DROPPED_TOMBSTONES, dropped)
+    return new_index, CompactionResult(
+        entries=len(folded),
+        dropped_tombstones=dropped,
+        snapshot_bytes=int(summary["bytes"]),
+        wal_segments_removed=removed,
+    )

@@ -1,0 +1,298 @@
+""":class:`StreamingIndex` — the durable mutation pipeline, assembled.
+
+Layout of a streaming index directory::
+
+    <dir>/base.snap    immutable snapshot (repro.index.snapshot format)
+    <dir>/wal/         write-ahead log segments (repro.stream.wal)
+
+The lifecycle is create → open → mutate/query → checkpoint → reopen:
+
+- :meth:`StreamingIndex.create` bulk-loads the initial dataset and
+  saves the base snapshot;
+- :meth:`StreamingIndex.open` loads (and optionally ``verify``-checks)
+  the snapshot, then replays the WAL into a fresh
+  :class:`~repro.stream.overlay.DeltaOverlay` — the warm-restart path;
+- :meth:`insert` / :meth:`delete` append to the WAL, fsync, apply to
+  the overlay, and only then return the assigned sequence number — the
+  returned seq *is* the durability ack;
+- :meth:`query_knn` / :meth:`query_rknn` / :meth:`query_dominating`
+  run the existing certified query paths with the overlay merged in;
+- :meth:`checkpoint` folds overlay + base into a fresh snapshot via
+  :func:`repro.stream.compact.compact` and truncates the WAL.
+
+Thread safety: mutations and checkpoints serialise on an internal
+lock; queries grab an overlay snapshot under the lock and then run
+lock-free, so a long query never blocks the ingest path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro import obs
+from repro.exceptions import StreamError
+from repro.geometry.hypersphere import Hypersphere
+from repro.index import snapshot as snapshot_io
+from repro.obs import names
+from repro.queries.dominating import top_k_dominating
+from repro.queries.knn import knn_query
+from repro.queries.rknn import rnn_candidates
+from repro.queries.validation import validate_query
+from repro.stream.compact import CompactionResult, compact, rebuild_like
+from repro.stream.overlay import DeltaOverlay
+from repro.stream.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    Mutation,
+    WriteAheadLog,
+)
+
+__all__ = ["SNAPSHOT_NAME", "WAL_DIRNAME", "StreamingIndex"]
+
+SNAPSHOT_NAME = "base.snap"
+WAL_DIRNAME = "wal"
+
+
+class StreamingIndex:
+    """A mutable, crash-durable index over an immutable base snapshot."""
+
+    def __init__(
+        self,
+        directory: str,
+        base: object,
+        wal: WriteAheadLog,
+        overlay: DeltaOverlay,
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self._base = base
+        self._wal = wal
+        self._overlay = overlay
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        entries: "list[tuple[object, Hypersphere]]",
+        *,
+        kind: str = "linear",
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> "StreamingIndex":
+        """Initialise *directory* with a base snapshot over *entries*."""
+        from repro.index.linear import LinearIndex
+        from repro.index.mtree import MTree
+        from repro.index.sstree import SSTree
+        from repro.index.vptree import VPTree
+
+        builders = {
+            "linear": LinearIndex,
+            "sstree": lambda items: SSTree.bulk_load(items),
+            "mtree": lambda items: MTree.build(items),
+            "vptree": lambda items: VPTree.build(items),
+        }
+        if kind not in builders:
+            raise StreamError(
+                f"unknown index kind {kind!r}; use one of {sorted(builders)}"
+            )
+        if not entries:
+            raise StreamError("cannot create a streaming index with no entries")
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        index = builders[kind](list(entries))
+        snapshot_io.save(index, os.path.join(directory, SNAPSHOT_NAME))
+        return cls.open(directory, segment_bytes=segment_bytes)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        *,
+        verify: bool = False,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> "StreamingIndex":
+        """Warm restart: load the snapshot, replay the WAL, serve.
+
+        With ``verify=True`` the snapshot passes the full
+        :func:`repro.index.snapshot.verify` integrity check before use
+        (the quarantine path the serve CLI takes).
+        """
+        directory = os.fspath(directory)
+        snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
+        if not os.path.exists(snapshot_path):
+            raise StreamError(
+                f"no base snapshot at {snapshot_path}; "
+                "use StreamingIndex.create first"
+            )
+        with obs.trace(names.STREAM_OPEN_SPAN):
+            if verify:
+                snapshot_io.verify(snapshot_path)
+            base = snapshot_io.load(snapshot_path)
+            wal = WriteAheadLog.open(
+                os.path.join(directory, WAL_DIRNAME),
+                segment_bytes=segment_bytes,
+            )
+            overlay = DeltaOverlay()
+            for record in wal.records():
+                overlay.apply(record)
+            if obs.ENABLED and wal.replayed:
+                obs.incr(names.STREAM_REPLAYS)
+        return cls(directory, base, wal, overlay)
+
+    def close(self) -> None:
+        with self._lock:
+            self._wal.close()
+            self._closed = True
+
+    def __enter__(self) -> "StreamingIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self._base.dimension  # type: ignore[attr-defined]
+
+    @property
+    def base(self) -> object:
+        """The immutable base index (replaced only by checkpoints)."""
+        return self._base
+
+    @property
+    def overlay(self) -> DeltaOverlay:
+        return self._overlay
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    @property
+    def last_seq(self) -> int:
+        """The highest acked sequence number (0 when none yet)."""
+        return self._wal.next_seq - 1
+
+    def effective_entries(self) -> "list[tuple[object, Hypersphere]]":
+        """The merged dataset: base minus shadowed, plus memtable."""
+        with self._lock:
+            overlay = self._overlay.snapshot()
+            base = self._base
+        return overlay.fold(iter(base))  # type: ignore[call-overload]
+
+    def __len__(self) -> int:
+        return len(self.effective_entries())
+
+    # ------------------------------------------------------------------
+    # Mutations (acked == durable)
+    # ------------------------------------------------------------------
+    def insert(self, key: object, sphere: Hypersphere) -> int:
+        """Durably upsert ``key -> sphere``; returns the acked seq."""
+        validate_query(sphere, self.dimension)
+        started = time.perf_counter()
+        with self._lock:
+            self._ensure_open()
+            acked = self._wal.append(Mutation.insert(key, sphere))
+            self._overlay.insert(acked.key, sphere)
+            overlay_size = len(self._overlay)
+        if obs.ENABLED:
+            obs.incr(names.STREAM_INSERTS)
+            obs.incr(names.STREAM_MUTATIONS_ACKED)
+            obs.observe(names.STREAM_OVERLAY_SIZE, overlay_size)
+            obs.observe(
+                names.STREAM_MUTATE_LATENCY_S, time.perf_counter() - started
+            )
+        return acked.seq
+
+    def delete(self, key: object) -> int:
+        """Durably tombstone *key*; returns the acked seq.
+
+        Deleting an absent key is allowed (the tombstone is idempotent)
+        — at-least-once clients can retry safely.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            self._ensure_open()
+            acked = self._wal.append(Mutation.delete(key))
+            self._overlay.delete(acked.key)
+            overlay_size = len(self._overlay)
+        if obs.ENABLED:
+            obs.incr(names.STREAM_DELETES)
+            obs.incr(names.STREAM_MUTATIONS_ACKED)
+            obs.observe(names.STREAM_OVERLAY_SIZE, overlay_size)
+            obs.observe(
+                names.STREAM_MUTATE_LATENCY_S, time.perf_counter() - started
+            )
+        return acked.seq
+
+    def apply(self, mutation: Mutation) -> int:
+        """Append a pre-built mutation (op dispatch helper)."""
+        if mutation.op == "insert":
+            return self.insert(mutation.key, mutation.sphere())
+        return self.delete(mutation.key)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StreamError("streaming index is closed")
+
+    # ------------------------------------------------------------------
+    # Queries (overlay-merged, same certified cascade)
+    # ------------------------------------------------------------------
+    def _capture(self) -> "tuple[object, DeltaOverlay]":
+        with self._lock:
+            return self._base, self._overlay.snapshot()
+
+    def query_knn(self, query: Hypersphere, k: int, **kwargs: object) -> object:
+        base, overlay = self._capture()
+        return knn_query(base, query, k, overlay=overlay, **kwargs)  # type: ignore[arg-type]
+
+    def query_rknn(self, query: Hypersphere, **kwargs: object) -> object:
+        base, overlay = self._capture()
+        return rnn_candidates(base, query, overlay=overlay, **kwargs)  # type: ignore[arg-type]
+
+    def query_dominating(
+        self, query: Hypersphere, k: int, **kwargs: object
+    ) -> object:
+        base, overlay = self._capture()
+        return top_k_dominating(base, query, k, overlay=overlay, **kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Checkpoint / compaction
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> CompactionResult:
+        """Fold the overlay into a fresh base snapshot and truncate.
+
+        Serialises against mutations; a crash at any point recovers to
+        the old state (pre-rename) or the new one (post-rename), never
+        a hybrid — see :mod:`repro.stream.compact`.
+        """
+        with self._lock:
+            self._ensure_open()
+            if not self._overlay:
+                return CompactionResult(
+                    entries=len(self._base),  # type: ignore[arg-type]
+                    dropped_tombstones=0,
+                    snapshot_bytes=0,
+                    wal_segments_removed=0,
+                )
+            new_base, result = compact(
+                self._base,
+                self._overlay,
+                self._wal,
+                os.path.join(self.directory, SNAPSHOT_NAME),
+            )
+            self._base = new_base
+        return result
+
+    def rebuild_base(self) -> None:
+        """Fold in memory only (no snapshot write) — test/bench helper."""
+        with self._lock:
+            folded = self._overlay.fold(iter(self._base))  # type: ignore[call-overload]
+            self._base = rebuild_like(self._base, folded)
+            self._overlay.clear()

@@ -1,0 +1,497 @@
+"""The write-ahead log behind durable streaming mutations.
+
+Every mutation is durable *before* it is acknowledged: :meth:`append`
+frames the record, writes it through :func:`_io_write`, flushes, and
+fsyncs through :func:`_fsync` — only then does the caller ack.  The
+on-disk format mirrors the snapshot framing of
+:mod:`repro.index.snapshot` byte for byte in spirit:
+
+- each **segment** file (``wal-<number>.log``) starts with a magic
+  string and a format version;
+- each **record** is framed as ``length || payload || crc32(payload)``
+  where the payload is compact JSON carrying the mutation's sequence
+  number, operation, key and geometry.
+
+Segments rotate once they exceed ``segment_bytes``; sequence numbers
+are monotone across segments and compactions, so an acked seq uniquely
+names one mutation forever.
+
+**Recovery contract (truncate-at-first-bad-frame).**  A crash can tear
+the final frame: a short length header, a partial payload, a missing or
+wrong CRC.  :meth:`WriteAheadLog.open` replays segments in order and
+stops at the first frame that fails any check; that segment is
+truncated at the last good frame and every later segment is deleted.
+Everything *before* the bad frame — which is exactly the acked history,
+because frames are written and fsynced in order — is preserved.  A
+CRC-valid frame whose payload is semantically malformed is different:
+that is a software bug, not a torn write, and it surfaces as a typed
+:class:`~repro.exceptions.WalCorruptionError` rather than silent data
+loss.
+
+Raw I/O goes through the module attributes :func:`_io_write`,
+:func:`_io_read` and :func:`_fsync` so the fault harness
+(:mod:`repro.robust.faults`, seams ``"wal_append"`` / ``"wal_read"`` /
+``"wal_fsync"``) can corrupt bytes, skip syncs or explode mid-call; the
+crash matrix additionally kills whole processes at these seams.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from repro import obs
+from repro.exceptions import WalCorruptionError, WalError
+from repro.geometry.hypersphere import Hypersphere
+from repro.index.snapshot import _decode_key, _encode_key
+from repro.obs import names
+
+__all__ = ["MAGIC", "VERSION", "Mutation", "WriteAheadLog"]
+
+MAGIC = b"HSDOMWAL"
+VERSION = 1
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+#: Segment header: magic, format version, and the seq hint — the last
+#: sequence number the log had assigned when this segment was created.
+#: The hint is what keeps seqs monotone across a compaction (which
+#: deletes every record) followed by a restart.
+_HEADER_LEN = len(MAGIC) + _U32.size + _U64.size
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+#: Default rotation threshold — small enough that the rotation path is
+#: exercised by realistic test workloads, large enough to amortise the
+#: per-segment header.
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+OPS = ("insert", "delete")
+
+
+# ----------------------------------------------------------------------
+# Raw I/O seams (patched by repro.robust.faults and the crash matrix)
+# ----------------------------------------------------------------------
+def _io_write(handle: BinaryIO, data: bytes) -> None:
+    """Write *data*; the ``wal_append`` fault seam wraps this attribute."""
+    handle.write(data)
+
+
+def _io_read(handle: BinaryIO, size: int) -> bytes:
+    """Read up to *size* bytes; the ``wal_read`` seam wraps this."""
+    return handle.read(size)
+
+
+def _fsync(fileno: int) -> None:
+    """Durably flush *fileno*; the ``wal_fsync`` seam wraps this."""
+    os.fsync(fileno)
+
+
+# ----------------------------------------------------------------------
+# The mutation record
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Mutation:
+    """One durable mutation: an upsert of a keyed sphere, or a delete.
+
+    ``seq`` is assigned by the WAL at append time and is unique and
+    monotone for the lifetime of the log directory.  Deletes carry no
+    geometry (``center``/``radius`` are ``None``).
+    """
+
+    seq: int
+    op: str
+    key: object
+    center: "tuple[float, ...] | None" = None
+    radius: "float | None" = None
+
+    def sphere(self) -> Hypersphere:
+        """The inserted geometry (raises for deletes)."""
+        if self.op != "insert" or self.center is None or self.radius is None:
+            raise WalError(f"mutation {self.seq} ({self.op}) carries no sphere")
+        return Hypersphere(list(self.center), self.radius)
+
+    def to_payload(self) -> bytes:
+        body: "dict[str, object]" = {
+            "seq": self.seq,
+            "op": self.op,
+            "key": _encode_key(self.key),
+        }
+        if self.op == "insert":
+            body["center"] = list(self.center or ())
+            body["radius"] = self.radius
+        try:
+            return json.dumps(
+                body, allow_nan=False, separators=(",", ":")
+            ).encode("utf-8")
+        except ValueError as error:
+            raise WalError(f"cannot serialise mutation: {error}") from error
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Mutation":
+        """Decode a CRC-valid payload (malformed ⇒ typed corruption)."""
+        try:
+            body = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WalCorruptionError(
+                f"WAL record is not valid JSON despite a passing CRC: {error}"
+            ) from error
+        if not isinstance(body, dict):
+            raise WalCorruptionError("WAL record is not a JSON object")
+        try:
+            seq = int(body["seq"])
+            op = str(body["op"])
+            key = _decode_key(body["key"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise WalCorruptionError(
+                f"WAL record is structurally malformed: {error}"
+            ) from error
+        if op not in OPS:
+            raise WalCorruptionError(f"WAL record has unknown op {op!r}")
+        if op == "delete":
+            return cls(seq=seq, op=op, key=key)
+        try:
+            center = tuple(float(c) for c in body["center"])
+            radius = float(body["radius"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise WalCorruptionError(
+                f"WAL insert record has malformed geometry: {error}"
+            ) from error
+        return cls(seq=seq, op=op, key=key, center=center, radius=radius)
+
+    @classmethod
+    def insert(cls, key: object, sphere: Hypersphere, seq: int = 0) -> "Mutation":
+        return cls(
+            seq=seq,
+            op="insert",
+            key=key,
+            center=tuple(float(c) for c in sphere.center),
+            radius=float(sphere.radius),
+        )
+
+    @classmethod
+    def delete(cls, key: object, seq: int = 0) -> "Mutation":
+        return cls(seq=seq, op="delete", key=key)
+
+
+def _frame(payload: bytes) -> bytes:
+    return (
+        _U32.pack(len(payload))
+        + payload
+        + _U32.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+    )
+
+
+def _segment_name(number: int) -> str:
+    return f"wal-{number:08d}.log"
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort directory fsync so creates/unlinks are durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@dataclass
+class _ScanResult:
+    """One segment's replay outcome: good records and the good prefix."""
+
+    records: "list[Mutation]"
+    good_bytes: int
+    torn: bool
+    seq_hint: int = 0
+
+
+def _scan_segment(path: str) -> _ScanResult:
+    """Parse one segment; stop (without raising) at the first bad frame.
+
+    Returns the decoded records, the byte offset of the end of the last
+    good frame, and whether a bad frame was hit.  Only a CRC-valid but
+    semantically malformed payload raises (software bug, not torn
+    write).
+    """
+    size = os.path.getsize(path)
+    records: "list[Mutation]" = []
+    with open(path, "rb") as handle:
+        try:
+            header = _io_read(handle, _HEADER_LEN)
+        except ArithmeticError:
+            return _ScanResult(records, 0, True)
+        if (
+            len(header) != _HEADER_LEN
+            or header[: len(MAGIC)] != MAGIC
+            or _U32.unpack(header[len(MAGIC) : len(MAGIC) + _U32.size])[0]
+            != VERSION
+        ):
+            # A torn or foreign segment header: nothing here is provably
+            # ours, so the good prefix is empty.
+            return _ScanResult(records, 0, True)
+        (seq_hint,) = _U64.unpack(header[len(MAGIC) + _U32.size :])
+        offset = _HEADER_LEN
+        while offset < size:
+            try:
+                length_raw = _io_read(handle, _U32.size)
+                if len(length_raw) != _U32.size:
+                    return _ScanResult(records, offset, True, seq_hint)
+                (length,) = _U32.unpack(length_raw)
+                if length == 0:
+                    # No mutation serialises to zero bytes, but a zeroed
+                    # sector does — and it would pass the CRC check
+                    # (crc32(b"") == 0).  Treat it as a torn write.
+                    return _ScanResult(records, offset, True, seq_hint)
+                if offset + _U32.size + length + _U32.size > size:
+                    return _ScanResult(records, offset, True, seq_hint)
+                payload = _io_read(handle, length)
+                if len(payload) != length:
+                    return _ScanResult(records, offset, True, seq_hint)
+                crc_raw = _io_read(handle, _U32.size)
+                if len(crc_raw) != _U32.size:
+                    return _ScanResult(records, offset, True, seq_hint)
+            except ArithmeticError:
+                # A raising read seam is indistinguishable from an
+                # unreadable sector: recover the prefix.
+                return _ScanResult(records, offset, True, seq_hint)
+            (expected,) = _U32.unpack(crc_raw)
+            if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+                return _ScanResult(records, offset, True, seq_hint)
+            records.append(Mutation.from_payload(payload))
+            offset += _U32.size + length + _U32.size
+    return _ScanResult(records, offset, False, seq_hint)
+
+
+class WriteAheadLog:
+    """A segmented, CRC-framed, fsync-on-ack write-ahead log.
+
+    Use :meth:`open` to create-or-recover a log in a directory::
+
+        wal = WriteAheadLog.open("/var/lib/repro/stream/wal")
+        mutation = wal.append(Mutation.insert("a", sphere))
+        # mutation.seq is durable here — safe to ack
+
+    ``replayed`` holds the records recovered at open time (in order);
+    ``truncated_frames`` counts bad tails dropped by recovery.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        if segment_bytes < _HEADER_LEN + 3 * _U32.size:
+            raise WalError(
+                f"segment_bytes={segment_bytes} cannot hold even one record"
+            )
+        self.directory = os.fspath(directory)
+        self.segment_bytes = int(segment_bytes)
+        self.replayed: "list[Mutation]" = []
+        self.truncated_frames = 0
+        self._next_seq = 1
+        self._segment_number = 1
+        self._handle: "BinaryIO | None" = None
+        self._segment_size = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Open / recover
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> "WriteAheadLog":
+        """Create or recover the log at *directory* (made if missing)."""
+        wal = cls(directory, segment_bytes=segment_bytes)
+        os.makedirs(wal.directory, exist_ok=True)
+        with obs.trace(names.WAL_REPLAY_SPAN):
+            wal._recover()
+        return wal
+
+    def _segment_paths(self) -> "list[tuple[int, str]]":
+        found: "list[tuple[int, str]]" = []
+        for name in os.listdir(self.directory):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                found.append(
+                    (int(match.group(1)), os.path.join(self.directory, name))
+                )
+        return sorted(found)
+
+    def _recover(self) -> None:
+        segments = self._segment_paths()
+        truncated = False
+        seq_hint = 0
+        for position, (number, path) in enumerate(segments):
+            if truncated:
+                # Everything after the first bad frame is logically
+                # beyond the durable history: drop it.
+                os.unlink(path)
+                self.truncated_frames += 1
+                continue
+            scan = _scan_segment(path)
+            self.replayed.extend(scan.records)
+            seq_hint = max(seq_hint, scan.seq_hint)
+            self._segment_number = number
+            if scan.torn:
+                truncated = True
+                self.truncated_frames += 1
+                if scan.good_bytes == 0:
+                    os.unlink(path)
+                    self._segment_number = max(number - 1, 1) if position else 1
+                else:
+                    with open(path, "r+b") as handle:
+                        handle.truncate(scan.good_bytes)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+        if truncated:
+            _fsync_directory(self.directory)
+        if self.replayed:
+            seq_hint = max(
+                seq_hint, max(record.seq for record in self.replayed)
+            )
+        self._next_seq = seq_hint + 1
+        if obs.ENABLED:
+            obs.incr(names.WAL_REPLAYED_RECORDS, len(self.replayed))
+            if self.truncated_frames:
+                obs.incr(names.WAL_TRUNCATED_FRAMES, self.truncated_frames)
+                obs.incr(names.WAL_CORRUPTIONS)
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next append will be assigned."""
+        return self._next_seq
+
+    def _open_segment(self, number: int) -> None:
+        path = os.path.join(self.directory, _segment_name(number))
+        exists = os.path.exists(path)
+        handle: BinaryIO = open(path, "ab")
+        if not exists or os.path.getsize(path) == 0:
+            _io_write(
+                handle,
+                MAGIC + _U32.pack(VERSION) + _U64.pack(self._next_seq - 1),
+            )
+            handle.flush()
+            _fsync(handle.fileno())
+            _fsync_directory(self.directory)
+        self._handle = handle
+        self._segment_number = number
+        self._segment_size = os.path.getsize(path)
+
+    def _writable_handle(self) -> BinaryIO:
+        if self._closed:
+            raise WalError("write-ahead log is closed")
+        if self._handle is None:
+            # Append to the recovered tail segment, or start segment 1.
+            segments = self._segment_paths()
+            number = segments[-1][0] if segments else self._segment_number
+            self._open_segment(number)
+        assert self._handle is not None
+        return self._handle
+
+    def append(self, mutation: Mutation) -> Mutation:
+        """Durably append *mutation*; returns it with its assigned seq.
+
+        The record is on stable storage when this returns — the caller
+        may ack.  Rotation to a fresh segment happens *before* the
+        append so one record is never split across segments.
+        """
+        if mutation.op not in OPS:
+            raise WalError(f"unknown mutation op {mutation.op!r}")
+        handle = self._writable_handle()
+        assigned = Mutation(
+            seq=self._next_seq,
+            op=mutation.op,
+            key=mutation.key,
+            center=mutation.center,
+            radius=mutation.radius,
+        )
+        framed = _frame(assigned.to_payload())
+        if (
+            self._segment_size + len(framed) > self.segment_bytes
+            and self._segment_size > _HEADER_LEN
+        ):
+            self.rotate()
+            handle = self._writable_handle()
+        _io_write(handle, framed)
+        handle.flush()
+        _fsync(handle.fileno())
+        self._segment_size += len(framed)
+        self._next_seq += 1
+        if obs.ENABLED:
+            obs.incr(names.WAL_APPENDS)
+            obs.incr(names.WAL_FSYNCS)
+            obs.observe(names.WAL_RECORD_BYTES, len(framed))
+        return assigned
+
+    def rotate(self) -> None:
+        """Close the live segment and start the next one."""
+        if self._handle is not None:
+            self._handle.flush()
+            _fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+        self._open_segment(self._segment_number + 1)
+        if obs.ENABLED:
+            obs.incr(names.WAL_ROTATIONS)
+
+    # ------------------------------------------------------------------
+    # Truncation (post-compaction) and teardown
+    # ------------------------------------------------------------------
+    def truncate(self) -> int:
+        """Delete every segment (the compaction made them redundant).
+
+        Sequence numbering continues where it left off, so seqs stay
+        unique across compactions.  Returns the number of segment files
+        removed.
+        """
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        removed = 0
+        for _, path in self._segment_paths():
+            os.unlink(path)
+            removed += 1
+        _fsync_directory(self.directory)
+        self._segment_size = 0
+        # Re-establish the seq high-water mark durably: an empty segment
+        # whose header carries the hint, so a restart right after a
+        # compaction keeps numbering monotone instead of starting over.
+        self._open_segment(self._segment_number + 1)
+        if obs.ENABLED:
+            obs.incr(names.WAL_TRUNCATIONS)
+        return removed
+
+    def records(self) -> "Iterator[Mutation]":
+        """The recovered records (live appends are not re-read)."""
+        return iter(self.replayed)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            _fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

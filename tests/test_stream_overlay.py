@@ -1,0 +1,143 @@
+"""Delta-overlay semantics and mutation-payload validation.
+
+The overlay is the single definition of what the merged streaming
+dataset *means*: ``fold`` is consumed by the query merge, the
+compaction, and the property-test oracle alike, so its semantics are
+pinned here directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.geometry.hypersphere import Hypersphere
+from repro.queries.validation import validate_mutation
+from repro.stream.overlay import DeltaOverlay
+from repro.stream.wal import Mutation
+
+
+def sphere(x: float = 1.0, radius: float = 0.5) -> Hypersphere:
+    return Hypersphere([x, 2.0, 3.0], radius)
+
+
+BASE = [("a", sphere(0.0)), ("b", sphere(1.0)), ("c", sphere(2.0))]
+
+
+class TestOverlaySemantics:
+    def test_insert_shadows_base_copy(self):
+        overlay = DeltaOverlay()
+        overlay.insert("b", sphere(9.0))
+        assert overlay.shadowed_keys() == {"b"}
+        folded = dict(overlay.fold(BASE))
+        assert folded["b"] == sphere(9.0)
+        assert set(folded) == {"a", "b", "c"}
+
+    def test_delete_tombstones_and_fold_drops(self):
+        overlay = DeltaOverlay()
+        overlay.delete("a")
+        assert overlay.tombstones == {"a"}
+        assert set(dict(overlay.fold(BASE))) == {"b", "c"}
+        assert len(overlay) == 0 and bool(overlay)
+
+    def test_delete_then_reinsert_resurrects(self):
+        overlay = DeltaOverlay()
+        overlay.delete("a")
+        overlay.insert("a", sphere(7.0))
+        assert overlay.tombstones == frozenset()
+        assert dict(overlay.fold(BASE))["a"] == sphere(7.0)
+
+    def test_insert_then_delete_is_a_tombstone(self):
+        overlay = DeltaOverlay()
+        overlay.insert("z", sphere(5.0))
+        overlay.delete("z")
+        assert len(overlay) == 0
+        assert "z" not in dict(overlay.fold(BASE))
+
+    def test_apply_replay_is_idempotent(self):
+        mutations = [
+            Mutation.insert("x", sphere(4.0), seq=1),
+            Mutation.delete("a", seq=2),
+            Mutation.insert("x", sphere(6.0), seq=3),
+        ]
+        once, twice = DeltaOverlay(), DeltaOverlay()
+        for m in mutations:
+            once.apply(m)
+        for m in mutations + mutations:
+            twice.apply(m)
+        assert once.fold(BASE) == twice.fold(BASE)
+
+    def test_snapshot_isolated_from_later_mutations(self):
+        overlay = DeltaOverlay()
+        overlay.insert("x", sphere(4.0))
+        frozen = overlay.snapshot()
+        overlay.delete("x")
+        overlay.delete("a")
+        assert dict(frozen.fold(BASE)).keys() == {"a", "b", "c", "x"}
+        assert dict(overlay.fold(BASE)).keys() == {"b", "c"}
+
+    def test_fold_of_empty_overlay_is_the_base(self):
+        assert DeltaOverlay().fold(BASE) == BASE
+
+    def test_clear_resets_everything(self):
+        overlay = DeltaOverlay()
+        overlay.insert("x", sphere())
+        overlay.delete("a")
+        overlay.clear()
+        assert not overlay and overlay.fold(BASE) == BASE
+
+
+class TestValidateMutation:
+    def test_valid_insert(self):
+        op, key, s = validate_mutation(
+            {"op": "insert", "key": 7, "center": [1.0, 2.0, 3.0],
+             "radius": 0.5},
+            3,
+        )
+        assert (op, key) == ("insert", 7)
+        assert s == sphere(1.0)
+
+    def test_valid_delete(self):
+        op, key, s = validate_mutation({"op": "delete", "key": "gone"})
+        assert (op, key, s) == ("delete", "gone", None)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {},
+            {"op": "upsert", "key": 1},
+            {"op": "insert", "center": [1.0], "radius": 1.0},
+            {"op": "insert", "key": {"a": 1}, "center": [1.0], "radius": 1.0},
+            {"op": "insert", "key": 1},
+            {"op": "insert", "key": 1, "center": [], "radius": 1.0},
+            {"op": "insert", "key": 1, "center": "xyz", "radius": 1.0},
+            {"op": "insert", "key": 1, "center": [1.0, 2.0, 3.0]},
+            {"op": "insert", "key": 1, "center": [1.0, 2.0, 3.0],
+             "radius": True},
+            {"op": "insert", "key": 1, "center": [1.0, 2.0, 3.0],
+             "radius": -1.0},
+            {"op": "insert", "key": 1, "center": [1.0, "x", 3.0],
+             "radius": 1.0},
+            {"op": "insert", "key": 1,
+             "center": [float("nan"), 2.0, 3.0], "radius": 1.0},
+            {"op": "delete", "key": 1, "center": [1.0, 2.0, 3.0]},
+        ],
+    )
+    def test_malformed_payloads_are_typed_rejections(self, payload):
+        with pytest.raises(ValidationError):
+            validate_mutation(payload, 3)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError, match="dimension"):
+            validate_mutation(
+                {"op": "insert", "key": 1, "center": [1.0, 2.0],
+                 "radius": 0.5},
+                3,
+            )
+
+    def test_dimension_unchecked_when_unknown(self):
+        op, key, s = validate_mutation(
+            {"op": "insert", "key": 1, "center": [1.0, 2.0], "radius": 0.5}
+        )
+        assert op == "insert" and s is not None and s.dimension == 2

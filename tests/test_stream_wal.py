@@ -1,0 +1,275 @@
+"""Write-ahead log unit tests: framing, rotation, recovery, seams.
+
+The recovery contract under test (stated in :mod:`repro.stream.wal`):
+**truncate at the first bad frame**.  Everything before a torn or
+CRC-failing frame — exactly the acked history — survives recovery;
+everything at and after it (including later segments) is dropped.  A
+CRC-valid but semantically malformed payload is a software bug and must
+surface as a typed :class:`~repro.exceptions.WalCorruptionError`, never
+as silent loss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.exceptions import WalCorruptionError, WalError
+from repro.geometry.hypersphere import Hypersphere
+from repro.robust import faults
+from repro.stream import wal as wal_mod
+from repro.stream.wal import MAGIC, Mutation, WriteAheadLog
+
+_U32 = struct.Struct("<I")
+
+
+def sphere(x: float = 1.0, radius: float = 0.5) -> Hypersphere:
+    return Hypersphere([x, 2.0, 3.0], radius)
+
+
+def fill(wal: WriteAheadLog, count: int) -> "list[Mutation]":
+    acked = []
+    for i in range(count):
+        acked.append(wal.append(Mutation.insert(i, sphere(float(i)))))
+    return acked
+
+
+def segment_files(directory: str) -> "list[str]":
+    return sorted(n for n in os.listdir(directory) if n.startswith("wal-"))
+
+
+class TestFraming:
+    def test_round_trip_insert_and_delete(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            a = wal.append(Mutation.insert("a", sphere()))
+            b = wal.append(Mutation.delete("a"))
+            assert (a.seq, b.seq) == (1, 2)
+        recovered = WriteAheadLog.open(str(tmp_path))
+        assert [m.seq for m in recovered.records()] == [1, 2]
+        first, second = recovered.replayed
+        assert first.op == "insert" and first.sphere() == sphere()
+        assert second.op == "delete" and second.key == "a"
+        assert recovered.truncated_frames == 0
+        recovered.close()
+
+    def test_payload_round_trip_preserves_key_types(self):
+        for key in (7, "name", 3.5, (1, "x")):
+            m = Mutation.insert(key, sphere(), seq=9)
+            assert Mutation.from_payload(m.to_payload()) == m
+
+    def test_non_finite_geometry_is_unserialisable(self):
+        bad = Mutation(seq=1, op="insert", key="a",
+                       center=(float("nan"), 0.0, 0.0), radius=1.0)
+        with pytest.raises(WalError):
+            bad.to_payload()
+
+    def test_delete_carries_no_sphere(self):
+        with pytest.raises(WalError):
+            Mutation.delete("a", seq=1).sphere()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"not json at all",
+            b"[1,2,3]",
+            b'{"op":"insert"}',
+            b'{"seq":1,"op":"frobnicate","key":["i",1]}',
+            b'{"seq":1,"op":"insert","key":["i",1],"center":"x","radius":1}',
+        ],
+    )
+    def test_crc_valid_garbage_is_a_typed_corruption(self, tmp_path, payload):
+        # A frame that passes the CRC but decodes to nonsense is a bug,
+        # not a torn write: recovery must raise, not truncate silently.
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            wal.append(Mutation.insert("a", sphere()))
+            path = os.path.join(str(tmp_path), segment_files(str(tmp_path))[0])
+        with open(path, "ab") as handle:
+            handle.write(
+                _U32.pack(len(payload)) + payload
+                + _U32.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+            )
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog.open(str(tmp_path))
+
+    def test_too_small_segment_bytes_is_refused(self, tmp_path):
+        with pytest.raises(WalError):
+            WriteAheadLog(str(tmp_path), segment_bytes=8)
+
+
+class TestRotationAndSeq:
+    def test_rotation_keeps_every_record_and_order(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path), segment_bytes=256) as wal:
+            acked = fill(wal, 30)
+        assert len(segment_files(str(tmp_path))) > 1
+        recovered = WriteAheadLog.open(str(tmp_path), segment_bytes=256)
+        assert [m.seq for m in recovered.records()] == [m.seq for m in acked]
+        assert recovered.next_seq == 31
+        recovered.close()
+
+    def test_records_never_split_across_segments(self, tmp_path):
+        # Every segment must parse standalone: rotation happens before
+        # an append that would overflow, so no frame straddles files.
+        with WriteAheadLog.open(str(tmp_path), segment_bytes=256) as wal:
+            fill(wal, 30)
+        for name in segment_files(str(tmp_path)):
+            scan = wal_mod._scan_segment(os.path.join(str(tmp_path), name))
+            assert not scan.torn
+
+    def test_seq_monotone_across_truncate_and_reopen(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            fill(wal, 5)
+            wal.truncate()
+            assert wal.next_seq == 6
+            assert wal.append(Mutation.delete("x")).seq == 6
+        recovered = WriteAheadLog.open(str(tmp_path))
+        assert recovered.next_seq == 7
+
+    def test_truncate_then_crash_still_remembers_the_high_water_mark(
+        self, tmp_path
+    ):
+        # The empty post-truncate segment's header hint is the only
+        # durable copy of the seq counter; a reopen with zero records
+        # must keep numbering from it instead of restarting at 1.
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            fill(wal, 9)
+            removed = wal.truncate()
+            assert removed == 1
+        recovered = WriteAheadLog.open(str(tmp_path))
+        assert list(recovered.records()) == []
+        assert recovered.append(Mutation.delete("y")).seq == 10
+        recovered.close()
+
+
+class TestRecovery:
+    def _tail_segment(self, directory: str) -> str:
+        return os.path.join(directory, segment_files(directory)[-1])
+
+    def test_torn_tail_keeps_the_good_prefix(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            fill(wal, 4)
+        path = self._tail_segment(str(tmp_path))
+        with open(path, "ab") as handle:
+            handle.write(_U32.pack(999))  # length header, then the crash
+        recovered = WriteAheadLog.open(str(tmp_path))
+        assert [m.seq for m in recovered.records()] == [1, 2, 3, 4]
+        assert recovered.truncated_frames == 1
+        # The bad tail is physically gone: a second open is clean.
+        recovered.close()
+        again = WriteAheadLog.open(str(tmp_path))
+        assert again.truncated_frames == 0
+        again.close()
+
+    def test_partial_payload_is_truncated(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            fill(wal, 3)
+        path = self._tail_segment(str(tmp_path))
+        payload = b'{"seq":4,"op":"delete","key":["i",0]}'
+        with open(path, "ab") as handle:
+            handle.write(_U32.pack(len(payload)) + payload[: len(payload) // 2])
+        recovered = WriteAheadLog.open(str(tmp_path))
+        assert [m.seq for m in recovered.records()] == [1, 2, 3]
+        recovered.close()
+
+    def test_crc_mismatch_is_truncated(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            fill(wal, 3)
+        path = self._tail_segment(str(tmp_path))
+        # Flip one payload byte of the final frame in place.
+        with open(path, "r+b") as handle:
+            handle.seek(-6, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-6, os.SEEK_END)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        recovered = WriteAheadLog.open(str(tmp_path))
+        assert [m.seq for m in recovered.records()] == [1, 2]
+        assert recovered.truncated_frames == 1
+        recovered.close()
+
+    def test_later_segments_after_a_bad_frame_are_deleted(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path), segment_bytes=256) as wal:
+            fill(wal, 30)
+        names = segment_files(str(tmp_path))
+        assert len(names) >= 3
+        # Corrupt the *first* segment's final frame: everything in the
+        # later segments is beyond the first bad frame and must go.
+        first = os.path.join(str(tmp_path), names[0])
+        with open(first, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            handle.write(b"\xff")
+        recovered = WriteAheadLog.open(str(tmp_path), segment_bytes=256)
+        seqs = [m.seq for m in recovered.records()]
+        assert seqs == list(range(1, len(seqs) + 1))
+        assert len(segment_files(str(tmp_path))) >= 1
+        # Appends continue past the durable prefix, not past the loss.
+        assert recovered.append(Mutation.delete("z")).seq == len(seqs) + 1
+        recovered.close()
+
+    def test_foreign_magic_recovers_to_empty(self, tmp_path):
+        with open(os.path.join(str(tmp_path), "wal-00000001.log"), "wb") as f:
+            f.write(b"NOTMYWAL" + b"\x00" * 16)
+        recovered = WriteAheadLog.open(str(tmp_path))
+        assert list(recovered.records()) == []
+        assert recovered.truncated_frames == 1
+        recovered.close()
+
+
+class TestFaultSeams:
+    def test_raising_append_acks_nothing(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            fill(wal, 2)
+            with faults.inject("wal_append", "raise"):
+                with pytest.raises(faults.FaultInjected):
+                    wal.append(Mutation.insert("x", sphere()))
+        recovered = WriteAheadLog.open(str(tmp_path))
+        # The failed append is not in the durable history; because no
+        # bytes of it were written, the prefix is exactly the acks.
+        assert [m.seq for m in recovered.records()] == [1, 2]
+        recovered.close()
+
+    @pytest.mark.parametrize("mode", ("nan", "overflow", "perturb"))
+    def test_corrupted_append_bytes_recover_to_the_acked_prefix(
+        self, tmp_path, mode
+    ):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            fill(wal, 2)
+            # Only the 3rd record's frame is corrupted on disk; its ack
+            # was a lie the recovery contract is allowed to drop.
+            with faults.inject("wal_append", mode, every=1):
+                wal.append(Mutation.insert("x", sphere()))
+        recovered = WriteAheadLog.open(str(tmp_path))
+        assert [m.seq for m in recovered.records()] == [1, 2]
+        assert recovered.truncated_frames >= 1
+        recovered.close()
+
+    @pytest.mark.parametrize("mode", ("nan", "overflow", "perturb", "raise"))
+    def test_read_faults_surface_as_prefix_recovery(self, tmp_path, mode):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            fill(wal, 6)
+        with faults.inject("wal_read", mode, every=5):
+            recovered = WriteAheadLog.open(str(tmp_path))
+        seqs = [m.seq for m in recovered.records()]
+        assert seqs == list(range(1, len(seqs) + 1))
+        assert len(seqs) <= 6
+        recovered.close()
+
+    def test_skipped_fsync_still_acks(self, tmp_path):
+        # The lying-disk mode: the write lands in the page cache and the
+        # sync silently no-ops.  Without a crash this is invisible — the
+        # crash matrix (test_stream_chaos) pairs it with a kill.
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            with faults.inject("wal_fsync", "nan") as fault:
+                acked = wal.append(Mutation.insert("x", sphere()))
+            assert fault.hits > 0
+            assert acked.seq == 1
+
+    def test_raising_fsync_blocks_the_ack(self, tmp_path):
+        with WriteAheadLog.open(str(tmp_path)) as wal:
+            with faults.inject("wal_fsync", "raise"):
+                with pytest.raises(faults.FaultInjected):
+                    wal.append(Mutation.insert("x", sphere()))
+            # The seq was not consumed by the failed append.
+            assert wal.append(Mutation.insert("y", sphere())).seq == 1
