@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.analysis.paper_refs import PaperIndex
+    from repro.analysis.symbols import SymbolIndex
 
 __all__ = [
     "Severity",
@@ -161,6 +162,9 @@ class FileContext:
     suppressions: "dict[int, frozenset[str]]" = field(default_factory=dict)
     #: The PAPER.md reference index (None when no PAPER.md was found).
     paper_index: "PaperIndex | None" = None
+    #: Cross-module facts for the dataflow rules (None when a rule is
+    #: invoked outside a full engine run; rules must degrade gracefully).
+    symbols: "SymbolIndex | None" = None
 
     @classmethod
     def load(
@@ -209,6 +213,12 @@ class Rule:
     code: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    #: ``repro lint --explain`` material: why the invariant exists, what
+    #: exactly must hold, and a minimal violating/compliant pair.
+    rationale: str = ""
+    invariant: str = ""
+    bad_example: str = ""
+    good_example: str = ""
 
     def applies(self, module: str) -> bool:
         """Whether the rule runs on *module* (dotted name); default: all."""

@@ -1,0 +1,455 @@
+"""Per-function control-flow graphs for the domlint dataflow rules.
+
+PR 3's rules are single-node AST patterns; the DOM2xx family
+(:mod:`repro.analysis.rules_flow`) needs *ordering*: "every ack path
+after a WAL append passes an fsync", "this loop runs only on the
+budget-is-None path".  This module builds the statement-level CFG those
+queries run on.
+
+Granularity
+-----------
+
+A :class:`Block` holds a straight-line run of :class:`Unit` objects.  A
+unit is *one evaluation step*: a simple statement evaluates all of
+itself, an ``if``/``while`` header evaluates only its test, a ``for``
+header only its iterable, a ``with`` header only its context
+expressions.  Compound statements therefore contribute a header unit to
+the enclosing block plus separate blocks for their bodies — so "a call
+inside the ``if`` test" and "a call inside the ``if`` body" occupy
+different CFG positions, which is exactly the distinction the
+durability and budget rules need.
+
+Nested ``def``/``async def``/``class`` bodies are *opaque*: they
+execute on their own activation, so they appear as a single definition
+unit and their bodies get their own CFGs (via :func:`function_cfgs`).
+
+Edges
+-----
+
+Edges are labelled ``"normal"`` or ``"exception"``.  Exception edges
+are deliberately coarse — every block inside a ``try`` body may jump to
+every handler — because the rules that traverse normal edges only
+(e.g. durability ordering, which must not demand an fsync on a path
+that *raises* instead of acking) still need dominance to be computed
+soundly over all edges.
+
+Dominance
+---------
+
+:meth:`CFG.dominates` answers unit-level dominance: block-level
+dominators (the standard iterative fixpoint over all edges) refined by
+intra-block position.  ``a`` dominates ``b`` when every path from the
+function entry to ``b`` executes ``a`` first.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["Block", "CFG", "Unit", "build_cfg", "function_cfgs"]
+
+#: Statement types that open a new scope and are therefore opaque here.
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass
+class Unit:
+    """One evaluation step inside a block.
+
+    ``exprs`` is what actually evaluates at this point (for an ``if``
+    header, the test; for a simple statement, the statement itself);
+    event classifiers should walk ``exprs``, never ``node`` — walking
+    the owning compound statement would leak body events into the
+    header.
+    """
+
+    node: ast.stmt
+    exprs: "tuple[ast.AST, ...]"
+    kind: str  # "stmt" | "test" | "iter" | "with" | "return" | "raise"
+    block: "Block" = field(repr=False, default=None)  # type: ignore[assignment]
+    pos: int = -1
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+    def walk(self) -> "Iterator[ast.AST]":
+        """Every AST node evaluated at this unit."""
+        for expr in self.exprs:
+            yield from ast.walk(expr)
+
+
+@dataclass
+class Block:
+    """A straight-line run of units plus its labelled edges."""
+
+    id: int
+    units: "list[Unit]" = field(default_factory=list)
+    succ: "list[tuple[Block, str]]" = field(default_factory=list)
+    pred: "list[tuple[Block, str]]" = field(default_factory=list)
+    #: When the block ends in a conditional branch: the test expression
+    #: and the successors taken when it is true / false.  Dataflow
+    #: passes use this to refine facts like ``budget is None``.
+    test: "ast.expr | None" = None
+    true_succ: "Block | None" = None
+    false_succ: "Block | None" = None
+
+    def add_edge(self, other: "Block", kind: str = "normal") -> None:
+        if (other, kind) not in self.succ:
+            self.succ.append((other, kind))
+            other.pred.append((self, kind))
+
+    def normal_succ(self) -> "list[Block]":
+        return [b for b, kind in self.succ if kind == "normal"]
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [unit.lineno for unit in self.units]
+        succ = [(b.id, kind) for b, kind in self.succ]
+        return f"Block(id={self.id}, lines={lines}, succ={succ})"
+
+
+class CFG:
+    """The control-flow graph of one function body."""
+
+    def __init__(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self.fn = fn
+        self.blocks: "list[Block]" = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self._dominators: "dict[Block, set[Block]] | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by the builder)
+    # ------------------------------------------------------------------
+    def _new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _seal(self) -> None:
+        """Index units and drop unreachable empty blocks from queries."""
+        for block in self.blocks:
+            for pos, unit in enumerate(block.units):
+                unit.block = block
+                unit.pos = pos
+        self._dominators = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def units(self) -> "Iterator[Unit]":
+        for block in self.blocks:
+            yield from block.units
+
+    def loop_headers(self) -> "Iterator[Unit]":
+        """Every ``for``/``while`` header unit."""
+        for unit in self.units():
+            if unit.kind in ("iter", "test") and isinstance(
+                unit.node, (ast.For, ast.AsyncFor, ast.While)
+            ):
+                yield unit
+
+    def dominators(self) -> "dict[Block, set[Block]]":
+        """Block-level dominator sets (entry dominates everything)."""
+        if self._dominators is not None:
+            return self._dominators
+        all_blocks = set(self.blocks)
+        dom: "dict[Block, set[Block]]" = {
+            block: set(all_blocks) for block in self.blocks
+        }
+        dom[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                if block is self.entry:
+                    continue
+                preds = [p for p, _ in block.pred]
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    # Unreachable: dominated by everything (vacuous).
+                    new = set(all_blocks)
+                new.add(block)
+                if new != dom[block]:
+                    dom[block] = new
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    def dominates(self, a: Unit, b: Unit) -> bool:
+        """Whether every entry→``b`` path executes ``a`` first."""
+        if a.block is b.block:
+            return a.pos < b.pos
+        return a.block in self.dominators()[b.block]
+
+    def reachable_exits_avoiding(
+        self, start: Unit, avoid: "Callable[[Unit], bool]"
+    ) -> "list[Unit | None]":
+        """Normal-path exits reachable from after *start* without *avoid*.
+
+        Walks forward from the unit following *start* along **normal**
+        edges only, refusing to step past any unit satisfying *avoid*.
+        Returns the ``return`` units reached this way, with ``None``
+        standing in for the implicit fall-off-the-end exit.  Exception
+        edges are excluded on purpose: a path that raises never acks,
+        so (for example) the durability rule must not demand an fsync
+        on it.
+        """
+        exits: "list[Unit | None]" = []
+        seen: "set[tuple[int, int]]" = set()
+        work: "list[tuple[Block, int]]" = [(start.block, start.pos + 1)]
+        while work:
+            block, pos = work.pop()
+            if (block.id, pos) in seen:
+                continue
+            seen.add((block.id, pos))
+            blocked = False
+            for unit in block.units[pos:]:
+                if avoid(unit):
+                    blocked = True
+                    break
+                if unit.kind == "return":
+                    exits.append(unit)
+                    blocked = True
+                    break
+                if unit.kind == "raise":
+                    blocked = True  # the exception path never acks
+                    break
+            if blocked:
+                continue
+            if block is self.exit:
+                exits.append(None)
+                continue
+            successors = block.normal_succ()
+            if not successors and block is not self.exit:
+                exits.append(None)
+            for succ in successors:
+                work.append((succ, 0))
+        return exits
+
+
+class _Builder:
+    """Recursive-descent CFG construction for one function body."""
+
+    def __init__(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self.cfg = CFG(fn)
+        self.current = self.cfg.entry
+        #: (loop header block, loop exit block) innermost-last.
+        self.loops: "list[tuple[Block, Block]]" = []
+        #: Innermost-last stacks of exception targets (handler entries).
+        self.handlers: "list[list[Block]]" = []
+
+    # -- plumbing ------------------------------------------------------
+    def _start_block(self) -> Block:
+        block = self.cfg._new_block()
+        self.current = block
+        return block
+
+    def _exception_targets(self) -> "list[Block]":
+        return self.handlers[-1] if self.handlers else []
+
+    def _add_unit(
+        self, node: ast.stmt, exprs: "tuple[ast.AST, ...]", kind: str
+    ) -> Unit:
+        unit = Unit(node=node, exprs=exprs, kind=kind)
+        self.current.units.append(unit)
+        for target in self._exception_targets():
+            self.current.add_edge(target, "exception")
+        return unit
+
+    # -- statement dispatch --------------------------------------------
+    def build(self) -> CFG:
+        self._body(self.cfg.fn.body)
+        self.current.add_edge(self.cfg.exit)
+        self.cfg._seal()
+        return self.cfg
+
+    def _body(self, statements: "list[ast.stmt]") -> None:
+        for statement in statements:
+            self._statement(statement)
+
+    def _statement(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, (ast.While,)):
+            self._while(node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._for(node)
+        elif isinstance(node, ast.Try):
+            self._try(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._with(node)
+        elif isinstance(node, ast.Return):
+            exprs = (node.value,) if node.value is not None else ()
+            self._add_unit(node, exprs, "return")
+            self.current.add_edge(self.cfg.exit)
+            self._start_block()
+        elif isinstance(node, ast.Raise):
+            exprs = tuple(e for e in (node.exc, node.cause) if e is not None)
+            self._add_unit(node, exprs, "raise")
+            targets = self._exception_targets()
+            for target in targets:
+                self.current.add_edge(target, "exception")
+            if not targets:
+                self.current.add_edge(self.cfg.exit, "exception")
+            self._start_block()
+        elif isinstance(node, ast.Break):
+            self._add_unit(node, (), "stmt")
+            if self.loops:
+                self.current.add_edge(self.loops[-1][1])
+            self._start_block()
+        elif isinstance(node, ast.Continue):
+            self._add_unit(node, (), "stmt")
+            if self.loops:
+                self.current.add_edge(self.loops[-1][0])
+            self._start_block()
+        elif isinstance(node, _OPAQUE):
+            # A nested definition runs on its own activation; only the
+            # decorators and defaults evaluate here.
+            exprs: "tuple[ast.AST, ...]" = tuple(node.decorator_list)
+            self._add_unit(node, exprs, "stmt")
+        elif isinstance(node, ast.Match):
+            self._match(node)
+        else:
+            self._add_unit(node, (node,), "stmt")
+
+    def _if(self, node: ast.If) -> None:
+        self._add_unit(node, (node.test,), "test")
+        header = self.current
+        true_block = self._start_block()
+        self._body(node.body)
+        true_end = self.current
+        false_block = self.cfg._new_block()
+        self.current = false_block
+        self._body(node.orelse)
+        false_end = self.current
+        join = self._start_block()
+        header.add_edge(true_block)
+        header.add_edge(false_block)
+        header.test = node.test
+        header.true_succ = true_block
+        header.false_succ = false_block
+        true_end.add_edge(join)
+        false_end.add_edge(join)
+        self.current = join
+
+    def _while(self, node: ast.While) -> None:
+        before = self.current
+        header = self._start_block()
+        before.add_edge(header)
+        self._add_unit(node, (node.test,), "test")
+        exit_block = self.cfg._new_block()
+        body_block = self.cfg._new_block()
+        header.add_edge(body_block)
+        header.test = node.test
+        header.true_succ = body_block
+        header.false_succ = exit_block
+        self.loops.append((header, exit_block))
+        self.current = body_block
+        self._body(node.body)
+        self.current.add_edge(header)
+        self.loops.pop()
+        # The else clause runs on normal loop exit (not via break);
+        # modelling it on the header's false edge is close enough.
+        self.current = exit_block
+        header.add_edge(exit_block)
+        if node.orelse:
+            self._body(node.orelse)
+
+    def _for(self, node: "ast.For | ast.AsyncFor") -> None:
+        before = self.current
+        header = self._start_block()
+        before.add_edge(header)
+        self._add_unit(node, (node.iter,), "iter")
+        exit_block = self.cfg._new_block()
+        body_block = self.cfg._new_block()
+        header.add_edge(body_block)
+        self.loops.append((header, exit_block))
+        self.current = body_block
+        self._body(node.body)
+        self.current.add_edge(header)
+        self.loops.pop()
+        self.current = exit_block
+        header.add_edge(exit_block)
+        if node.orelse:
+            self._body(node.orelse)
+
+    def _try(self, node: ast.Try) -> None:
+        handler_entries = [self.cfg._new_block() for _ in node.handlers]
+        join = self.cfg._new_block()
+        before = self.current
+        body_entry = self._start_block()
+        before.add_edge(body_entry)
+        if handler_entries:
+            self.handlers.append(handler_entries)
+        self._body(node.body)
+        if node.orelse:
+            self._body(node.orelse)
+        body_end = self.current
+        if handler_entries:
+            self.handlers.pop()
+        body_end.add_edge(join)
+        for entry, handler in zip(handler_entries, node.handlers):
+            self.current = entry
+            if handler.type is not None:
+                self._add_unit(
+                    _anchor_stmt(handler), (handler.type,), "stmt"
+                )
+            self._body(handler.body)
+            self.current.add_edge(join)
+        self.current = join
+        if node.finalbody:
+            self._body(node.finalbody)
+
+    def _with(self, node: "ast.With | ast.AsyncWith") -> None:
+        exprs = tuple(item.context_expr for item in node.items)
+        self._add_unit(node, exprs, "with")
+        self._body(node.body)
+
+    def _match(self, node: ast.Match) -> None:
+        header = self.current
+        self._add_unit(node, (node.subject,), "stmt")
+        header = self.current
+        join = self.cfg._new_block()
+        for case in node.cases:
+            case_block = self.cfg._new_block()
+            header.add_edge(case_block)
+            self.current = case_block
+            self._body(case.body)
+            self.current.add_edge(join)
+        header.add_edge(join)  # no case matched
+        self.current = join
+
+    # _start_block leaves the previous block dangling on purpose for
+    # return/raise/break/continue; every other caller wires the edge.
+
+
+def _anchor_stmt(handler: ast.ExceptHandler) -> ast.stmt:
+    """A synthetic statement anchoring a handler's type test."""
+    anchor = ast.Pass()
+    anchor.lineno = handler.lineno
+    anchor.col_offset = handler.col_offset
+    return anchor
+
+
+def build_cfg(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> CFG:
+    """Build the statement-level CFG of *fn*'s body."""
+    return _Builder(fn).build()
+
+
+def function_cfgs(
+    tree: ast.Module,
+) -> "Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, CFG]]":
+    """Yield ``(function node, CFG)`` for every def in *tree* (nested too)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, build_cfg(node)

@@ -4,7 +4,7 @@ Usage (equivalently ``python -m repro.analysis``)::
 
     repro lint [PATHS...] [--format=human|json] [--rules a,b]
                [--baseline FILE] [--update-baseline] [--no-cache]
-               [--paper FILE] [--list-rules]
+               [--paper FILE] [--list-rules] [--explain RULE]
 
 With no paths the repository's ``src/repro`` tree is linted.  Exit code
 0 means no actionable findings; 1 means findings (or parse errors);
@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.base import Rule
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.engine import LintReport, lint_paths
 from repro.analysis.rules import ALL_RULES, rules_by_name
@@ -85,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the available rules and exit",
     )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help=(
+            "print a rule's rationale, invariant and a minimal "
+            "good/bad example (by name or code, e.g. DOM203) and exit"
+        ),
+    )
     return parser
 
 
@@ -134,13 +144,45 @@ def _render_human(report: LintReport) -> str:
     return "\n".join(lines)
 
 
+def _render_explanation(rule: "Rule") -> str:
+    """The ``--explain`` card: rationale, invariant, good/bad example."""
+    lines = [
+        f"{rule.code} ({rule.name}) — {rule.severity.value}",
+        "",
+        rule.description,
+    ]
+    if rule.rationale:
+        lines += ["", "Why:", f"  {rule.rationale}"]
+    if rule.invariant:
+        lines += ["", "Invariant:", f"  {rule.invariant}"]
+    if rule.bad_example:
+        lines += ["", "Violating:"]
+        lines += [f"    {line}" for line in rule.bad_example.rstrip().splitlines()]
+    if rule.good_example:
+        lines += ["", "Compliant:"]
+        lines += [f"    {line}" for line in rule.good_example.rstrip().splitlines()]
+    lines += [
+        "",
+        f"Suppress a deliberate exception with: # domlint: ignore[{rule.name}]",
+    ]
+    return "\n".join(lines)
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.name:22s} {rule.description}")
+            print(f"{rule.code}  {rule.name:28s} {rule.description}")
+        return 0
+
+    if args.explain is not None:
+        try:
+            (rule,) = rules_by_name([args.explain])
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(_render_explanation(rule))
         return 0
 
     try:

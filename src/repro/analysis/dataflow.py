@@ -1,0 +1,240 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+The only analysis the DOM2xx rules currently need is deliberately
+small: a path-sensitive "budget obligation" pass for DOM206.  The
+property it computes per program point is a single boolean,
+
+    ok  =  "on every path reaching here, either the budget variable is
+           definitely ``None`` (unbudgeted fallback) or a charge call
+           has already executed"
+
+which is exactly the precondition under which a candidate-iteration
+loop may run without charging inside its body: the bulk-charge pattern
+(``if budget is not None: budget.charge_candidate(len(index))`` before
+the loop) and the paired-branch pattern (``if budget is None:``
+fallback loop) both discharge the obligation, while a loop reached with
+a possibly-live, uncharged budget does not.
+
+The lattice is {unreached ⊑ ok, not-ok}; merge is logical *and* over
+reaching paths.  Branch refinement understands ``x is None`` /
+``x is not None`` tests and short-circuit ``and`` chains whose
+conjuncts themselves contain charge calls — the repo's canonical
+
+    if budget is not None and budget.charge_candidate() is not None:
+        return partial
+
+idiom leaves the fall-through edge *ok* because every way of falsifying
+the conjunction either proves the budget is ``None`` or has already
+executed the charge.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import attribute_chain
+from .cfg import CFG, Block, Unit
+
+__all__ = ["BudgetFlow", "CHARGE_METHODS"]
+
+#: Methods on ``repro.resilience.Budget`` that consume budget.
+CHARGE_METHODS = frozenset(
+    {"charge_candidate", "charge_node", "charge_escalation"}
+)
+
+#: Calls that (re)bind a possibly-live budget.
+_BUDGET_SOURCES = frozenset({"current_budget"})
+
+
+def _terminal(node: ast.AST) -> "str | None":
+    chain = attribute_chain(node)
+    return chain[-1] if chain else None
+
+
+def is_charge_call(node: ast.AST, charging: "frozenset[str]") -> bool:
+    """Whether *node* is a call that charges budget, directly or via a
+    helper known (from the symbol index) to charge transitively."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = _terminal(node.func)
+    return name in CHARGE_METHODS or name in charging
+
+
+class BudgetFlow:
+    """Computes the *ok* fact at every block entry of one function."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        budget_names: "frozenset[str]",
+        charging: "frozenset[str]" = frozenset(),
+    ) -> None:
+        self.cfg = cfg
+        self.budget_names = budget_names
+        self.charging = charging
+        self._in: "dict[Block, bool | None]" = {}
+        self._solve()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def ok_at(self, unit: Unit) -> bool:
+        """Whether the obligation is discharged when *unit* executes."""
+        state = self._in.get(unit.block)
+        if state is None:
+            return True  # unreached code has no obligation
+        for prior in unit.block.units[: unit.pos]:
+            state = self._transfer_unit(prior, state)
+        return state
+
+    # ------------------------------------------------------------------
+    # Fixpoint
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        entry_ok = not any(
+            arg.arg in self.budget_names for arg in self._all_args()
+        )
+        self._in = {self.cfg.entry: entry_ok}
+        work = [self.cfg.entry]
+        while work:
+            block = work.pop()
+            state = self._in.get(block)
+            if state is None:
+                continue
+            for unit in block.units:
+                state = self._transfer_unit(unit, state)
+            for succ, kind in block.succ:
+                out = state
+                if kind == "normal" and self._refine(block, succ):
+                    out = True
+                merged = out if self._in.get(succ) is None else (
+                    self._in[succ] and out
+                )
+                if merged != self._in.get(succ):
+                    self._in[succ] = merged
+                    work.append(succ)
+
+    def _all_args(self) -> "list[ast.arg]":
+        args = self.cfg.fn.args
+        return [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+
+    # ------------------------------------------------------------------
+    # Transfer functions
+    # ------------------------------------------------------------------
+    def _transfer_unit(self, unit: Unit, state: bool) -> bool:
+        # Rebinding the budget variable resets the obligation.
+        if isinstance(unit.node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                unit.node.targets
+                if isinstance(unit.node, ast.Assign)
+                else [unit.node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in self.budget_names
+                ):
+                    value = unit.node.value
+                    if isinstance(value, ast.Constant) and value.value is None:
+                        state = True
+                    else:
+                        state = False
+        if unit.kind == "test":
+            # Charges inside a test are conditional on short-circuit
+            # order; the edge refinement accounts for them instead.
+            return state
+        for node in unit.walk():
+            if is_charge_call(node, self.charging):
+                return True
+        return state
+
+    def _refine(self, block: Block, succ: Block) -> "bool | None":
+        """Edge refinement: ``True`` if taking this edge proves *ok*."""
+        if block.test is None:
+            return None
+        if succ is block.true_succ:
+            return self._test_outcome(block.test, when_true=True)
+        if succ is block.false_succ:
+            return self._test_outcome(block.test, when_true=False)
+        return None
+
+    def _test_outcome(self, test: ast.expr, *, when_true: bool) -> "bool | None":
+        """Whether the branch outcome proves the obligation discharged."""
+        if self._atom_outcome(test, when_true=when_true):
+            return True
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._test_outcome(test.operand, when_true=not when_true)
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            return self._and_outcome(test.values, when_true=when_true)
+        return None
+
+    def _and_outcome(
+        self, conjuncts: "list[ast.expr]", *, when_true: bool
+    ) -> "bool | None":
+        charged = [self._contains_charge(c) for c in conjuncts]
+        proves_true = [
+            self._atom_outcome(c, when_true=True) for c in conjuncts
+        ]
+        proves_false = [
+            self._atom_outcome(c, when_true=False) for c in conjuncts
+        ]
+        if when_true:
+            # All conjuncts held, so every charge in the chain ran.
+            if any(charged) or any(proves_true):
+                return True
+            return None
+        # Short-circuit scenarios: conjunct i failed after 1..i-1 held.
+        for i in range(len(conjuncts)):
+            scenario_ok = (
+                proves_false[i]
+                or any(charged[: i + 1])
+                or any(proves_true[:i])
+            )
+            if not scenario_ok:
+                return None
+        return True
+
+    def _atom_outcome(self, test: ast.expr, *, when_true: bool) -> bool:
+        """``x is None`` / ``x is not None`` refinement for budget vars."""
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            return False
+        left, (op,), (right,) = test.left, test.ops, test.comparators
+        if not (
+            isinstance(left, ast.Name) and left.id in self.budget_names
+        ):
+            return False
+        if not (isinstance(right, ast.Constant) and right.value is None):
+            return False
+        if isinstance(op, ast.Is):
+            return when_true  # "budget is None" true => unbudgeted path
+        if isinstance(op, ast.IsNot):
+            return not when_true  # false => budget is None
+        return False
+
+    def _contains_charge(self, node: ast.AST) -> bool:
+        return any(
+            is_charge_call(sub, self.charging) for sub in ast.walk(node)
+        )
+
+
+def budget_variables(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> "frozenset[str]":
+    """Names in *fn* bound to a budget: parameters named ``budget`` and
+    variables assigned from ``current_budget()``."""
+    names = set()
+    args = fn.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "budget":
+            names.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _terminal(node.value.func) in _BUDGET_SOURCES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return frozenset(names)

@@ -1,10 +1,14 @@
 """The domlint engine: walk files, run rules, apply suppressions.
 
-The engine is deliberately boring: collect Python files, build a
-:class:`~repro.analysis.base.FileContext` per file (sharing one
-:class:`~repro.analysis.paper_refs.PaperIndex`), run every applicable
-rule, drop suppressed findings (counting them), then let the baseline
-partition what's left into actionable vs. grandfathered.
+The engine runs in two passes: first collect and parse every Python
+file into a :class:`~repro.analysis.base.FileContext` (sharing one
+:class:`~repro.analysis.paper_refs.PaperIndex`) and build the
+cross-module :class:`~repro.analysis.symbols.SymbolIndex` over the
+whole tree, then run every applicable rule per file, drop suppressed
+findings (counting them), and let the baseline partition what's left
+into actionable vs. grandfathered.  Each run is also published through
+:mod:`repro.obs` so ``repro stats`` can report lint activity alongside
+the numeric kernels.
 """
 
 from __future__ import annotations
@@ -13,10 +17,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.analysis.base import FileContext, Finding, Rule, Severity
 from repro.analysis.baseline import Baseline
 from repro.analysis.paper_refs import PaperIndex, find_paper
 from repro.analysis.rules import ALL_RULES
+from repro.analysis.symbols import SymbolIndex, discover_tests_dir
+from repro.obs import names
 
 __all__ = ["LintReport", "collect_files", "lint_paths", "run_rules"]
 
@@ -33,6 +40,8 @@ class LintReport:
     baselined: "list[Finding]" = field(default_factory=list)
     suppressed: int = 0
     files_checked: int = 0
+    #: Number of (rule, file) pairs actually evaluated.
+    rule_evaluations: int = 0
     #: Files that failed to parse, as (path, message) pairs.
     parse_errors: "list[tuple[str, str]]" = field(default_factory=list)
 
@@ -48,6 +57,7 @@ class LintReport:
     def to_dict(self) -> "dict[str, object]":
         return {
             "files_checked": self.files_checked,
+            "rule_evaluations": self.rule_evaluations,
             "suppressed": self.suppressed,
             "baselined": len(self.baselined),
             "parse_errors": [
@@ -124,7 +134,9 @@ def lint_paths(
         paper_index = PaperIndex.load(paper_path, cache=cache)
 
     report = LintReport()
-    findings: list[Finding] = []
+
+    # Pass 1: parse every file, so cross-module rules see the whole tree.
+    contexts: "list[FileContext]" = []
     for file_path in collect_files(paths):
         resolved = file_path.resolve()
         try:
@@ -138,13 +150,43 @@ def lint_paths(
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             report.parse_errors.append((display, str(exc)))
             continue
-        report.files_checked += 1
+        contexts.append(ctx)
+    report.files_checked = len(contexts)
+
+    # Cross-module facts (charge fixpoint, seam coverage) shared by the
+    # dataflow rules; the tests/ directory is discovered next to the
+    # linted tree so fixture runs never see the repository's own tests.
+    tests_dir = discover_tests_dir(paths[0]) if paths else None
+    symbol_index = SymbolIndex.build(contexts, tests_dir=tests_dir)
+    for ctx in contexts:
+        ctx.symbols = symbol_index
+
+    # Pass 2: run the rules.
+    findings: list[Finding] = []
+    for ctx in contexts:
         for finding, suppressed in run_rules(ctx, active_rules):
             if suppressed:
                 report.suppressed += 1
             else:
                 findings.append(finding)
+        report.rule_evaluations += sum(
+            1 for rule in active_rules if rule.applies(ctx.module)
+        )
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     report.actionable, report.baselined = active_baseline.split(findings)
+    _record_run(report)
     return report
+
+
+def _record_run(report: LintReport) -> None:
+    """Publish one lint run through the obs layer (lint-as-telemetry)."""
+    obs.incr(names.ANALYSIS_RUNS)
+    obs.incr(names.ANALYSIS_FILES, report.files_checked)
+    obs.incr(names.ANALYSIS_RULE_EVALUATIONS, report.rule_evaluations)
+    obs.incr(names.ANALYSIS_SUPPRESSED, report.suppressed)
+    obs.incr(names.ANALYSIS_BASELINED, len(report.baselined))
+    obs.incr(names.ANALYSIS_PARSE_ERRORS, len(report.parse_errors))
+    for finding in report.actionable:
+        obs.incr(names.ANALYSIS_FINDINGS)
+        obs.incr(names.analysis_rule(finding.rule))

@@ -1,10 +1,12 @@
-"""The domlint rules: eight domain invariants of the dominance stack.
+"""The domlint rules: the DOM1xx domain invariants of the dominance stack.
 
 Each rule encodes one way past bugs (or the paper's theorems) say this
 codebase must not drift.  See ``docs/static-analysis.md`` for a
-violating/compliant example of every rule and for how to add one.
+violating/compliant example of every rule and for how to add one.  The
+dataflow-powered DOM2xx rules live in :mod:`repro.analysis.rules_flow`
+and are re-exported here through :data:`ALL_RULES`.
 
-The rules, by suppression key:
+The DOM1xx rules, by suppression key:
 
 ``verdict-bool``
     A :class:`~repro.robust.decision.Verdict` is tri-state; truth-
@@ -104,6 +106,18 @@ class VerdictBoolRule(Rule):
     description = (
         "tri-state Verdict values must not be truth-tested outside repro.robust"
     )
+    rationale = (
+        "Verdict is TRUE/FALSE/UNCERTAIN; `if verdict:` silently maps "
+        "UNCERTAIN onto whichever branch bool() picks, so an undecided "
+        "dominance test becomes a confidently wrong answer."
+    )
+    invariant = (
+        "Outside repro.robust, no identifier containing 'verdict' appears "
+        "in a boolean context; use Decision.as_bool() or compare against "
+        "Verdict.TRUE/FALSE."
+    )
+    bad_example = "if verdict:\n    prune(node)\n"
+    good_example = "if verdict is Verdict.TRUE:\n    prune(node)\n"
 
     def applies(self, module: str) -> bool:
         return not in_packages(module, "repro.robust")
@@ -144,6 +158,23 @@ class CriterionTemplateRule(Rule):
     description = (
         "criteria override _decide, never dominates (the validation template)"
     )
+    rationale = (
+        "DominanceCriterion.dominates() is a template method that "
+        "validates dimensionality before dispatching; overriding it "
+        "bypasses the validation for every caller."
+    )
+    invariant = (
+        "Subclasses of DominanceCriterion override _decide only; "
+        "dominates stays inherited from repro.core.base."
+    )
+    bad_example = (
+        "class Fast(DominanceCriterion):\n"
+        "    def dominates(self, a, b): ...\n"
+    )
+    good_example = (
+        "class Fast(DominanceCriterion):\n"
+        "    def _decide(self, a, b): ...\n"
+    )
 
     def applies(self, module: str) -> bool:
         return module != "repro.core.base"
@@ -179,6 +210,19 @@ class MarginCompareRule(Rule):
         "no raw float ==/<=/>= against dominance margins outside the "
         "ladder's tolerance policy"
     )
+    rationale = (
+        "Margins near zero are exactly where floating point lies; ad-hoc "
+        "comparisons re-implement (and disagree with) the escalation "
+        "ladder's tolerance policy, which is the one place allowed to "
+        "decide how close is too close."
+    )
+    invariant = (
+        "In repro.core/repro.robust, identifiers containing 'margin' are "
+        "never compared with ==/<=/>= outside the ladder and exact "
+        "arbiter modules."
+    )
+    bad_example = "if margin <= 0.0:\n    return False\n"
+    good_example = "verdict = ladder.classify(margin)  # tolerance policy\n"
 
     #: The tolerance policy itself, and the exact (integer) arbiter.
     _EXEMPT = ("repro.robust.ladder", "repro.robust.exact")
@@ -218,6 +262,18 @@ class MetricNameRule(Rule):
         "obs metric keys must be registered in repro.obs.names "
         "(typo'd keys die at lint time)"
     )
+    rationale = (
+        "A typo'd metric key creates a new, silently empty counter: "
+        "dashboards flatline while the code looks instrumented. "
+        "Registering every key in repro.obs.names turns that into a "
+        "lint-time error."
+    )
+    invariant = (
+        "Every literal (or f-string family) passed to obs.incr/observe/"
+        "trace satisfies names.is_known()."
+    )
+    bad_example = 'obs.incr("hyperbola.clls")  # typo, never registered\n'
+    good_example = "obs.incr(names.HYPERBOLA_CALLS)\n"
 
     _METRIC_FNS = frozenset({"incr", "observe", "add_time", "trace"})
     _REGISTRY_MODULES = frozenset({"names", "_names"})
@@ -314,6 +370,17 @@ class PaperRefRule(Rule):
         "docstring citations (Lemma N, Eq. N, Section X.Y) must exist "
         "in PAPER.md"
     )
+    rationale = (
+        "The code justifies its pruning cases by citing the paper; a "
+        "citation that does not resolve against PAPER.md is either a "
+        "typo or a claim the paper never made."
+    )
+    invariant = (
+        "Every 'Lemma N' / 'Eq. (N)' / 'Section X.Y' string in a "
+        "docstring resolves in the PAPER.md reference index."
+    )
+    bad_example = '"""Prunes by Lemma 99."""  # PAPER.md has no Lemma 99\n'
+    good_example = '"""Prunes by Lemma 7 (minimum distance bound)."""\n'
 
     def check(self, ctx: FileContext) -> "Iterator[Finding]":
         index = ctx.paper_index
@@ -353,6 +420,18 @@ class UnseededRandomRule(Rule):
     description = (
         "randomness outside repro.data must come from a seeded generator"
     )
+    rationale = (
+        "This is a reproduction: an unseeded draw anywhere in the "
+        "pipeline makes experiment runs non-replayable and benchmark "
+        "deltas unattributable."
+    )
+    invariant = (
+        "Outside repro.data, no module-level random/np.random calls; "
+        "randomness flows through an explicitly seeded Generator or an "
+        "rng/seed parameter."
+    )
+    bad_example = "jitter = random.random()\n"
+    good_example = "jitter = rng.random()  # rng threaded from the caller\n"
 
     _STDLIB_RANDOM_FNS = frozenset(
         {
@@ -429,6 +508,17 @@ class SwallowedArithmeticRule(Rule):
         "numeric kernels must not catch bare/overbroad exceptions "
         "(they swallow ArithmeticError)"
     )
+    rationale = (
+        "The escalation ladder relies on ArithmeticError propagating out "
+        "of the kernels; an `except Exception` turns numerical "
+        "corruption into a silently wrong dominance verdict."
+    )
+    invariant = (
+        "In repro.core/robust/geometry, no bare except and no handler "
+        "catching Exception/BaseException without re-raising."
+    )
+    bad_example = "try:\n    roots = solve(c)\nexcept Exception:\n    return None\n"
+    good_example = "try:\n    roots = solve(c)\nexcept ValueError:\n    raise\n"
 
     def applies(self, module: str) -> bool:
         return in_packages(
@@ -474,6 +564,17 @@ class HotPathLoopRule(Rule):
         "the O(d) Hyperbola fast path must stay free of Python-level "
         "loops and np.linalg calls"
     )
+    rationale = (
+        "The paper's Theorem 2 speedup exists because the common cases "
+        "cost O(d) scalar arithmetic; one Python loop or LAPACK dispatch "
+        "on that path eats the entire constant-factor win."
+    )
+    invariant = (
+        "Functions on repro.core.hyperbola's fast path contain no "
+        "for/while over dimensions and no np.linalg.* calls."
+    )
+    bad_example = "for i in range(d):\n    acc += (p[i] - q[i]) ** 2\n"
+    good_example = "acc = float(np.dot(diff, diff))\n"
 
     def applies(self, module: str) -> bool:
         return module == "repro.core.hyperbola"
@@ -508,7 +609,10 @@ class HotPathLoopRule(Rule):
                     )
 
 
-#: Every rule, in reporting order.
+from repro.analysis.rules_flow import FLOW_RULES  # noqa: E402  (registry tail)
+
+#: Every rule, in reporting order: the DOM1xx AST-pattern rules followed
+#: by the DOM2xx dataflow rules from :mod:`repro.analysis.rules_flow`.
 ALL_RULES: "tuple[Rule, ...]" = (
     VerdictBoolRule(),
     CriterionTemplateRule(),
@@ -518,6 +622,7 @@ ALL_RULES: "tuple[Rule, ...]" = (
     UnseededRandomRule(),
     SwallowedArithmeticRule(),
     HotPathLoopRule(),
+    *FLOW_RULES,
 )
 
 

@@ -174,6 +174,17 @@ def run_canned_workload(*, seed: int = 0) -> dict:
         with faults.inject("quartic", "nan"):
             for sa, sb, sq in list(workload.triples())[:50]:
                 verified.dominates(sa, sb, sq)
+    with obs.trace(names.STATS_LINT):
+        # One small domlint pass (over the rule framework itself) so the
+        # 'analysis.*' lint-as-telemetry counters surface in the stats
+        # table alongside the numeric kernels.
+        from pathlib import Path
+
+        from repro.analysis import engine as lint_engine
+
+        lint_engine.lint_paths(
+            [Path(lint_engine.__file__).resolve().parent / "base.py"]
+        )
     return obs.collect()
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "all_static_names",
     "is_known",
     # families
+    "analysis_rule",
     "batch_calls",
     "bench_span",
     "breaker_transition",
@@ -186,6 +187,15 @@ SNAPSHOT_CORRUPTIONS = "snapshot.corruptions"
 SNAPSHOT_PAGES_WRITTEN = "snapshot.pages_written"
 SNAPSHOT_PAGES_READ = "snapshot.pages_read"
 
+# repro.analysis — domlint engine runs (lint-as-telemetry).
+ANALYSIS_RUNS = "analysis.runs"
+ANALYSIS_FILES = "analysis.files"
+ANALYSIS_RULE_EVALUATIONS = "analysis.rule_evaluations"
+ANALYSIS_FINDINGS = "analysis.findings"
+ANALYSIS_SUPPRESSED = "analysis.suppressed"
+ANALYSIS_BASELINED = "analysis.baselined"
+ANALYSIS_PARSE_ERRORS = "analysis.parse_errors"
+
 # ----------------------------------------------------------------------
 # Histograms
 # ----------------------------------------------------------------------
@@ -202,6 +212,7 @@ STREAM_MUTATE_LATENCY_S = "stream.mutate_latency_s"
 # ----------------------------------------------------------------------
 # Trace spans (timers)
 # ----------------------------------------------------------------------
+STATS_LINT = "stats.lint"
 STATS_SCALAR = "stats.scalar"
 STATS_BATCH = "stats.batch"
 STATS_KNN = "stats.knn"
@@ -219,6 +230,7 @@ COMPACT_RUN_SPAN = "compact.run"
 
 #: Dynamic name families: one ``*`` per varying dotted segment.
 PATTERNS: "tuple[str, ...]" = (
+    "analysis.rule.*",  # per-rule finding counters (rule name segment)
     "batch.calls.*",  # per-criterion batch evaluations
     "bench.topic.*",  # per-topic benchmark spans
     "dominance.*",  # per-criterion dominance-experiment spans
@@ -232,6 +244,11 @@ PATTERNS: "tuple[str, ...]" = (
     "serve.breaker.*.*",  # breaker transitions per (index, state)
     "serve.tenant.*.*",  # per-(tenant-class, outcome) request counters
 )
+
+
+def analysis_rule(rule: str) -> str:
+    """Per-rule lint finding counter (``analysis.rule.<rule-name>``)."""
+    return f"analysis.rule.{rule}"
 
 
 def batch_calls(criterion: str) -> str:

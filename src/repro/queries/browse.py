@@ -24,6 +24,7 @@ import numpy as np
 from repro.geometry.distance import min_dist
 from repro.geometry.hypersphere import Hypersphere
 from repro.index.linear import LinearIndex
+from repro.resilience.budget import current as current_budget
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.index.sstree import SSTree
@@ -41,15 +42,25 @@ def browse(
     Lazy: consuming only the first few results touches only the part of
     the tree their distance bounds require.
 
+    Browsing is metered like every other traversal: when a
+    :class:`~repro.resilience.budget.Budget` is in scope, each expanded
+    node charges ``charge_node`` and each emitted object charges
+    ``charge_candidate``.  On exhaustion the generator simply stops —
+    the prefix already yielded is still correct and still sorted, which
+    is the honest degraded answer for an incremental enumeration.
+
     >>> from repro.index import SSTree
     >>> tree = SSTree.bulk_load([("a", Hypersphere([0.0], 0.5)),
     ...                          ("b", Hypersphere([9.0], 0.5))])
     >>> [key for key, _, _ in browse(tree, Hypersphere([1.0], 0.0))]
     ['a', 'b']
     """
+    budget = current_budget()
     if isinstance(index, LinearIndex):
         gaps = index.min_dists(query)
         for i in np.argsort(gaps, kind="stable"):
+            if budget is not None and budget.charge_candidate() is not None:
+                return  # exhausted: the sorted prefix stands
             yield index.keys[i], index.spheres[i], float(gaps[i])
         return
 
@@ -62,15 +73,21 @@ def browse(
     while heap:
         gap, _, is_object, payload = heapq.heappop(heap)
         if is_object:
+            if budget is not None and budget.charge_candidate() is not None:
+                return  # exhausted: the sorted prefix stands
             key, sphere = payload
             yield key, sphere, gap
         elif payload.is_leaf:
+            if budget is not None and budget.charge_node() is not None:
+                return
             for key, sphere in payload.entries:
                 heapq.heappush(
                     heap,
                     (min_dist(sphere, query), next(counter), True, (key, sphere)),
                 )
         else:
+            if budget is not None and budget.charge_node() is not None:
+                return
             for child in payload.children:
                 heapq.heappush(
                     heap, (child.min_dist(query), next(counter), False, child)

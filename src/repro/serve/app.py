@@ -529,7 +529,13 @@ class ServeApp:
         try:
             async with self.admission.slot():
                 loop = asyncio.get_running_loop()
-                seq = await loop.run_in_executor(self._executor, mutate_sync)
+                # Fault scopes and deadline travel in contextvars; the
+                # mutation must run under a copy or an injected WAL seam
+                # active for this request would not fire in the worker.
+                context = contextvars.copy_context()
+                seq = await loop.run_in_executor(
+                    self._executor, context.run, mutate_sync
+                )
         except (StreamError, OSError, ArithmeticError) as error:
             # The append (or its fsync) failed — including an injected
             # WAL-seam explosion: nothing was acked, and saying so

@@ -92,9 +92,16 @@ class TestFramework:
 
     def test_every_rule_has_identity(self):
         codes = [rule.code for rule in ALL_RULES]
-        assert len(ALL_RULES) == 8
-        assert len(set(codes)) == 8
+        assert len(ALL_RULES) == 14
+        assert len(set(codes)) == 14
         assert all(rule.name and rule.description for rule in ALL_RULES)
+
+    def test_every_rule_has_explain_material(self):
+        for rule in ALL_RULES:
+            assert rule.rationale, rule.code
+            assert rule.invariant, rule.code
+            assert rule.bad_example, rule.code
+            assert rule.good_example, rule.code
 
 
 class TestVerdictBoolRule:

@@ -11,6 +11,8 @@ from repro.data.synthetic import synthetic_dataset
 from repro.geometry.hypersphere import Hypersphere
 from repro.index import LinearIndex, MTree, SSTree, VPTree
 from repro.queries import browse
+from repro.resilience.budget import Budget
+from repro.resilience.budget import scope as budget_scope
 
 
 @pytest.fixture(scope="module")
@@ -70,3 +72,42 @@ class TestOrdering:
         got = sorted(flat.min_dists(query)[list(map(flat.keys.index, prefix))])
         want = sorted(flat.min_dists(query)[list(best10)])
         assert np.allclose(got, want)
+
+
+class TestBudgetedBrowse:
+    """Regression (DOM206): browsing is metered like every traversal.
+
+    On budget exhaustion the generator stops; the prefix already
+    yielded is still sorted and still correct.
+    """
+
+    def test_linear_stops_with_sorted_prefix(self, world):
+        dataset, query = world
+        flat = LinearIndex(dataset.items())
+        full = [key for key, _, _ in browse(flat, query)]
+        with budget_scope(Budget(max_candidates=7)):
+            out = [key for key, _, _ in browse(flat, query)]
+        assert out == full[:7]
+
+    def test_tree_stops_with_sorted_prefix(self, world):
+        dataset, query = world
+        tree = SSTree.bulk_load(dataset.items(), max_entries=8)
+        full = list(browse(tree, query))
+        with budget_scope(Budget(max_candidates=9)):
+            out = list(browse(tree, query))
+        assert len(out) == 9
+        assert out == full[:9]
+        gaps = [gap for _, _, gap in out]
+        assert all(a <= b + 1e-12 for a, b in zip(gaps, gaps[1:]))
+
+    def test_zero_budget_yields_nothing(self, world):
+        dataset, query = world
+        for index in (LinearIndex(dataset.items()),
+                      SSTree.bulk_load(dataset.items())):
+            with budget_scope(Budget(max_candidates=0)):
+                assert list(browse(index, query)) == []
+
+    def test_no_budget_in_scope_is_unmetered(self, world):
+        dataset, query = world
+        tree = SSTree.bulk_load(dataset.items())
+        assert len(list(browse(tree, query))) == len(dataset)

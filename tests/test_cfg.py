@@ -1,0 +1,354 @@
+"""Tests for the domlint dataflow engine itself.
+
+Golden CFGs for representative function shapes (straight-line,
+branching, loops, try/except, early returns), dominance-query unit
+tests, the normal-edge reachability query DOM203 is built on, and the
+budget dataflow lattice DOM206 is built on.  The rules' end-to-end
+behaviour over fixture trees lives in ``test_dataflow_rules.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg, function_cfgs
+from repro.analysis.dataflow import BudgetFlow, budget_variables
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(fn)
+
+
+def unit_at(cfg, lineno: int):
+    for unit in cfg.units():
+        if unit.lineno == lineno:
+            return unit
+    raise AssertionError(f"no unit at line {lineno}")
+
+
+class TestGoldenCfgs:
+    def test_straight_line_is_one_block(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                a = 1
+                b = a + 1
+                return b
+            """
+        )
+        populated = [b for b in cfg.blocks if b.units]
+        assert len(populated) == 1
+        assert [u.kind for u in populated[0].units] == [
+            "stmt",
+            "stmt",
+            "return",
+        ]
+        assert populated[0].normal_succ() == [cfg.exit]
+
+    def test_if_branches_and_join(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        header = unit_at(cfg, 2).block
+        assert header.test is not None
+        assert header.true_succ is not None
+        assert header.false_succ is not None
+        true_lines = [u.lineno for u in header.true_succ.units]
+        false_lines = [u.lineno for u in header.false_succ.units]
+        assert true_lines == [3]
+        assert false_lines == [5]
+        # Both arms flow into the join holding the return.
+        ret_block = unit_at(cfg, 6).block
+        assert ret_block in header.true_succ.normal_succ()
+        assert ret_block in header.false_succ.normal_succ()
+
+    def test_while_has_back_edge_and_exit_edge(self):
+        cfg = cfg_of(
+            """\
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        )
+        header = unit_at(cfg, 2).block
+        body = unit_at(cfg, 3).block
+        exit_side = unit_at(cfg, 4).block
+        assert body in [b for b, _ in header.succ]
+        assert header in [b for b in body.normal_succ()]  # back edge
+        assert exit_side in [b for b, _ in header.succ]
+
+    def test_for_header_evaluates_only_the_iterable(self):
+        cfg = cfg_of(
+            """\
+            def f(xs):
+                for x in expensive(xs):
+                    consume(x)
+            """
+        )
+        header = unit_at(cfg, 2)
+        assert header.kind == "iter"
+        names = {
+            n.id for e in header.exprs for n in ast.walk(e)
+            if isinstance(n, ast.Name)
+        }
+        assert "expensive" in names
+        assert "consume" not in names  # body lives in its own block
+
+    def test_try_body_has_exception_edges_to_handler(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    recover()
+                return 1
+            """
+        )
+        risky = unit_at(cfg, 3).block
+        handler = unit_at(cfg, 5).block
+        kinds = {
+            kind for succ, kind in risky.succ if succ is handler
+        }
+        assert "exception" in kinds
+        # Both the happy path and the handler reach the return, so the
+        # handler arm must not dominate it; the entry always does.
+        ret_block = unit_at(cfg, 6).block
+        doms = cfg.dominators()[ret_block]
+        assert handler not in doms
+        assert cfg.entry in doms
+
+    def test_nested_def_is_opaque(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                def inner():
+                    hidden_call()
+                return inner
+            """
+        )
+        called = {
+            n.func.id
+            for u in cfg.units()
+            for e in u.exprs
+            for n in ast.walk(e)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)
+        }
+        assert "hidden_call" not in called
+
+    def test_function_cfgs_yields_nested_functions_separately(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """\
+                def outer():
+                    def inner():
+                        return 1
+                    return inner
+                """
+            )
+        )
+        names = [fn.name for fn, _ in function_cfgs(tree)]
+        assert sorted(names) == ["inner", "outer"]
+
+
+class TestDominance:
+    def test_sequential_dominance_within_block(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                a = 1
+                b = 2
+                return a + b
+            """
+        )
+        assert cfg.dominates(unit_at(cfg, 2), unit_at(cfg, 3))
+        assert not cfg.dominates(unit_at(cfg, 3), unit_at(cfg, 2))
+
+    def test_branch_arm_does_not_dominate_join(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                if x:
+                    a = 1
+                return x
+            """
+        )
+        assert cfg.dominates(unit_at(cfg, 2), unit_at(cfg, 4))
+        assert not cfg.dominates(unit_at(cfg, 3), unit_at(cfg, 4))
+
+    def test_statement_before_loop_dominates_body(self):
+        cfg = cfg_of(
+            """\
+            def f(xs):
+                setup()
+                for x in xs:
+                    body(x)
+                return 1
+            """
+        )
+        assert cfg.dominates(unit_at(cfg, 2), unit_at(cfg, 4))
+        assert not cfg.dominates(unit_at(cfg, 4), unit_at(cfg, 5))
+
+
+class TestReachabilityQuery:
+    """The DOM203 primitive: normal-edge exits avoiding a barrier."""
+
+    @staticmethod
+    def _avoid_fsync(unit):
+        return any(
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "fsync"
+            for n in unit.walk()
+        )
+
+    def test_barrier_blocks_every_path(self):
+        cfg = cfg_of(
+            """\
+            def append():
+                write()
+                fsync()
+                return True
+            """
+        )
+        exits = cfg.reachable_exits_avoiding(unit_at(cfg, 2), self._avoid_fsync)
+        assert exits == []
+
+    def test_unbarriered_return_is_reachable(self):
+        cfg = cfg_of(
+            """\
+            def append():
+                write()
+                return True
+            """
+        )
+        exits = cfg.reachable_exits_avoiding(unit_at(cfg, 2), self._avoid_fsync)
+        assert len(exits) == 1
+
+    def test_one_arm_missing_the_barrier_is_reachable(self):
+        cfg = cfg_of(
+            """\
+            def append(fast):
+                write()
+                if fast:
+                    return True
+                fsync()
+                return True
+            """
+        )
+        exits = cfg.reachable_exits_avoiding(unit_at(cfg, 2), self._avoid_fsync)
+        assert len(exits) == 1  # only the fast-path return leaks
+
+    def test_raise_paths_do_not_count_as_acks(self):
+        cfg = cfg_of(
+            """\
+            def append():
+                write()
+                raise OSError("disk gone")
+            """
+        )
+        exits = cfg.reachable_exits_avoiding(unit_at(cfg, 2), self._avoid_fsync)
+        assert exits == []
+
+    def test_fall_off_the_end_counts_as_an_ack(self):
+        cfg = cfg_of(
+            """\
+            def append():
+                write()
+            """
+        )
+        exits = cfg.reachable_exits_avoiding(unit_at(cfg, 2), self._avoid_fsync)
+        assert exits == [None]
+
+
+class TestBudgetFlow:
+    def flow(self, source: str):
+        cfg = cfg_of(source)
+        return cfg, BudgetFlow(cfg, budget_variables(cfg.fn))
+
+    def test_loop_with_uncharged_budget_is_not_ok(self):
+        cfg, flow = self.flow(
+            """\
+            def scan(entries):
+                budget = current_budget()
+                for e in entries:
+                    use(e)
+            """
+        )
+        assert not flow.ok_at(unit_at(cfg, 3))
+
+    def test_budget_is_none_branch_is_ok(self):
+        cfg, flow = self.flow(
+            """\
+            def scan(entries):
+                budget = current_budget()
+                if budget is None:
+                    for e in entries:
+                        use(e)
+            """
+        )
+        assert flow.ok_at(unit_at(cfg, 4))
+
+    def test_bulk_charge_before_loop_is_ok(self):
+        cfg, flow = self.flow(
+            """\
+            def scan(entries):
+                budget = current_budget()
+                if budget is not None:
+                    budget.charge_candidate(len(entries))
+                for e in entries:
+                    use(e)
+            """
+        )
+        assert flow.ok_at(unit_at(cfg, 5))
+
+    def test_short_circuit_charge_idiom_is_ok_on_fallthrough(self):
+        cfg, flow = self.flow(
+            """\
+            def scan(entries, budget):
+                if budget is not None and budget.charge_node() is not None:
+                    return None
+                for e in entries:
+                    use(e)
+            """
+        )
+        assert flow.ok_at(unit_at(cfg, 4))
+
+    def test_budget_parameter_starts_uncharged(self):
+        cfg, flow = self.flow(
+            """\
+            def scan(entries, budget):
+                for e in entries:
+                    use(e)
+            """
+        )
+        assert not flow.ok_at(unit_at(cfg, 2))
+
+    def test_rebinding_budget_resets_the_obligation(self):
+        cfg, flow = self.flow(
+            """\
+            def scan(entries):
+                budget = current_budget()
+                if budget is not None:
+                    budget.charge_candidate()
+                budget = current_budget()
+                for e in entries:
+                    use(e)
+            """
+        )
+        assert not flow.ok_at(unit_at(cfg, 6))

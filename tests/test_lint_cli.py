@@ -1,7 +1,8 @@
 """Regression tests for the ``repro lint`` command-line interface.
 
 Builds a synthetic ``repro`` tree containing exactly one violation of
-every domlint rule and checks that the CLI detects all eight, exits
+every domlint rule (the eight DOM1xx pattern rules and the six DOM2xx
+dataflow rules) and checks that the CLI detects all fourteen, exits
 non-zero, honours ``--update-baseline`` (subsequent runs are clean),
 and emits machine-readable JSON.  The strict-typing gate is exercised
 when mypy is available (it is in CI; locally the test skips).
@@ -44,9 +45,59 @@ VIOLATIONS = {
         "try:\n    f()\nexcept Exception:\n    pass\n"
     ),
     "repro/core/hyperbola.py": "for i in range(3):\n    pass\n",
+    # DOM201: time.sleep on the event loop.
+    "repro/serve/blocking.py": (
+        "import time\n\n\n"
+        "async def handler():\n"
+        "    time.sleep(0.01)\n"
+    ),
+    # DOM202: executor submission without copy_context().run.
+    "repro/serve/submit.py": (
+        "async def hop(loop, executor, work):\n"
+        "    return await loop.run_in_executor(executor, work)\n"
+    ),
+    # DOM203: WAL append acked without crossing an fsync barrier.
+    "repro/stream/ack.py": (
+        "def append(handle, framed):\n"
+        "    _io_write(handle, framed)\n"
+        "    return True\n"
+    ),
+    # DOM204: attribute mutated from the loop and a thread, no lock
+    # (the submission itself is context-propagated, so only DOM204 fires).
+    "repro/serve/shared.py": (
+        "import contextvars\n\n\n"
+        "class Worker:\n"
+        "    async def handle(self, loop, executor):\n"
+        "        self.count = 0\n\n"
+        "        def bump():\n"
+        "            self.count = 1\n\n"
+        "        ctx = contextvars.copy_context()\n"
+        "        await loop.run_in_executor(executor, ctx.run, bump)\n"
+    ),
+    # DOM205: the 'snapshot' seam is never injected by any test.
+    "repro/robust/faults.py": 'SEAMS = ("quartic", "snapshot")\n',
+    # DOM206: candidate loop with a possibly-live, uncharged budget.
+    "repro/queries/scan.py": (
+        "from repro.resilience.budget import current as current_budget\n\n\n"
+        "def scan(index, query):\n"
+        "    budget = current_budget()\n"
+        "    hits = []\n"
+        "    for key, sphere in index.entries:\n"
+        "        hits.append((key, sphere))\n"
+        "    return hits\n"
+    ),
 }
 
 PAPER = "We prove Lemma 1 and Eq. (14) in Section 4.2.\n"
+
+#: Chaos-test evidence for the seam-coverage rule: covers 'quartic'
+#: but not 'snapshot', so DOM205 reports exactly one uncovered seam.
+CHAOS_TEST = (
+    "from repro.robust import faults\n\n\n"
+    "def test_quartic_seam():\n"
+    '    with faults.inject("quartic", mode="nan"):\n'
+    "        pass\n"
+)
 
 
 @pytest.fixture()
@@ -56,6 +107,9 @@ def violation_tree(tmp_path: Path) -> Path:
         file.parent.mkdir(parents=True, exist_ok=True)
         file.write_text(textwrap.dedent(source), encoding="utf-8")
     (tmp_path / "PAPER.md").write_text(PAPER, encoding="utf-8")
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    (tests / "test_chaos.py").write_text(CHAOS_TEST, encoding="utf-8")
     return tmp_path
 
 
@@ -194,6 +248,28 @@ class TestEntryPoints:
         out = capsys.readouterr().out
         for rule in ALL_RULES:
             assert rule.code in out
+
+    def test_explain_prints_rationale_and_examples(self, capsys):
+        assert run_lint("--explain", "DOM203") == 0
+        out = capsys.readouterr().out
+        assert "wal-fsync-before-ack" in out
+        assert "Why:" in out
+        assert "Invariant:" in out
+        assert "Violating:" in out
+        assert "Compliant:" in out
+        assert "domlint: ignore[wal-fsync-before-ack]" in out
+
+    def test_explain_accepts_rule_names_for_every_rule(self, capsys):
+        for rule in ALL_RULES:
+            assert run_lint("--explain", rule.name) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.code in out
+
+    def test_explain_unknown_rule_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_lint("--explain", "DOM999")
+        assert excinfo.value.code == 2
 
 
 @pytest.mark.skipif(

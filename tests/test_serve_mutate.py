@@ -99,6 +99,23 @@ class TestMutateEndpoint:
         assert counters["serve.mutations"] == 3
         assert counters["serve.mutations.acked"] == 3
 
+    def test_mutation_worker_inherits_request_context(self, stream_dir):
+        """Regression (DOM202): the executor hop runs under a copy of
+        the request's context, so WAL metrics recorded inside the
+        worker thread land in the request's contextvar-scoped obs
+        registry instead of vanishing into the worker's empty context.
+        """
+
+        async def scenario(host, port):
+            return await request(host, port, "POST", "/mutate",
+                                 body=mutate_body())
+
+        (status, _, _), metrics = drive(make_stream_app(stream_dir), scenario)
+        assert status == 200
+        counters = metrics["counters"]
+        assert counters["wal.appends"] == 1
+        assert counters["wal.fsyncs"] >= 1
+
     def test_acked_mutations_survive_a_server_restart(self, stream_dir, dataset):
         async def scenario(host, port):
             await request(host, port, "POST", "/mutate", body=mutate_body())
