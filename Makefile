@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint fuzz chaos stream-chaos bench bench-smoke serve-smoke examples experiments claims profile clean
+.PHONY: install test lint fuzz chaos stream-chaos bench bench-smoke serve-smoke serve-procs-chaos examples experiments claims profile clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -57,6 +57,15 @@ serve-smoke:
 	$(PYTHON) -m pytest -q \
 		tests/test_serve_protocol.py tests/test_serve_admission.py \
 		tests/test_serve_app.py tests/test_serve_concurrency.py
+
+# The worker-pool gate (docs/serving.md, supervised multi-process
+# serving): the SIGKILL chaos matrix — workers killed mid-load by pid
+# and through the worker_kill/worker_heartbeat/worker_spawn seams —
+# plus the supervisor unit suite and a supervised smoke burst.
+serve-procs-chaos:
+	$(PYTHON) -m pytest -q \
+		tests/test_serve_procs_chaos.py tests/test_serve_supervisor.py
+	$(PYTHON) -m repro serve smoke --workers 2 --every 4
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,6 +1,6 @@
 """The DOM2xx dataflow rules: concurrency, durability and coverage.
 
-PR 3's DOM1xx rules are single-node AST patterns; the six rules here
+PR 3's DOM1xx rules are single-node AST patterns; the seven rules here
 check *ordering and propagation* invariants using the per-function CFG
 (:mod:`repro.analysis.cfg`), the budget dataflow pass
 (:mod:`repro.analysis.dataflow`) and the cross-module symbol index
@@ -26,6 +26,10 @@ check *ordering and propagation* invariants using the per-function CFG
 ``budget-charge-coverage`` (DOM206)
     Candidate-iteration loops in :mod:`repro.queries` must charge the
     ``Budget`` on every budgeted path reaching them.
+``signal-handler-safety`` (DOM207)
+    Signal handlers registered in :mod:`repro.serve` may only set
+    flags or hand off via ``call_soon_threadsafe`` — no blocking I/O,
+    no logging, no lock acquisition.
 """
 
 from __future__ import annotations
@@ -631,6 +635,135 @@ class BudgetChargeCoverageRule(Rule):
         return False
 
 
+class SignalHandlerSafetyRule(Rule):
+    name = "signal-handler-safety"
+    code = "DOM207"
+    description = (
+        "signal handlers may only set flags or hand off via "
+        "call_soon_threadsafe"
+    )
+    rationale = (
+        "A signal handler interrupts the process at an arbitrary "
+        "bytecode boundary: blocking I/O stalls the drain it was meant "
+        "to start, logging re-enters non-reentrant machinery, and taking "
+        "a lock the interrupted frame already holds deadlocks the "
+        "process at shutdown — the one moment it must stay responsive. "
+        "The only async-signal-safe moves are setting a flag and "
+        "call_soon_threadsafe."
+    )
+    invariant = (
+        "Every function registered via signal.signal() or "
+        "loop.add_signal_handler() in repro.serve contains no blocking "
+        "I/O (time.sleep, os.fsync/rename/..., open, print, sockets, "
+        "subprocess, shutil), no logging calls, and no lock acquisition "
+        "(`with <lock>` or .acquire()); flag assignments, Event.set and "
+        "loop.call_soon_threadsafe are the allowed vocabulary."
+    )
+    bad_example = (
+        "def on_term(signum, frame):\n"
+        "    logging.info('draining')   # re-enters non-reentrant state\n"
+        "    time.sleep(0.1)            # blocks inside the handler\n"
+        "signal.signal(signal.SIGTERM, on_term)\n"
+    )
+    good_example = (
+        "def on_term():\n"
+        "    self._draining = True      # flag only\n"
+        "    self._drain_event.set()\n"
+        "loop.add_signal_handler(signal.SIGTERM, on_term)\n"
+    )
+
+    _BLOCKING = AsyncBlockingCallRule._EXACT | frozenset({("print",)})
+    _BLOCKING_ROOTS = AsyncBlockingCallRule._ROOTS
+
+    def applies(self, module: str) -> bool:
+        return in_packages(module, "repro.serve")
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        aliases = _import_aliases(ctx.tree)
+        functions: "dict[str, ast.FunctionDef | ast.AsyncFunctionDef]" = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, node)
+        seen: "set[str]" = set()
+        for name in sorted(self._handler_names(ctx.tree, aliases)):
+            fn = functions.get(name)
+            if fn is None or name in seen:
+                continue  # e.g. event.set — not a locally defined body
+            seen.add(name)
+            yield from self._check_handler(ctx, fn, aliases)
+
+    def _handler_names(
+        self, tree: ast.Module, aliases: "dict[str, str]"
+    ) -> "set[str]":
+        """Names of functions registered as signal handlers."""
+        names: "set[str]" = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or len(node.args) < 2:
+                continue
+            chain = _canonical_chain(node.func, aliases)
+            if chain is None:
+                continue
+            registers = chain == ("signal", "signal") or (
+                chain[-1] == "add_signal_handler"
+            )
+            if not registers:
+                continue
+            target = attribute_chain(node.args[1])
+            if target is not None:
+                names.add(target[-1])
+        return names
+
+    def _check_handler(
+        self,
+        ctx: FileContext,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        aliases: "dict[str, str]",
+    ) -> "Iterator[Finding]":
+        for node in _own_nodes(fn):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if UnlockedSharedStateRule._is_lock(item.context_expr):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"signal handler {fn.name}() acquires a lock; "
+                            "the interrupted frame may already hold it — "
+                            "set a flag and let the loop do the work",
+                        )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _canonical_chain(node.func, aliases)
+            if chain is None:
+                continue
+            if chain in self._BLOCKING or (
+                len(chain) > 1 and chain[0] in self._BLOCKING_ROOTS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"signal handler {fn.name}() performs blocking I/O "
+                    f"({'.'.join(chain)}); handlers may only set flags "
+                    "or call_soon_threadsafe",
+                )
+            elif chain[0] == "logging":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"signal handler {fn.name}() calls logging; the "
+                    "logging machinery is not async-signal-safe — set a "
+                    "flag and log from the loop",
+                )
+            elif chain[-1] == "acquire":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"signal handler {fn.name}() acquires a lock; the "
+                    "interrupted frame may already hold it — set a flag "
+                    "and let the loop do the work",
+                )
+
+
 #: The dataflow rules, in reporting order (appended to ALL_RULES).
 FLOW_RULES: "tuple[Rule, ...]" = (
     AsyncBlockingCallRule(),
@@ -639,4 +772,5 @@ FLOW_RULES: "tuple[Rule, ...]" = (
     UnlockedSharedStateRule(),
     FaultSeamCoverageRule(),
     BudgetChargeCoverageRule(),
+    SignalHandlerSafetyRule(),
 )

@@ -319,12 +319,134 @@ def _measure_stream(
     return samples, repeats * len(mutations), instrumented
 
 
+def _measure_serve(
+    params: "dict[str, Any]", seed: int, repeats: int
+) -> "tuple[list[float], int, Callable[[], None]]":
+    """End-to-end HTTP query latency over real TCP.
+
+    ``phase="single"`` boots one in-process :class:`ServeApp`;
+    ``phase="workers"`` boots a supervised pool of ``workers``
+    processes and — when ``kill`` > 0 — SIGKILLs one query worker
+    right before that request index of the first burst, so the
+    committed trajectory prices failover, not just the happy path.
+    One sample per request; statuses are asserted into the
+    degradation contract ({200, 206, 429} single, + 503 supervised).
+    """
+    import asyncio
+    import atexit
+    import shutil
+    import signal as _signal
+    import tempfile
+
+    from repro.index import snapshot as snapshot_io
+    from repro.serve.smoke import request as http_request
+
+    dataset = _point_dataset(params, seed)
+    tree = SSTree.bulk_load(dataset.items())
+    requests = int(params.get("requests", 20))
+    bodies = [
+        {
+            "kind": "knn",
+            "index": "default",
+            "center": [float(c) for c in sphere.center],
+            "radius": float(sphere.radius),
+            "k": int(params.get("k", 5)),
+        }
+        for sphere in knn_queries(dataset, count=requests, seed=seed)
+    ]
+    phase = str(params.get("phase", "single"))
+    workers = int(params.get("workers", 0))
+    kill_at = int(params.get("kill", 0))
+    allowed = {200, 206, 429, 503} if phase == "workers" else {200, 206, 429}
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    atexit.register(shutil.rmtree, directory, ignore_errors=True)
+    path = os.path.join(directory, "bench.snap")
+    snapshot_io.save(tree, path)
+
+    async def burst(
+        host: str,
+        port: int,
+        samples: "list[float] | None",
+        kill_pid: "int | None" = None,
+    ) -> None:
+        for i, body in enumerate(bodies):
+            if kill_pid is not None and i == kill_at:
+                os.kill(kill_pid, _signal.SIGKILL)
+            started = time.perf_counter()
+            status, _, _ = await http_request(
+                host, port, "POST", "/query", body=body
+            )
+            elapsed = time.perf_counter() - started
+            if status not in allowed:
+                raise RuntimeError(f"serve bench got status {status}")
+            if samples is not None:
+                samples.append(elapsed)
+
+    def run_single(samples: "list[float] | None", rounds: int) -> None:
+        from repro.serve.app import ServeApp, start_server
+
+        app = ServeApp.from_snapshots({"default": path}, seed=seed)
+
+        async def go() -> None:
+            server = await start_server(app)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                for _ in range(rounds):
+                    await burst(host, port, samples)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        try:
+            asyncio.run(go())
+        finally:
+            app.close(drain_s=0.0)
+
+    def run_workers(samples: "list[float] | None", rounds: int) -> None:
+        from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+        supervisor = Supervisor(
+            SupervisorConfig(
+                query_workers=workers,
+                snapshots={"default": path},
+                backoff_base_s=0.05,
+                backoff_cap_s=0.5,
+                seed=seed,
+            )
+        )
+
+        async def go() -> None:
+            host, port = await supervisor.start()
+            try:
+                for round_no in range(rounds):
+                    kill_pid = None
+                    if kill_at > 0 and round_no == 0:
+                        pids = supervisor.worker_pids("query")
+                        kill_pid = pids[0] if pids else None
+                    await burst(host, port, samples, kill_pid)
+            finally:
+                await supervisor.drain_and_stop()
+
+        asyncio.run(go())
+
+    runner = run_workers if phase == "workers" else run_single
+    samples: "list[float]" = []
+    runner(samples, repeats)
+
+    def instrumented() -> None:
+        runner(None, 1)
+
+    return samples, repeats * len(bodies), instrumented
+
+
 _MEASURERS: "dict[str, Callable[[dict[str, Any], int, int], tuple[list[float], int, Callable[[], None]]]]" = {
     "build": _measure_build,
     "knn": _measure_knn,
     "rknn": _measure_rknn,
     "dominating": _measure_dominating,
     "stream": _measure_stream,
+    "serve": _measure_serve,
 }
 
 

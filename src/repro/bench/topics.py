@@ -123,6 +123,28 @@ _SWEEPS: "dict[str, dict[str, list[dict[str, object]]]]" = {
                    mutations=2000),
         ],
     },
+    # End-to-end serving over real TCP: single-process vs a supervised
+    # worker pool, with one induced SIGKILL mid-burst ("kill" is the
+    # request index of the kill in the first burst; 0 = no kill) so
+    # the trajectory prices failover p99, not just the happy path.
+    "serve": {
+        "quick": [
+            _point(phase="single", n=300, d=3, radius="gaussian",
+                   requests=24, k=5),
+            _point(phase="workers", workers=2, n=300, d=3,
+                   radius="gaussian", requests=24, k=5, kill=6),
+        ],
+        "full": [
+            _point(phase="single", n=300, d=3, radius="gaussian",
+                   requests=24, k=5),
+            _point(phase="workers", workers=2, n=300, d=3,
+                   radius="gaussian", requests=24, k=5, kill=6),
+            _point(phase="workers", workers=2, n=300, d=3,
+                   radius="gaussian", requests=24, k=5, kill=0),
+            _point(phase="workers", workers=4, n=1000, d=3,
+                   radius="gaussian", requests=48, k=5, kill=12),
+        ],
+    },
     # Top-k dominating: the vectorised n x (n-1) scoring pass.
     "dominating": {
         "quick": [

@@ -179,6 +179,21 @@ SERVE_MUTATIONS = "serve.mutations"
 SERVE_MUTATIONS_ACKED = "serve.mutations.acked"
 SERVE_MUTATIONS_REJECTED = "serve.mutations.rejected"
 
+# repro.serve.supervisor — the multi-process worker pool.
+SERVE_WORKERS_SPAWNED = "serve.workers.spawned"
+SERVE_WORKERS_EXITS = "serve.workers.exits"
+SERVE_WORKERS_RESPAWNS = "serve.workers.respawns"
+SERVE_WORKERS_SPAWN_FAILURES = "serve.workers.spawn_failures"
+SERVE_WORKERS_HEARTBEAT_MISSES = "serve.workers.heartbeat_misses"
+SERVE_WORKERS_KILLS = "serve.workers.kills"
+SERVE_WORKERS_FAILOVERS = "serve.workers.failovers"
+SERVE_WORKERS_FLAP_CAPPED = "serve.workers.flap_capped"
+SERVE_WORKERS_QUORUM_LOST = "serve.workers.quorum_lost"
+SERVE_WORKERS_DRAINED = "serve.workers.drained"
+SERVE_WORKERS_DRAIN_TIMEOUTS = "serve.workers.drain_timeouts"
+SERVE_WORKERS_MUTATIONS_REACKED = "serve.workers.mutations_reacked"
+SERVE_WORKERS_MUTATIONS_RESENT = "serve.workers.mutations_resent"
+
 # repro.index.snapshot — crash-safe persistence outcomes.
 SNAPSHOT_SAVES = "snapshot.saves"
 SNAPSHOT_LOADS = "snapshot.loads"

@@ -61,6 +61,25 @@ that claim testable by corrupting the kernels at their seams:
     (``_rename``).  Every mode raises: a failed rename must leave the
     old snapshot + WAL fully intact (typed
     :class:`~repro.exceptions.CompactionError`, no partial state).
+``"worker_spawn"``
+    The supervisor's pre-spawn hook
+    (:func:`repro.serve.supervisor._spawn_probe`).  Every mode raises:
+    a failed fork/exec must land in the backoff respawn path, and a
+    persistently failing slot must hit the flap cap instead of crash
+    looping.
+``"worker_heartbeat"``
+    The supervisor's health verdict
+    (:func:`repro.serve.supervisor._heartbeat_probe`).  ``raise``
+    explodes inside the check, scalar modes report the worker dead;
+    either way the supervisor must count a miss, SIGKILL the worker,
+    and respawn it — a flaky health checker may cost a healthy worker,
+    never an answer.
+``"worker_kill"``
+    The supervisor's pre-dispatch chaos hook
+    (:func:`repro.serve.supervisor._kill_probe`).  ``raise`` and
+    scalar modes SIGKILL the chosen worker right before its request is
+    written — the worst moment — so the dispatch must fail over to a
+    survivor (queries) or re-ack through the WAL seq hint (mutations).
 
 and four corruption modes (seam-appropriate where outputs are not
 scalars — see each patcher):
@@ -119,6 +138,9 @@ SEAMS = (
     "wal_fsync",
     "wal_read",
     "compact_rename",
+    "worker_spawn",
+    "worker_heartbeat",
+    "worker_kill",
 )
 MODES = ("nan", "overflow", "perturb", "raise")
 
@@ -527,6 +549,70 @@ def _patch_compact_rename(fault: InjectedFault) -> "Iterator[None]":
         _compact._rename = original_rename
 
 
+@contextlib.contextmanager
+def _patch_worker_spawn(fault: InjectedFault) -> "Iterator[None]":
+    from repro.serve import supervisor as _supervisor
+
+    original_probe = _supervisor._spawn_probe
+
+    def corrupted_probe() -> None:
+        original_probe()
+        if fault.fires():
+            # Every mode explodes: a spawn has no scalar output to
+            # poison, and a failed fork/exec is the interesting case.
+            raise FaultInjected("injected fault in worker spawn")
+
+    try:
+        _supervisor._spawn_probe = corrupted_probe
+        yield
+    finally:
+        _supervisor._spawn_probe = original_probe
+
+
+@contextlib.contextmanager
+def _patch_worker_heartbeat(fault: InjectedFault) -> "Iterator[None]":
+    from repro.serve import supervisor as _supervisor
+
+    original_probe = _supervisor._heartbeat_probe
+
+    def corrupted_probe() -> bool:
+        alive = original_probe()
+        if not fault.fires():
+            return alive
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in worker heartbeat")
+        # Scalar modes model a worker that stops answering pings: the
+        # health verdict comes back dead even though the process lives.
+        return False
+
+    try:
+        _supervisor._heartbeat_probe = corrupted_probe
+        yield
+    finally:
+        _supervisor._heartbeat_probe = original_probe
+
+
+@contextlib.contextmanager
+def _patch_worker_kill(fault: InjectedFault) -> "Iterator[None]":
+    from repro.serve import supervisor as _supervisor
+
+    original_probe = _supervisor._kill_probe
+
+    def corrupted_probe() -> bool:
+        wants_kill = original_probe()
+        if not fault.fires():
+            return wants_kill
+        if fault.mode == "raise":
+            raise FaultInjected("injected fault in worker kill probe")
+        return True
+
+    try:
+        _supervisor._kill_probe = corrupted_probe
+        yield
+    finally:
+        _supervisor._kill_probe = original_probe
+
+
 _PATCHERS: "dict[str, Callable[[InjectedFault], contextlib.AbstractContextManager[None]]]" = {
     "quartic": _patch_quartic,
     "frame": _patch_frame,
@@ -540,6 +626,9 @@ _PATCHERS: "dict[str, Callable[[InjectedFault], contextlib.AbstractContextManage
     "wal_fsync": _patch_wal_fsync,
     "wal_read": _patch_wal_read,
     "compact_rename": _patch_compact_rename,
+    "worker_spawn": _patch_worker_spawn,
+    "worker_heartbeat": _patch_worker_heartbeat,
+    "worker_kill": _patch_worker_kill,
 }
 
 

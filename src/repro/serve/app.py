@@ -179,6 +179,7 @@ class ServeApp:
         self._breaker_recovery_s = breaker_recovery_s
         self._rng = random.Random(seed)
         self._indexes: "dict[str, IndexState]" = {}
+        self._draining = False
         self._executor = ThreadPoolExecutor(
             max_workers=self.admission.max_concurrency,
             thread_name_prefix="repro-serve",
@@ -241,17 +242,21 @@ class ServeApp:
             return state
         return self.register_index(name, index, source=str(path))
 
-    def load_stream(self, name: str, directory: str) -> IndexState:
+    def load_stream(
+        self, name: str, directory: str, *, exclusive: bool = False
+    ) -> IndexState:
         """Warm-start a *mutable* index from a streaming directory.
 
         The snapshot passes the full integrity check, then the WAL is
         replayed over it (the recovery contract of
         :mod:`repro.stream.wal`).  Corruption quarantines the index
         exactly like :meth:`load_snapshot` — the process never crash
-        loops on a bad disk.
+        loops on a bad disk.  ``exclusive=True`` takes the WAL owner
+        lock (the supervised mutation worker's mode; see
+        :mod:`repro.serve.worker`).
         """
         try:
-            stream = StreamingIndex.open(directory, verify=True)
+            stream = StreamingIndex.open(directory, verify=True, exclusive=exclusive)
         except (
             StreamError,
             WalError,
@@ -305,7 +310,32 @@ class ServeApp:
     def indexes(self) -> "dict[str, IndexState]":
         return dict(self._indexes)
 
-    def close(self) -> None:
+    @property
+    def draining(self) -> bool:
+        """Whether the app has stopped accepting work (see :meth:`close`)."""
+        return self._draining
+
+    #: How often :meth:`close` re-checks the in-flight count while
+    #: draining; small enough that an idle shutdown is instant.
+    _DRAIN_POLL_S = 0.005
+
+    def close(self, drain_s: float = 2.0) -> None:
+        """Graceful shutdown: stop accepting, drain, only then cancel.
+
+        New ``/query`` and ``/mutate`` requests answer 503
+        ``draining`` the moment this is called; requests already
+        admitted get up to *drain_s* seconds of wall clock to finish on
+        their executor threads before the pool is cancelled.  An idle
+        server (the common case) observes no delay at all.  Called from
+        synchronous shutdown code — the event loop is already stopping
+        or stopped — so the polling sleep blocks nobody.
+        """
+        self._draining = True
+        deadline = time.monotonic() + max(float(drain_s), 0.0)
+        while self.admission.in_flight > 0 and time.monotonic() < deadline:
+            time.sleep(self._DRAIN_POLL_S)
+        if obs.ENABLED and self.admission.in_flight > 0:
+            obs.incr(names.SERVE_WORKERS_DRAIN_TIMEOUTS)
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
@@ -326,12 +356,16 @@ class ServeApp:
                 return json_response(
                     405, {"error": "method_not_allowed", "allow": "POST"}
                 )
+            if self._draining:
+                return self._unavailable_draining()
             return await self._handle_query(request)
         if request.path in ("/mutate", "/v1/mutate"):
             if request.method != "POST":
                 return json_response(
                     405, {"error": "method_not_allowed", "allow": "POST"}
                 )
+            if self._draining:
+                return self._unavailable_draining()
             return await self._handle_mutate(request)
         return json_response(404, {"error": "not_found", "path": request.path})
 
@@ -339,9 +373,23 @@ class ServeApp:
         indexes = {
             name: state.snapshot() for name, state in self._indexes.items()
         }
-        ready = any(state.healthy for state in self._indexes.values())
+        ready = (
+            any(state.healthy for state in self._indexes.values())
+            and not self._draining
+        )
         return json_response(
-            200 if ready else 503, {"ready": ready, "indexes": indexes}
+            200 if ready else 503,
+            {"ready": ready, "draining": self._draining, "indexes": indexes},
+        )
+
+    def _unavailable_draining(self) -> HttpResponse:
+        """The 503 a draining server answers instead of taking work."""
+        if obs.ENABLED:
+            obs.incr(names.SERVE_RESPONSES_UNAVAILABLE)
+        return json_response(
+            503,
+            {"error": "draining", "retry_after_s": 1.0},
+            headers={"Retry-After": "1.000"},
         )
 
     def _metrics(self) -> HttpResponse:

@@ -26,11 +26,19 @@ delay recovery but never flaps the breaker into admitting against a
 failing index.  Transitions are counted per index and state on the
 ``serve.breaker.<index>.<state>`` obs family; the current state rides
 on ``/readyz``.
+
+State transitions are serialized on an internal lock: the serving
+layer settles probes from executor threads (the mutation path) as well
+as from the event loop, and the half-open probe quota in particular is
+a read-check-increment sequence that would over-admit under a race —
+``half_open_probes`` is a *hard* cap, proven by a threaded regression
+test, not a hint.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 
 from repro import obs
 from repro.exceptions import ServeError
@@ -60,6 +68,7 @@ class CircuitBreaker:
         "_streak",
         "_opened_at",
         "_probes_in_flight",
+        "_lock",
     )
 
     def __init__(
@@ -88,6 +97,7 @@ class CircuitBreaker:
         self._streak = 0
         self._opened_at: "float | None" = None
         self._probes_in_flight = 0
+        self._lock = threading.Lock()
 
     @property
     def state(self) -> BreakerState:
@@ -113,51 +123,56 @@ class CircuitBreaker:
         the caller *must* follow up with :meth:`record_success` or
         :meth:`record_failure` to settle the probe.
         """
-        if self._state is BreakerState.CLOSED:
-            return True
-        if self._state is BreakerState.OPEN:
-            now = _read_clock()
-            if now is not None and self._opened_at is None:
-                # The clock was broken when the breaker opened; anchor
-                # the recovery window at its first healthy reading.
-                self._opened_at = now
-            if (
-                now is None
-                or self._opened_at is None
-                or now - self._opened_at < self.recovery_s
-            ):
-                # Unreadable clock: stay open — never flap into
-                # admitting against a failing index on a broken clock.
-                if obs.ENABLED:
-                    obs.incr(names.SERVE_BREAKER_SHORT_CIRCUITS)
-                return False
-            self._transition(BreakerState.HALF_OPEN)
-            self._probes_in_flight = 0
-        if self._probes_in_flight < self.half_open_probes:
-            self._probes_in_flight += 1
-            return True
-        if obs.ENABLED:
-            obs.incr(names.SERVE_BREAKER_SHORT_CIRCUITS)
-        return False
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                now = _read_clock()
+                if now is not None and self._opened_at is None:
+                    # The clock was broken when the breaker opened;
+                    # anchor the recovery window at its first healthy
+                    # reading.
+                    self._opened_at = now
+                if (
+                    now is None
+                    or self._opened_at is None
+                    or now - self._opened_at < self.recovery_s
+                ):
+                    # Unreadable clock: stay open — never flap into
+                    # admitting against a failing index on a broken
+                    # clock.
+                    if obs.ENABLED:
+                        obs.incr(names.SERVE_BREAKER_SHORT_CIRCUITS)
+                    return False
+                self._transition(BreakerState.HALF_OPEN)
+                self._probes_in_flight = 0
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            if obs.ENABLED:
+                obs.incr(names.SERVE_BREAKER_SHORT_CIRCUITS)
+            return False
 
     def record_success(self) -> None:
         """One healthy interaction: resets the streak, closes a probe."""
-        self._streak = 0
-        if self._state is not BreakerState.CLOSED:
-            self._transition(BreakerState.CLOSED)
-            self._opened_at = None
-            self._probes_in_flight = 0
+        with self._lock:
+            self._streak = 0
+            if self._state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED)
+                self._opened_at = None
+                self._probes_in_flight = 0
 
     def record_failure(self) -> None:
         """One absorbed-fault/corruption interaction against the index."""
-        self._streak += 1
-        if self._state is BreakerState.HALF_OPEN:
-            self._open()
-        elif (
-            self._state is BreakerState.CLOSED
-            and self._streak >= self.failure_threshold
-        ):
-            self._open()
+        with self._lock:
+            self._streak += 1
+            if self._state is BreakerState.HALF_OPEN:
+                self._open()
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._streak >= self.failure_threshold
+            ):
+                self._open()
 
     def _open(self) -> None:
         self._transition(BreakerState.OPEN)

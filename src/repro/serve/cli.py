@@ -18,6 +18,15 @@ integrity-checked, the write-ahead log is replayed over it, and
 ``POST /mutate`` accepts durable inserts/deletes (see
 ``docs/streaming.md``).
 
+``--workers N`` (N >= 1) switches to supervised multi-process serving
+(:mod:`repro.serve.supervisor`): N query workers share the read-only
+snapshot shards, one mutation worker exclusively owns the streams'
+write-ahead logs, and the supervisor heals crashes with heartbeats,
+backoff respawns and request failover.  ``--drain-ms`` bounds how long
+in-flight requests may finish after SIGTERM/SIGINT (both modes honour
+it; the single-process server drains through
+:meth:`~repro.serve.app.ServeApp.close`).
+
 ``repro serve smoke`` runs the self-contained smoke scenario
 (:mod:`repro.serve.smoke`): boot on a fixture snapshot, fire a burst of
 queries with a fault seam enabled, and fail unless every response is
@@ -37,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from typing import Sequence
 
@@ -138,6 +148,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="seed for the synthetic fallback"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "serve through a supervised pool of N query worker processes "
+            "(plus one mutation worker when --stream is given); 0 = "
+            "single-process serving (default)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-ms",
+        type=float,
+        default=2000.0,
+        metavar="MS",
+        help=(
+            "wall clock granted to in-flight requests after SIGTERM/SIGINT "
+            "before they are cancelled (default 2000)"
+        ),
+    )
     return parser
 
 
@@ -207,7 +238,9 @@ def build_app(args: argparse.Namespace) -> ServeApp:
     return app
 
 
-async def _serve_forever(app: ServeApp, host: str, port: int) -> None:
+async def _serve_forever(
+    app: ServeApp, host: str, port: int, drain_s: float
+) -> None:
     server = await start_server(app, host=host, port=port)
     bound = server.sockets[0].getsockname()
     healthy = sum(1 for state in app.indexes.values() if state.healthy)
@@ -216,8 +249,23 @@ async def _serve_forever(app: ServeApp, host: str, port: int) -> None:
         f"({healthy}/{len(app.indexes)} index(es) healthy)",
         flush=True,
     )
-    async with server:
-        await server.serve_forever()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            # Flag-only handler (Event.set) — the DOM207 contract.
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-Unix loop: Ctrl-C falls back to KeyboardInterrupt
+    await stop.wait()
+    # Graceful drain: stop accepting, give in-flight requests their
+    # wall clock *inside* the loop (ServeApp.close's sync drain would
+    # block the very loop the requests run on).
+    server.close()
+    await server.wait_closed()
+    deadline = loop.time() + max(drain_s, 0.0)
+    while app.admission.in_flight > 0 and loop.time() < deadline:
+        await asyncio.sleep(0.01)
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
@@ -233,17 +281,53 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(arguments)
     obs.enable()
+    drain_s = max(args.drain_ms, 0.0) / 1000.0
+    if args.workers > 0:
+        from repro.serve.supervisor import run_supervisor
+
+        scale = (
+            args.deadline_ms / _STANDARD_DEADLINE_MS
+            if args.deadline_ms is not None
+            else 1.0
+        )
+        try:
+            snapshots = _parse_snapshot_specs(args.snapshot)
+            streams = _parse_snapshot_specs(args.stream)
+            overlap = set(snapshots) & set(streams)
+            if overlap:
+                raise ReproError(
+                    f"index name(s) given to both --snapshot and --stream: "
+                    f"{sorted(overlap)}"
+                )
+            return run_supervisor(
+                workers=args.workers,
+                snapshots=snapshots,
+                streams=streams,
+                host=args.host,
+                port=args.port,
+                drain_ms=args.drain_ms,
+                deadline_scale=scale,
+                max_queue=args.max_queue,
+                seed=args.seed,
+                n=args.n,
+                dimension=args.dimension,
+            )
+        except ReproError as error:
+            print(f"serve error: {error}", file=sys.stderr)
+            return 1
     try:
         app = build_app(args)
     except ReproError as error:
         print(f"serve error: {error}", file=sys.stderr)
         return 1
     try:
-        asyncio.run(_serve_forever(app, args.host, args.port))
+        asyncio.run(_serve_forever(app, args.host, args.port, drain_s))
     except KeyboardInterrupt:
         print("interrupted; shutting down", file=sys.stderr)
     finally:
-        app.close()
+        # In-flight work already got its drain window inside the loop;
+        # close() only has the executor queue left to settle.
+        app.close(drain_s=0.0)
         if app.event_log is not None:
             app.event_log.close()
     return 0

@@ -12,14 +12,27 @@ handler should answer with; a garbage or hostile client therefore
 costs one 4xx response, never a stack trace or a stuck worker.  The
 limits are deliberately small for a JSON query API: 8 KiB request
 line, 100 headers of 8 KiB each, 1 MiB body.
+
+The module also carries the *worker pipe* framing used by the
+multi-process supervisor (``repro.serve.supervisor`` on one end,
+``repro.serve.worker`` on the other): length-prefixed JSON objects —
+a big-endian ``u32`` byte count followed by a compact UTF-8 JSON
+body.  The supervisor reads frames asynchronously off the worker's
+stdout (:func:`read_frame_async`); the worker reads them with plain
+blocking I/O off its stdin (:func:`read_frame`), which keeps the
+child side a simple synchronous loop.  A short read at a frame
+boundary is a clean EOF (``None``); a short read *inside* a frame or
+an oversized/garbage frame raises :class:`ProtocolError` — a corrupt
+pipe is a dead worker, never a misparsed request.
 """
 
 from __future__ import annotations
 
 import json
-from asyncio import StreamReader, StreamWriter
+import struct
+from asyncio import IncompleteReadError, StreamReader, StreamWriter
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, BinaryIO, Mapping
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.exceptions import ProtocolError
@@ -27,8 +40,12 @@ from repro.exceptions import ProtocolError
 __all__ = [
     "HttpRequest",
     "HttpResponse",
+    "MAX_FRAME_BYTES",
     "STATUS_REASONS",
+    "encode_frame",
     "json_response",
+    "read_frame",
+    "read_frame_async",
     "read_request",
     "write_response",
 ]
@@ -207,3 +224,82 @@ async def write_response(writer: StreamWriter, response: HttpResponse) -> None:
     """Send *response* and drain; closing is the caller's business."""
     writer.write(response.encode())
     await writer.drain()
+
+
+# --------------------------------------------------------------------------
+# Worker pipe framing (supervisor <-> worker).
+
+_FRAME_HEADER = struct.Struct(">I")
+
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_frame(payload: "Mapping[str, Any]") -> bytes:
+    """*payload* as one length-prefixed JSON frame (wire bytes)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+def _decode_frame_body(body: bytes) -> "dict[str, Any]":
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _frame_length(header: bytes) -> int:
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return int(length)
+
+
+def read_frame(stream: "BinaryIO") -> "dict[str, Any] | None":
+    """One frame off a blocking byte *stream* (worker side).
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on a torn or oversized frame.
+    """
+    header = stream.read(_FRAME_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _FRAME_HEADER.size:
+        raise ProtocolError("pipe ended mid-frame-header")
+    length = _frame_length(header)
+    body = stream.read(length)
+    if body is None or len(body) < length:
+        raise ProtocolError("pipe ended mid-frame")
+    return _decode_frame_body(body)
+
+
+async def read_frame_async(reader: StreamReader) -> "dict[str, Any] | None":
+    """One frame off an asyncio *reader* (supervisor side).
+
+    Same contract as :func:`read_frame`: ``None`` on clean EOF,
+    :class:`ProtocolError` on a torn frame.
+    """
+    try:
+        header = await reader.readexactly(_FRAME_HEADER.size)
+    except IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("pipe ended mid-frame-header") from None
+    length = _frame_length(header)
+    try:
+        body = await reader.readexactly(length)
+    except IncompleteReadError:
+        raise ProtocolError("pipe ended mid-frame") from None
+    return _decode_frame_body(body)

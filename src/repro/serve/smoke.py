@@ -12,6 +12,13 @@
    clean answer came back, and ``/metrics`` scrapes as Prometheus text
    carrying the ``serve.*`` families.
 
+``--workers N`` runs the same burst against a supervised worker pool
+(:mod:`repro.serve.supervisor`) instead: the default seam becomes
+``"worker_kill"`` (SIGKILL a worker right before dispatch), **503**
+joins the allowed statuses (a supervisor that has lost every worker
+answers honestly rather than hanging), and the scenario additionally
+requires ``/readyz`` to converge back to quorum after the burst.
+
 The module also hosts :func:`request`, the dependency-free asyncio
 HTTP client the serve test suite drives the real network stack with.
 """
@@ -139,36 +146,108 @@ async def _run_burst(
     }
 
 
+async def _run_supervised_burst(
+    supervisor: Any,
+    bodies: "Sequence[dict[str, Any]]",
+    seam: str,
+    mode: str,
+    every: int,
+) -> "dict[str, Any]":
+    from repro.robust import faults
+
+    host, port = await supervisor.start()
+    tenants = ("interactive", "standard", "batch")
+    statuses: "list[int]" = []
+    try:
+        with faults.inject(seam, mode, every=every):
+            for i, body in enumerate(bodies):
+                status, _, _ = await request(
+                    host,
+                    port,
+                    "POST",
+                    "/query",
+                    body=body,
+                    headers={"x-tenant-class": tenants[i % len(tenants)]},
+                )
+                statuses.append(status)
+        # The pool must heal: poll /readyz until quorum converges.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 30.0
+        readyz_status = 503
+        while loop.time() < deadline:
+            readyz_status, _, _ = await request(host, port, "GET", "/readyz")
+            if readyz_status == 200:
+                break
+            await asyncio.sleep(0.1)
+        metrics_status, _, metrics_body = await request(
+            host, port, "GET", "/metrics"
+        )
+    finally:
+        await supervisor.drain_and_stop()
+    return {
+        "statuses": statuses,
+        "metrics_status": metrics_status,
+        "metrics_text": metrics_body.decode("utf-8"),
+        "readyz_status": readyz_status,
+    }
+
+
 def run_smoke(
     *,
     requests: int = 30,
-    seam: str = "handler",
+    seam: "str | None" = None,
     mode: str = "raise",
     every: int = 3,
     seed: int = 0,
+    workers: int = 0,
 ) -> "dict[str, Any]":
     """Run the scenario; returns a summary dict with ``"ok"``."""
     obs.enable()
+    if seam is None:
+        seam = "worker_kill" if workers > 0 else "handler"
     dataset = synthetic_dataset(200, 3, seed=seed)
     tree = SSTree.bulk_load(dataset.items())
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         path = str(Path(tmp) / "smoke.snap")
         snapshot_io.save(tree, path)
+        bodies = _smoke_bodies(dataset, requests, seed)
         with obs.scope():
-            app = ServeApp.from_snapshots(
-                {"default": path},
-                admission=AdmissionController(max_concurrency=4, max_queue=8),
-                seed=seed,
-            )
-            bodies = _smoke_bodies(dataset, requests, seed)
-            try:
-                summary = asyncio.run(
-                    _run_burst(app, bodies, seam, mode, every)
+            if workers > 0:
+                from repro.serve.supervisor import (
+                    Supervisor,
+                    SupervisorConfig,
                 )
-            finally:
-                app.close()
+
+                supervisor = Supervisor(
+                    SupervisorConfig(
+                        query_workers=workers,
+                        snapshots={"default": path},
+                        backoff_base_s=0.05,
+                        backoff_cap_s=0.5,
+                        seed=seed,
+                    )
+                )
+                summary = asyncio.run(
+                    _run_supervised_burst(
+                        supervisor, bodies, seam, mode, every
+                    )
+                )
+            else:
+                app = ServeApp.from_snapshots(
+                    {"default": path},
+                    admission=AdmissionController(
+                        max_concurrency=4, max_queue=8
+                    ),
+                    seed=seed,
+                )
+                try:
+                    summary = asyncio.run(
+                        _run_burst(app, bodies, seam, mode, every)
+                    )
+                finally:
+                    app.close()
     statuses = summary["statuses"]
-    allowed = {200, 206, 429}
+    allowed = {200, 206, 429, 503} if workers > 0 else {200, 206, 429}
     offenders = sorted({s for s in statuses if s not in allowed})
     counts = {code: statuses.count(code) for code in sorted(set(statuses))}
     ok = (
@@ -185,6 +264,7 @@ def run_smoke(
             "offenders": offenders,
             "seam": seam,
             "mode": mode,
+            "workers": workers,
         }
     )
     return summary
@@ -203,8 +283,11 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--seam",
-        default="handler",
-        help="fault seam to enable during the burst (default handler)",
+        default=None,
+        help=(
+            "fault seam to enable during the burst (default handler; "
+            "worker_kill with --workers)"
+        ),
     )
     parser.add_argument(
         "--mode", default="raise", help="fault mode (default raise)"
@@ -216,6 +299,16 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         help="fire the fault on every Nth seam call (default 3)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run the burst against a supervised pool of N worker "
+            "processes (0 = single-process, the default)"
+        ),
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
 
     summary = run_smoke(
@@ -224,16 +317,20 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         mode=args.mode,
         every=args.every,
         seed=args.seed,
+        workers=args.workers,
     )
     print(
-        f"serve smoke: seam={summary['seam']} mode={summary['mode']} "
-        f"statuses={summary['counts']}"
+        f"serve smoke: workers={summary['workers']} seam={summary['seam']} "
+        f"mode={summary['mode']} statuses={summary['counts']}"
+    )
+    allowed_note = (
+        "200/206/429/503" if summary["workers"] > 0 else "200/206/429"
     )
     if not summary["ok"]:
         if summary["offenders"]:
             print(
                 f"FAIL: disallowed status codes {summary['offenders']} "
-                "(only 200/206/429 may appear under faults)",
+                f"(only {allowed_note} may appear under faults)",
                 file=sys.stderr,
             )
         else:
@@ -243,7 +340,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                 file=sys.stderr,
             )
         return 1
-    print("serve smoke: OK (200/206/429 only; /metrics scraped)")
+    print(f"serve smoke: OK ({allowed_note} only; /metrics scraped)")
     return 0
 
 

@@ -1,0 +1,1212 @@
+"""Supervised multi-process serving (``repro serve --workers N``).
+
+One supervisor process owns the listening socket and a pool of child
+workers (:mod:`repro.serve.worker`):
+
+- **N query workers** share the *read-only* snapshot shards — each
+  loads the same snapshot files, so any of them can answer any query
+  and a crash loses no state;
+- **one mutation worker** (present when ``--stream`` directories are
+  configured) exclusively owns the write-ahead logs, holding the
+  advisory WAL owner lock (:mod:`repro.stream.wal`) so the
+  fsync-before-ack durability contract of :mod:`repro.stream` is
+  untouched by multi-processing.
+
+The supervisor is a pure router: admission control and per-tenant
+token buckets run here (sheds stay synchronous 429s that never touch a
+worker), everything else — budgets, breakers, worker-side retries,
+206 degradation shaping — runs inside each worker's private
+:class:`~repro.serve.app.ServeApp`, which is what keeps a supervised
+answer bitwise identical to the single-process server's.
+
+Robustness machinery, all driven by the chaos suite
+(``tests/test_serve_procs_chaos.py``):
+
+- **Health checking** — each worker exchanges length-prefixed JSON
+  frames over its stdin/stdout pipes; idle workers are pinged every
+  ``heartbeat_s``, and a missed heartbeat or wedged dispatch gets the
+  worker SIGKILLed and respawned.
+- **Respawn with backoff and a flap cap** — a dead worker is respawned
+  after an exponentially growing delay (``backoff_base_s`` doubling up
+  to ``backoff_cap_s``); more than ``flap_max`` respawns inside
+  ``flap_window_s`` marks the slot *failed* and stops the crash loop
+  (``serve.workers.flap_capped``).
+- **Query failover** — queries are idempotent, so a dispatch that dies
+  mid-flight is shaped exactly like an absorbed handler fault (a
+  transient, degraded :class:`~repro.resilience.partial.PartialResult`)
+  and the standing :func:`repro.serve.retry.run_with_retry` machinery
+  retries it once on a surviving worker.  Both attempts dead is an
+  honest 503, never a fabricated answer.
+- **Mutation re-ack via the WAL seq hint** — mutations are serialized
+  through the mutation worker (one in flight, ever).  If it dies
+  mid-mutation, the respawned worker's handshake reports the recovered
+  ``last_seq``; a hint *above* the last acked seq proves the in-flight
+  append reached the fsynced log (re-ack it, resending would apply it
+  twice), a hint *at* the last acked seq proves it never did (resend
+  it once).  No acked mutation is lost or doubled.
+- **Graceful drain** — SIGTERM/SIGINT set a flag (nothing else; the
+  DOM207 lint rule polices exactly this), the listener closes, new
+  work answers 503 ``draining``, in-flight requests get ``drain_s``
+  to finish, then workers are shut down.
+- **/readyz quorum** — ready means a majority of query workers are
+  live *and* the mutation worker (when configured) is live.
+
+Supervision tree (see ``docs/serving.md`` for the full picture)::
+
+    supervisor ─ listener + admission + router
+      ├─ query worker 0   (snapshot shards, read-only)
+      ├─ ...
+      ├─ query worker N-1 (snapshot shards, read-only)
+      └─ mutation worker  (streams; exclusive WAL owner lock)
+
+The ``worker_spawn`` / ``worker_heartbeat`` / ``worker_kill`` fault
+seams (:mod:`repro.robust.faults`) patch :func:`_spawn_probe`,
+:func:`_heartbeat_probe` and :func:`_kill_probe` to force spawn
+failures, missed heartbeats and process kills deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import sys
+import time
+from asyncio.subprocess import Process
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro import obs
+from repro.exceptions import ProtocolError, ReproError, ServeError
+from repro.obs import export as obs_export
+from repro.obs import names
+from repro.resilience.budget import Budget
+from repro.resilience.partial import PartialResult, ResilienceReport
+from repro.serve.admission import AdmissionController
+from repro.serve.protocol import (
+    HttpRequest,
+    HttpResponse,
+    encode_frame,
+    json_response,
+    read_frame_async,
+    read_request,
+    write_response,
+)
+from repro.serve.retry import RetryPolicy, run_with_retry
+from repro.serve.tenancy import TenantClass, TenantPolicy, default_classes
+
+__all__ = [
+    "Supervisor",
+    "SupervisorConfig",
+    "WorkerSlot",
+    "WorkerUnavailable",
+    "run_supervisor",
+]
+
+#: How long one connection may take to deliver a full request
+#: (mirrors :mod:`repro.serve.app`).
+_READ_TIMEOUT_S = 10.0
+
+
+class WorkerUnavailable(ServeError):
+    """A dispatch found its worker dead, wedged, or gone mid-exchange."""
+
+
+# ----------------------------------------------------------------------
+# Fault seams (patched by repro.robust.faults)
+# ----------------------------------------------------------------------
+def _spawn_probe() -> None:
+    """The ``worker_spawn`` fault seam: a raising hook fails the spawn."""
+    return None
+
+
+def _heartbeat_probe() -> bool:
+    """The ``worker_heartbeat`` seam: ``False``/raise = missed beat."""
+    return True
+
+
+def _kill_probe() -> bool:
+    """The ``worker_kill`` seam: ``True``/raise = SIGKILL the target.
+
+    Consulted right before each query dispatch, so an injected kill
+    lands at the worst moment — with a request about to be in flight —
+    which is exactly what the failover path must survive.
+    """
+    return False
+
+
+@dataclass
+class SupervisorConfig:
+    """Everything one :class:`Supervisor` needs to run a worker pool."""
+
+    query_workers: int = 2
+    snapshots: "dict[str, str]" = field(default_factory=dict)
+    streams: "dict[str, str]" = field(default_factory=dict)
+    deadline_scale: float = 1.0
+    seed: int = 0
+    max_queue: int = 32
+    #: Wall clock granted to in-flight requests at drain time.
+    drain_s: float = 2.0
+    heartbeat_s: float = 0.25
+    #: Slack added on top of the tenant's (doubled, for the worker-side
+    #: retry) deadline when sizing a dispatch timeout.
+    dispatch_margin_s: float = 1.0
+    #: How long one worker boot may take before it counts as failed.
+    ready_timeout_s: float = 30.0
+    backoff_base_s: float = 0.2
+    backoff_cap_s: float = 5.0
+    flap_window_s: float = 30.0
+    flap_max: int = 8
+    #: How long a mutation waits for the mutation worker to respawn
+    #: before answering 503 ``acked: false``.
+    mutation_failover_s: float = 20.0
+    worker_max_concurrency: int = 2
+    worker_max_queue: int = 8
+
+
+@dataclass
+class WorkerSlot:
+    """One supervised child: its process, pipes, and health state."""
+
+    slot: int
+    role: str  # "query" | "mutation"
+    state: str = "starting"  # starting | ready | dead | failed | stopped
+    process: "Process | None" = None
+    pid: "int | None" = None
+    lock: "asyncio.Lock" = field(default_factory=asyncio.Lock)
+    #: Per-index recovered WAL high-water mark from the last handshake.
+    last_seq: "dict[str, int]" = field(default_factory=dict)
+    indexes: "dict[str, Any]" = field(default_factory=dict)
+    restarts: int = 0
+    #: Consecutive failed spawn attempts (drives the backoff exponent).
+    spawn_failures: int = 0
+    #: Successful respawn times inside the flap window (loop clock).
+    restart_times: "list[float]" = field(default_factory=list)
+
+
+@dataclass
+class _WorkerReply:
+    """One proxied HTTP exchange as it came back over the pipe."""
+
+    status: int
+    content_type: str
+    headers: "dict[str, str]"
+    body: str
+
+    @classmethod
+    def from_frame(cls, frame: "Mapping[str, Any]") -> "_WorkerReply":
+        return cls(
+            status=int(frame.get("status", 500)),
+            content_type=str(frame.get("content_type", "application/json")),
+            headers={
+                str(k): str(v)
+                for k, v in dict(frame.get("headers") or {}).items()
+            },
+            body=str(frame.get("body", "")),
+        )
+
+    def to_response(self) -> HttpResponse:
+        return HttpResponse(
+            status=self.status,
+            body=self.body.encode("utf-8"),
+            content_type=self.content_type,
+            headers=dict(self.headers),
+        )
+
+
+def _worker_fault_outcome(detail: str) -> PartialResult:
+    """A dead-worker attempt, shaped exactly like an absorbed fault.
+
+    ``exhausted="fault"`` with one absorbed fault makes
+    :func:`repro.serve.retry.is_transient` true, so the standing retry
+    machinery spends its one extra attempt on a surviving worker —
+    query failover *is* the ordinary transient-retry path.
+    """
+    report = ResilienceReport()
+    report.mark_incomplete("fault")
+    report.absorbed_faults = 1
+    report.mark_conservative(f"worker unavailable: {detail}")
+    return PartialResult([], report)
+
+
+def _child_env() -> "dict[str, str]":
+    """The worker's environment: inherit, plus our import root."""
+    env = dict(os.environ)
+    serve_dir = os.path.dirname(os.path.abspath(__file__))
+    src_root = os.path.dirname(os.path.dirname(serve_dir))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    return env
+
+
+class Supervisor:
+    """The supervisor process: spawn, route, heal, drain."""
+
+    def __init__(self, config: SupervisorConfig) -> None:
+        if config.query_workers < 1:
+            raise ServeError(
+                f"query_workers must be >= 1, got {config.query_workers!r}"
+            )
+        if not config.snapshots and not config.streams:
+            raise ServeError(
+                "a supervisor needs at least one snapshot or stream shard"
+            )
+        self.config = config
+        self.policy = TenantPolicy(
+            default_classes(deadline_scale=config.deadline_scale)
+        )
+        self.admission = AdmissionController(
+            max_concurrency=max(config.query_workers, 1),
+            max_queue=config.max_queue,
+        )
+        self.retry_policy = RetryPolicy()
+        self._rng = random.Random(config.seed)
+        self._slots: "list[WorkerSlot]" = []
+        self._mutation_slot: "WorkerSlot | None" = None
+        #: index name -> which pool serves it ("query" | "mutation").
+        self._routes: "dict[str, str]" = {}
+        for name in config.snapshots:
+            self._routes[name] = "query"
+        for name in config.streams:
+            self._routes[name] = "mutation"
+        #: Per-index highest seq ever acked to a client (the dedup
+        #: anchor for crash re-acks).
+        self._last_acked: "dict[str, int]" = {}
+        self._mutation_gate = asyncio.Lock()
+        self._drain_event = asyncio.Event()
+        self._frame_ids = 0
+        self._rr = 0
+        self._server: "asyncio.AbstractServer | None" = None
+        self._draining = False
+        self._stopping = False
+        self._tasks: "set[asyncio.Task[None]]" = set()
+        self._heartbeat_task: "asyncio.Task[None] | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "tuple[str, int]":
+        """Spawn the pool, bind the listener; returns (host, port)."""
+        for i in range(self.config.query_workers):
+            self._slots.append(WorkerSlot(slot=i, role="query"))
+        if self.config.streams:
+            self._mutation_slot = WorkerSlot(
+                slot=len(self._slots), role="mutation"
+            )
+            self._slots.append(self._mutation_slot)
+        await asyncio.gather(*(self._boot(slot) for slot in self._slots))
+        self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+        self._server = await asyncio.start_server(
+            self.handle_connection, host=host, port=port
+        )
+        bound = self._server.sockets[0].getsockname()
+        return str(bound[0]), int(bound[1])
+
+    async def serve_until_drained(
+        self, host: str = "127.0.0.1", port: int = 8080
+    ) -> None:
+        """The CLI's main coroutine: run until SIGTERM/SIGINT, drain."""
+        bound = await self.start(host, port)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: Ctrl-C falls back to KeyboardInterrupt
+        print(
+            f"repro serve supervising {self.config.query_workers} query "
+            f"worker(s)"
+            + (" + 1 mutation worker" if self._mutation_slot else "")
+            + f" on {bound[0]}:{bound[1]}",
+            flush=True,
+        )
+        await self._drain_event.wait()
+        await self.drain_and_stop()
+
+    def _request_drain(self) -> None:
+        """The SIGTERM/SIGINT handler: set flags, nothing else (DOM207)."""
+        self._draining = True
+        self._drain_event.set()
+
+    def request_drain(self) -> None:
+        """Programmatic drain trigger (what the signal handler does)."""
+        self._request_drain()
+
+    async def drain_and_stop(self) -> None:
+        """Stop accepting, wait out in-flight work, stop the pool."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(self.config.drain_s, 0.0)
+        while self.admission.in_flight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        if obs.ENABLED:
+            if self.admission.in_flight > 0:
+                obs.incr(names.SERVE_WORKERS_DRAIN_TIMEOUTS)
+            else:
+                obs.incr(names.SERVE_WORKERS_DRAINED)
+        self._stopping = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        await asyncio.gather(
+            *(self._stop_worker(slot) for slot in self._slots),
+            return_exceptions=True,
+        )
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def _stop_worker(self, slot: WorkerSlot) -> None:
+        process = slot.process
+        if process is not None and process.returncode is None and (
+            slot.state == "ready"
+        ):
+            try:
+                await self._dispatch(slot, {"op": "shutdown"}, timeout=1.0)
+            except ServeError:
+                pass
+        slot.state = "stopped"
+        if process is None:
+            return
+        if process.returncode is None:
+            try:
+                process.kill()
+            except ProcessLookupError:  # pragma: no cover - exit race
+                pass
+        try:
+            await asyncio.wait_for(process.wait(), timeout=5.0)
+        except asyncio.TimeoutError:  # pragma: no cover - kernel stall
+            pass
+
+    # ------------------------------------------------------------------
+    # Spawning, monitoring, respawn
+    # ------------------------------------------------------------------
+    def _schedule(self, coro: "Any") -> None:
+        task: "asyncio.Task[None]" = asyncio.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _worker_config(self, slot: WorkerSlot) -> "dict[str, Any]":
+        shared = {
+            "deadline_scale": self.config.deadline_scale,
+            "seed": self.config.seed + 101 * (slot.slot + 1),
+            "max_concurrency": self.config.worker_max_concurrency,
+            "max_queue": self.config.worker_max_queue,
+        }
+        if slot.role == "mutation":
+            return {
+                "role": "mutation",
+                "streams": dict(self.config.streams),
+                "snapshots": {},
+                **shared,
+            }
+        return {
+            "role": "query",
+            "snapshots": dict(self.config.snapshots),
+            "streams": {},
+            **shared,
+        }
+
+    async def _spawn(self, slot: WorkerSlot) -> None:
+        """Fork one worker and wait for its ready handshake."""
+        _spawn_probe()
+        process = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.serve.worker",
+            json.dumps(self._worker_config(slot), sort_keys=True),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=_child_env(),
+        )
+        slot.process = process
+        slot.pid = process.pid
+        assert process.stdout is not None
+        try:
+            frame = await asyncio.wait_for(
+                read_frame_async(process.stdout),
+                timeout=self.config.ready_timeout_s,
+            )
+        except (asyncio.TimeoutError, ProtocolError) as error:
+            process.kill()
+            raise WorkerUnavailable(
+                f"worker slot {slot.slot} failed its handshake: {error}"
+            ) from None
+        if frame is None or frame.get("op") != "ready":
+            process.kill()
+            raise WorkerUnavailable(
+                f"worker slot {slot.slot} sent no ready frame"
+            )
+        slot.pid = int(frame.get("pid", process.pid))
+        slot.last_seq = {
+            str(k): int(v)
+            for k, v in dict(frame.get("last_seq") or {}).items()
+        }
+        slot.indexes = dict(frame.get("indexes") or {})
+        slot.state = "ready"
+        if slot.role == "mutation":
+            for index, seq in slot.last_seq.items():
+                # First boot only: anchor the dedup mark at the
+                # recovered high-water mark.  On respawn the existing
+                # mark is the whole point — never overwrite it here.
+                self._last_acked.setdefault(index, seq)
+        if obs.ENABLED:
+            obs.incr(names.SERVE_WORKERS_SPAWNED)
+        self._schedule(self._monitor(slot, process))
+
+    async def _boot(self, slot: WorkerSlot) -> None:
+        """First spawn of a slot; failures enter the respawn loop."""
+        try:
+            await self._spawn(slot)
+        except (WorkerUnavailable, ArithmeticError, OSError, ValueError):
+            slot.state = "dead"
+            slot.spawn_failures += 1
+            if obs.ENABLED:
+                obs.incr(names.SERVE_WORKERS_SPAWN_FAILURES)
+            self._schedule(self._respawn_loop(slot))
+
+    async def _monitor(self, slot: WorkerSlot, process: Process) -> None:
+        """Wait for one process to die, then heal the slot."""
+        await process.wait()
+        if self._stopping or slot.process is not process:
+            return
+        slot.state = "dead"
+        if obs.ENABLED:
+            obs.incr(names.SERVE_WORKERS_EXITS)
+        self._note_quorum(slot)
+        await self._respawn_loop(slot)
+
+    def _note_quorum(self, slot: WorkerSlot) -> None:
+        if not obs.ENABLED:
+            return
+        if slot.role == "mutation" or self._live_query() < self._quorum():
+            obs.incr(names.SERVE_WORKERS_QUORUM_LOST)
+
+    async def _respawn_loop(self, slot: WorkerSlot) -> None:
+        """Exponential backoff respawn, capped by the flap-rate guard."""
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            now = loop.time()
+            slot.restart_times = [
+                t
+                for t in slot.restart_times
+                if now - t < self.config.flap_window_s
+            ]
+            if len(slot.restart_times) >= self.config.flap_max:
+                slot.state = "failed"
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_WORKERS_FLAP_CAPPED)
+                return
+            delay = min(
+                self.config.backoff_base_s * (2.0 ** slot.spawn_failures),
+                self.config.backoff_cap_s,
+            )
+            await asyncio.sleep(delay)
+            if self._stopping:
+                return
+            slot.restart_times.append(loop.time())
+            try:
+                await self._spawn(slot)
+            except (WorkerUnavailable, ArithmeticError, OSError, ValueError):
+                slot.spawn_failures += 1
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_WORKERS_SPAWN_FAILURES)
+                continue
+            slot.spawn_failures = 0
+            slot.restarts += 1
+            if obs.ENABLED:
+                obs.incr(names.SERVE_WORKERS_RESPAWNS)
+            return
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.config.heartbeat_s)
+            for slot in list(self._slots):
+                if self._stopping or slot.state != "ready":
+                    continue
+                if slot.lock.locked():
+                    # Mid-request: the dispatch timeout polices liveness.
+                    continue
+                try:
+                    alive = bool(_heartbeat_probe())
+                except ArithmeticError:
+                    alive = False
+                if alive:
+                    try:
+                        await self._dispatch(
+                            slot,
+                            {"op": "ping"},
+                            timeout=max(self.config.heartbeat_s * 4, 1.0),
+                        )
+                        continue
+                    except ServeError:
+                        pass  # dispatch already marked the slot dead
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_WORKERS_HEARTBEAT_MISSES)
+                self._kill_slot(slot)
+
+    def _kill_slot(self, slot: WorkerSlot) -> None:
+        """SIGKILL one worker; the monitor task owns the respawn."""
+        process = slot.process
+        slot.state = "dead"
+        if process is not None and process.returncode is None:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_WORKERS_KILLS)
+            try:
+                process.kill()
+            except ProcessLookupError:  # pragma: no cover - exit race
+                pass
+
+    # ------------------------------------------------------------------
+    # Frame dispatch
+    # ------------------------------------------------------------------
+    def _next_frame_id(self) -> int:
+        self._frame_ids += 1
+        return self._frame_ids
+
+    async def _dispatch(
+        self, slot: WorkerSlot, payload: "Mapping[str, Any]", timeout: float
+    ) -> "dict[str, Any]":
+        """One frame exchange under the slot's lock (workers are serial)."""
+        process = slot.process
+        if process is None or slot.state != "ready":
+            raise WorkerUnavailable(
+                f"worker slot {slot.slot} is {slot.state}"
+            )
+        async with slot.lock:
+            frame = dict(payload)
+            frame["id"] = self._next_frame_id()
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + max(timeout, 0.05)
+            try:
+                assert process.stdin is not None
+                assert process.stdout is not None
+                process.stdin.write(encode_frame(frame))
+                await asyncio.wait_for(
+                    process.stdin.drain(),
+                    timeout=max(deadline - loop.time(), 0.05),
+                )
+                while True:
+                    reply = await asyncio.wait_for(
+                        read_frame_async(process.stdout),
+                        timeout=max(deadline - loop.time(), 0.05),
+                    )
+                    if reply is None:
+                        raise WorkerUnavailable(
+                            f"worker {slot.pid} closed its pipe"
+                        )
+                    if reply.get("id") == frame["id"]:
+                        return reply
+            except (
+                asyncio.TimeoutError,
+                ConnectionResetError,
+                BrokenPipeError,
+                ProtocolError,
+                OSError,
+            ) as error:
+                self._kill_slot(slot)
+                raise WorkerUnavailable(
+                    f"worker {slot.pid} lost mid-dispatch: "
+                    f"{type(error).__name__}: {error}"
+                ) from None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        if obs.ENABLED:
+            obs.incr(names.SERVE_REQUESTS)
+        if request.path == "/healthz":
+            return json_response(200, {"status": "ok", "supervisor": True})
+        if request.path == "/readyz":
+            return self._readyz()
+        if request.path == "/metrics":
+            text = obs_export.to_prometheus(obs.collect())
+            return HttpResponse(
+                status=200,
+                body=text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+        if request.path in ("/query", "/v1/query"):
+            if request.method != "POST":
+                return json_response(
+                    405, {"error": "method_not_allowed", "allow": "POST"}
+                )
+            if self._draining:
+                return self._unavailable_draining()
+            return await self._handle_query(request)
+        if request.path in ("/mutate", "/v1/mutate"):
+            if request.method != "POST":
+                return json_response(
+                    405, {"error": "method_not_allowed", "allow": "POST"}
+                )
+            if self._draining:
+                return self._unavailable_draining()
+            return await self._handle_mutate(request)
+        return json_response(404, {"error": "not_found", "path": request.path})
+
+    def _unavailable_draining(self) -> HttpResponse:
+        if obs.ENABLED:
+            obs.incr(names.SERVE_RESPONSES_UNAVAILABLE)
+        return json_response(
+            503,
+            {"error": "draining", "retry_after_s": 1.0},
+            headers={"Retry-After": "1.000"},
+        )
+
+    def _live_query(self) -> int:
+        return sum(
+            1
+            for s in self._slots
+            if s.role == "query" and s.state == "ready"
+        )
+
+    def _quorum(self) -> int:
+        total = sum(1 for s in self._slots if s.role == "query")
+        return max(1, (total + 1) // 2)
+
+    def _readyz(self) -> HttpResponse:
+        query_total = sum(1 for s in self._slots if s.role == "query")
+        query_live = self._live_query()
+        quorum = self._quorum()
+        mutation_live = (
+            self._mutation_slot is not None
+            and self._mutation_slot.state == "ready"
+        )
+        ready = (
+            query_live >= quorum
+            and (self._mutation_slot is None or mutation_live)
+            and not self._draining
+        )
+        indexes: "dict[str, Any]" = {}
+        for slot in self._slots:
+            if slot.state == "ready":
+                for name, info in slot.indexes.items():
+                    indexes.setdefault(name, info)
+        payload: "dict[str, Any]" = {
+            "ready": ready,
+            "draining": self._draining,
+            "workers": {
+                "query": {
+                    "total": query_total,
+                    "live": query_live,
+                    "quorum": quorum,
+                },
+                "mutation": (
+                    {"live": mutation_live}
+                    if self._mutation_slot is not None
+                    else None
+                ),
+                "slots": [
+                    {
+                        "slot": s.slot,
+                        "role": s.role,
+                        "state": s.state,
+                        "pid": s.pid,
+                        "restarts": s.restarts,
+                    }
+                    for s in self._slots
+                ],
+            },
+            "indexes": indexes,
+        }
+        return json_response(200 if ready else 503, payload)
+
+    # ------------------------------------------------------------------
+    # The query path: route, admit, dispatch with failover
+    # ------------------------------------------------------------------
+    def _dispatch_allowance_s(self, tenant: TenantClass) -> float:
+        # The worker may spend up to two budgeted attempts internally.
+        return (
+            2.0 * tenant.deadline_ms / 1000.0 + self.config.dispatch_margin_s
+        )
+
+    async def _handle_query(self, request: HttpRequest) -> HttpResponse:
+        started = time.perf_counter()
+        tenant = self.policy.resolve(request.header("x-tenant-class") or None)
+        if obs.ENABLED:
+            obs.incr(names.tenant_outcome(tenant.name, "requests"))
+        try:
+            payload = request.json()
+        except ProtocolError as error:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_REJECTED)
+            return json_response(
+                400, {"error": "validation", "message": str(error)}
+            )
+        index_name = payload.get("index", "default")
+        if not isinstance(index_name, str) or not index_name:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_REJECTED)
+            return json_response(
+                400,
+                {
+                    "error": "validation",
+                    "message": f"index must be a non-empty string, "
+                    f"got {index_name!r}",
+                },
+            )
+        route = self._routes.get(index_name)
+        if route is None:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_REJECTED)
+            return json_response(
+                404,
+                {
+                    "error": "unknown_index",
+                    "index": index_name,
+                    "known": sorted(self._routes),
+                },
+            )
+        decision = self.admission.try_admit(tenant)
+        if not decision.admitted:
+            return self._shed(
+                tenant, decision.reason or "queue_full", decision.retry_after_s
+            )
+        body_text = request.body.decode("utf-8")
+        async with self.admission.slot():
+            settled = await run_with_retry(
+                self._attempt_factory(route, request.path, tenant, body_text),
+                self.retry_policy,
+                self._rng,
+                allow_retry=True,
+                hedge=False,
+            )
+        outcome = settled.outcome
+        if obs.ENABLED:
+            obs.observe(names.SERVE_LATENCY_S, time.perf_counter() - started)
+        if isinstance(outcome, _WorkerReply):
+            self._count_query_status(outcome.status, tenant)
+            return outcome.to_response()
+        # Every attempt lost its worker: an honest 503, never a
+        # fabricated answer (the invariant tolerates 503, not wrong 200s).
+        if obs.ENABLED:
+            obs.incr(names.SERVE_RESPONSES_UNAVAILABLE)
+        return json_response(
+            503,
+            {
+                "error": "worker_unavailable",
+                "retry_after_s": self.config.backoff_base_s,
+                "attempts": settled.attempts,
+            },
+            headers={"Retry-After": f"{self.config.backoff_base_s:.3f}"},
+        )
+
+    def _attempt_factory(
+        self, route: str, path: str, tenant: TenantClass, body_text: str
+    ) -> "Any":
+        budget = Budget(deadline_s=self._dispatch_allowance_s(tenant)).start()
+
+        async def attempt() -> "Any":
+            slot = self._pick_slot(route)
+            if slot is None:
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_WORKERS_FAILOVERS)
+                return _worker_fault_outcome(f"no live {route} worker")
+            try:
+                chaos_kill = bool(_kill_probe())
+            except ArithmeticError:
+                chaos_kill = True
+            if chaos_kill:
+                self._kill_slot(slot)
+            remaining = budget.remaining_s()
+            timeout = (
+                remaining
+                if remaining is not None
+                else self.config.dispatch_margin_s
+            )
+            try:
+                reply = await self._dispatch(
+                    slot,
+                    {
+                        "op": "request",
+                        "method": "POST",
+                        "path": path,
+                        "headers": {"x-tenant-class": tenant.name},
+                        "body": body_text,
+                    },
+                    timeout=timeout,
+                )
+            except WorkerUnavailable as error:
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_WORKERS_FAILOVERS)
+                return _worker_fault_outcome(str(error))
+            if reply.get("op") != "response":
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_WORKERS_FAILOVERS)
+                return _worker_fault_outcome(
+                    f"unexpected frame op {reply.get('op')!r}"
+                )
+            return _WorkerReply.from_frame(reply)
+
+        return attempt
+
+    def _pick_slot(self, route: str) -> "WorkerSlot | None":
+        if route == "mutation":
+            slot = self._mutation_slot
+            if slot is not None and slot.state == "ready":
+                return slot
+            return None
+        ready = [
+            s
+            for s in self._slots
+            if s.role == "query" and s.state == "ready"
+        ]
+        if not ready:
+            return None
+        self._rr += 1
+        return ready[self._rr % len(ready)]
+
+    def _count_query_status(self, status: int, tenant: TenantClass) -> None:
+        if not obs.ENABLED:
+            return
+        if status == 200:
+            obs.incr(names.SERVE_RESPONSES_OK)
+            obs.incr(names.tenant_outcome(tenant.name, "ok"))
+        elif status == 206:
+            obs.incr(names.SERVE_RESPONSES_DEGRADED)
+            obs.incr(names.tenant_outcome(tenant.name, "degraded"))
+        elif status == 429:
+            obs.incr(names.SERVE_RESPONSES_SHED)
+            obs.incr(names.tenant_outcome(tenant.name, "shed"))
+        elif status in (400, 404, 409):
+            obs.incr(names.SERVE_RESPONSES_REJECTED)
+        elif status >= 500:
+            obs.incr(names.SERVE_RESPONSES_UNAVAILABLE)
+
+    def _shed(
+        self, tenant: TenantClass, reason: str, retry_after_s: float
+    ) -> HttpResponse:
+        if obs.ENABLED:
+            obs.incr(names.SERVE_RESPONSES_SHED)
+            obs.incr(names.tenant_outcome(tenant.name, "shed"))
+        retry_after = max(retry_after_s, 0.05)
+        return json_response(
+            429,
+            {
+                "error": "shed",
+                "reason": reason,
+                "retry_after_s": retry_after,
+                "tenant_class": tenant.name,
+            },
+            headers={"Retry-After": f"{retry_after:.3f}"},
+        )
+
+    # ------------------------------------------------------------------
+    # The mutation path: serialize, dispatch, dedup on crash
+    # ------------------------------------------------------------------
+    async def _handle_mutate(self, request: HttpRequest) -> HttpResponse:
+        tenant = self.policy.resolve(request.header("x-tenant-class") or None)
+        if obs.ENABLED:
+            obs.incr(names.SERVE_MUTATIONS)
+            obs.incr(names.tenant_outcome(tenant.name, "requests"))
+        try:
+            payload = request.json()
+        except ProtocolError as error:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_MUTATIONS_REJECTED)
+            return json_response(
+                400, {"error": "validation", "message": str(error)}
+            )
+        index_name = payload.get("index", "default")
+        if not isinstance(index_name, str) or not index_name:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_MUTATIONS_REJECTED)
+            return json_response(
+                400,
+                {
+                    "error": "validation",
+                    "message": f"index must be a non-empty string, "
+                    f"got {index_name!r}",
+                },
+            )
+        route = self._routes.get(index_name)
+        if route is None:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_MUTATIONS_REJECTED)
+            return json_response(
+                404,
+                {
+                    "error": "unknown_index",
+                    "index": index_name,
+                    "known": sorted(self._routes),
+                },
+            )
+        if route != "mutation":
+            if obs.ENABLED:
+                obs.incr(names.SERVE_MUTATIONS_REJECTED)
+            return json_response(
+                409,
+                {
+                    "error": "immutable_index",
+                    "index": index_name,
+                    "message": "index is a frozen snapshot shard; serve it "
+                    "with --stream to accept mutations",
+                },
+            )
+        decision = self.admission.try_admit(tenant)
+        if not decision.admitted:
+            return self._shed(
+                tenant, decision.reason or "queue_full", decision.retry_after_s
+            )
+        frame = {
+            "op": "request",
+            "method": "POST",
+            "path": request.path,
+            "headers": {"x-tenant-class": tenant.name},
+            "body": request.body.decode("utf-8"),
+        }
+        timeout = self._dispatch_allowance_s(tenant)
+        async with self.admission.slot():
+            # One mutation in flight, ever: the serialization that makes
+            # the crash-recovery seq comparison exact.
+            async with self._mutation_gate:
+                slot = self._mutation_slot
+                assert slot is not None  # route == "mutation" implies it
+                try:
+                    reply = await self._dispatch(slot, frame, timeout=timeout)
+                except WorkerUnavailable:
+                    return await self._recover_mutation(
+                        slot, index_name, payload, frame, timeout
+                    )
+                return self._finish_mutation(index_name, reply)
+
+    def _finish_mutation(
+        self, index_name: str, reply: "Mapping[str, Any]"
+    ) -> HttpResponse:
+        result = _WorkerReply.from_frame(reply)
+        if result.status == 200:
+            try:
+                seq = int(json.loads(result.body).get("seq", 0))
+            except (ValueError, AttributeError):
+                seq = 0
+            if seq > 0:
+                self._last_acked[index_name] = max(
+                    self._last_acked.get(index_name, 0), seq
+                )
+            if obs.ENABLED:
+                obs.incr(names.SERVE_MUTATIONS_ACKED)
+        return result.to_response()
+
+    async def _recover_mutation(
+        self,
+        slot: WorkerSlot,
+        index_name: str,
+        payload: "Mapping[str, Any]",
+        frame: "dict[str, Any]",
+        timeout: float,
+    ) -> HttpResponse:
+        """Mutation-worker death with one in-flight mutation: dedup.
+
+        The respawned worker's handshake carries the WAL's recovered
+        high-water mark.  Above the last acked seq, the in-flight
+        append was durable before the crash — re-ack it with the
+        recovered seq (resending would apply the mutation twice).  At
+        the last acked seq, it provably never reached the log — resend
+        it once.  The comparison is exact *because* mutations are
+        serialized through :attr:`_mutation_gate`.
+        """
+        ready = await self._await_slot_ready(
+            slot, self.config.mutation_failover_s
+        )
+        if not ready:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_UNAVAILABLE)
+            return json_response(
+                503,
+                {
+                    "error": "mutation_failed",
+                    "acked": False,
+                    "message": "mutation worker did not recover in time",
+                },
+            )
+        last_acked = self._last_acked.get(index_name, 0)
+        recovered_seq = slot.last_seq.get(index_name, 0)
+        if recovered_seq > last_acked:
+            self._last_acked[index_name] = recovered_seq
+            if obs.ENABLED:
+                obs.incr(names.SERVE_WORKERS_MUTATIONS_REACKED)
+                obs.incr(names.SERVE_MUTATIONS_ACKED)
+            return json_response(
+                200,
+                {
+                    "acked": True,
+                    "seq": recovered_seq,
+                    "op": payload.get("op"),
+                    "key": payload.get("key"),
+                    "index": index_name,
+                    "recovered": True,
+                },
+            )
+        if obs.ENABLED:
+            obs.incr(names.SERVE_WORKERS_MUTATIONS_RESENT)
+        try:
+            reply = await self._dispatch(slot, dict(frame), timeout=timeout)
+        except WorkerUnavailable:
+            if obs.ENABLED:
+                obs.incr(names.SERVE_RESPONSES_UNAVAILABLE)
+            return json_response(
+                503,
+                {
+                    "error": "mutation_failed",
+                    "acked": False,
+                    "message": "mutation worker died twice in one request",
+                },
+            )
+        return self._finish_mutation(index_name, reply)
+
+    async def _await_slot_ready(
+        self, slot: WorkerSlot, timeout_s: float
+    ) -> bool:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while loop.time() < deadline:
+            if slot.state == "ready":
+                return True
+            if slot.state == "failed":
+                return False
+            await asyncio.sleep(0.02)
+        return bool(slot.state == "ready")
+
+    # ------------------------------------------------------------------
+    # Connection plumbing (mirrors ServeApp.handle_connection)
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader), timeout=_READ_TIMEOUT_S
+                )
+            except asyncio.TimeoutError:
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_PROTOCOL_ERRORS)
+                await write_response(
+                    writer, json_response(408, {"error": "request_timeout"})
+                )
+                return
+            except ProtocolError as error:
+                if obs.ENABLED:
+                    obs.incr(names.SERVE_PROTOCOL_ERRORS)
+                status = int(getattr(error, "status", 400))
+                await write_response(
+                    writer,
+                    json_response(
+                        status, {"error": "protocol", "message": str(error)}
+                    ),
+                )
+                return
+            try:
+                response = await self.handle(request)
+            except ReproError as error:
+                response = json_response(
+                    500, {"error": type(error).__name__, "message": str(error)}
+                )
+            await write_response(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # the client hung up; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, smoke, bench)
+    # ------------------------------------------------------------------
+    def worker_pids(self, role: "str | None" = None) -> "list[int]":
+        """Live worker pids (optionally one role's), for chaos drivers."""
+        return [
+            s.pid
+            for s in self._slots
+            if s.pid is not None
+            and s.state == "ready"
+            and (role is None or s.role == role)
+        ]
+
+    def slots_snapshot(self) -> "list[dict[str, Any]]":
+        return [
+            {
+                "slot": s.slot,
+                "role": s.role,
+                "state": s.state,
+                "pid": s.pid,
+                "restarts": s.restarts,
+            }
+            for s in self._slots
+        ]
+
+
+def run_supervisor(
+    *,
+    workers: int,
+    snapshots: "Mapping[str, str]",
+    streams: "Mapping[str, str]",
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    drain_ms: float = 2000.0,
+    deadline_scale: float = 1.0,
+    max_queue: int = 32,
+    seed: int = 0,
+    n: int = 400,
+    dimension: int = 3,
+) -> int:
+    """The ``repro serve --workers N`` entry point (blocking).
+
+    With neither snapshots nor streams, a synthetic SS-tree snapshot is
+    materialised into a temporary directory so the workers have a
+    shared read-only shard to load — the same fixture the
+    single-process server builds in memory.
+    """
+    import shutil
+    import tempfile
+
+    snapshots = dict(snapshots)
+    streams = dict(streams)
+    scratch: "str | None" = None
+    if not snapshots and not streams:
+        from repro.data.synthetic import synthetic_dataset
+        from repro.index import snapshot as snapshot_io
+        from repro.index.sstree import SSTree
+
+        scratch = tempfile.mkdtemp(prefix="repro-serve-workers-")
+        dataset = synthetic_dataset(n, dimension, seed=seed)
+        tree = SSTree.bulk_load(dataset.items())
+        path = os.path.join(scratch, "default.snap")
+        snapshot_io.save(tree, path)
+        snapshots["default"] = path
+    supervisor = Supervisor(
+        SupervisorConfig(
+            query_workers=workers,
+            snapshots=snapshots,
+            streams=streams,
+            deadline_scale=deadline_scale,
+            seed=seed,
+            max_queue=max_queue,
+            drain_s=max(drain_ms, 0.0) / 1000.0,
+        )
+    )
+    try:
+        asyncio.run(supervisor.serve_until_drained(host, port))
+    except KeyboardInterrupt:  # pragma: no cover - no-signal-handler path
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return 0

@@ -114,12 +114,18 @@ class StreamingIndex:
         *,
         verify: bool = False,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        exclusive: bool = False,
     ) -> "StreamingIndex":
         """Warm restart: load the snapshot, replay the WAL, serve.
 
         With ``verify=True`` the snapshot passes the full
         :func:`repro.index.snapshot.verify` integrity check before use
-        (the quarantine path the serve CLI takes).
+        (the quarantine path the serve CLI takes).  ``exclusive=True``
+        additionally takes the WAL's advisory owner lock
+        (:meth:`repro.stream.wal.WriteAheadLog.open`) — the
+        multi-process server's mutation worker opens this way so a
+        wedged predecessor can never share the log with its
+        replacement.
         """
         directory = os.fspath(directory)
         snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
@@ -135,6 +141,7 @@ class StreamingIndex:
             wal = WriteAheadLog.open(
                 os.path.join(directory, WAL_DIRNAME),
                 segment_bytes=segment_bytes,
+                exclusive=exclusive,
             )
             overlay = DeltaOverlay()
             for record in wal.records():

@@ -45,6 +45,11 @@ import zlib
 from dataclasses import dataclass
 from typing import BinaryIO, Iterator
 
+try:  # pragma: no cover - fcntl is stdlib on every POSIX platform
+    import fcntl
+except ImportError:  # pragma: no cover - advisory locking unavailable
+    fcntl = None  # type: ignore[assignment]
+
 from repro import obs
 from repro.exceptions import WalCorruptionError, WalError
 from repro.geometry.hypersphere import Hypersphere
@@ -303,6 +308,7 @@ class WriteAheadLog:
         self._handle: "BinaryIO | None" = None
         self._segment_size = 0
         self._closed = False
+        self._owner_fd: "int | None" = None
 
     # ------------------------------------------------------------------
     # Open / recover
@@ -313,13 +319,44 @@ class WriteAheadLog:
         directory: str,
         *,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        exclusive: bool = False,
     ) -> "WriteAheadLog":
-        """Create or recover the log at *directory* (made if missing)."""
+        """Create or recover the log at *directory* (made if missing).
+
+        With ``exclusive=True`` the opener also takes the advisory
+        *owner lock* (``flock`` on ``wal.lock`` in the directory) and
+        holds it until :meth:`close`.  This is the worker-death handoff
+        contract of the multi-process server: the kernel releases the
+        lock the instant the owning process dies — even by SIGKILL —
+        so a respawned mutation worker can take over immediately, while
+        a *wedged* (still-alive) predecessor keeps the lock and the
+        newcomer fails fast with :class:`~repro.exceptions.WalError`
+        instead of interleaving appends.
+        """
         wal = cls(directory, segment_bytes=segment_bytes)
         os.makedirs(wal.directory, exist_ok=True)
+        if exclusive:
+            wal._acquire_owner_lock()
         with obs.trace(names.WAL_REPLAY_SPAN):
             wal._recover()
         return wal
+
+    def _acquire_owner_lock(self) -> None:
+        """Take the directory's advisory owner lock, or fail fast."""
+        if fcntl is None:  # pragma: no cover - non-POSIX best effort
+            return
+        path = os.path.join(self.directory, "wal.lock")
+        fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise WalError(
+                f"write-ahead log at {self.directory!r} is owned by a "
+                "live process (exclusive owner lock is held); refusing "
+                "to open it for writing"
+            ) from None
+        self._owner_fd = fd
 
     def _segment_paths(self) -> "list[tuple[int, str]]":
         found: "list[tuple[int, str]]" = []
@@ -488,6 +525,11 @@ class WriteAheadLog:
             _fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
+        if self._owner_fd is not None:
+            # Closing the descriptor releases the flock; on crash the
+            # kernel does the same, which is the whole handoff story.
+            os.close(self._owner_fd)
+            self._owner_fd = None
         self._closed = True
 
     def __enter__(self) -> "WriteAheadLog":

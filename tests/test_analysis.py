@@ -92,8 +92,8 @@ class TestFramework:
 
     def test_every_rule_has_identity(self):
         codes = [rule.code for rule in ALL_RULES]
-        assert len(ALL_RULES) == 14
-        assert len(set(codes)) == 14
+        assert len(ALL_RULES) == 15
+        assert len(set(codes)) == 15
         assert all(rule.name and rule.description for rule in ALL_RULES)
 
     def test_every_rule_has_explain_material(self):

@@ -44,12 +44,20 @@ _TINY = {
         {"n": 40, "d": 3, "radius": "gaussian", "k": 2, "queries": 2,
          "criterion": "hyperbola"}
     ],
+    # Single-process phase only: the supervised phase boots real worker
+    # processes and is covered by tests/test_serve_procs_chaos.py.
+    "serve": [
+        {"n": 40, "d": 3, "radius": "gaussian", "phase": "single",
+         "requests": 3, "k": 3}
+    ],
 }
 
 
 class TestTopics:
     def test_registry_names_the_required_topics(self):
-        assert {"build", "knn", "rknn", "dominating"} <= set(TOPICS)
+        assert {
+            "build", "knn", "rknn", "dominating", "stream", "serve"
+        } <= set(TOPICS)
 
     def test_quick_points_are_a_subset_of_full(self):
         for topic in TOPICS:

@@ -1,8 +1,8 @@
 """Regression tests for the ``repro lint`` command-line interface.
 
 Builds a synthetic ``repro`` tree containing exactly one violation of
-every domlint rule (the eight DOM1xx pattern rules and the six DOM2xx
-dataflow rules) and checks that the CLI detects all fourteen, exits
+every domlint rule (the eight DOM1xx pattern rules and the seven DOM2xx
+dataflow rules) and checks that the CLI detects all fifteen, exits
 non-zero, honours ``--update-baseline`` (subsequent runs are clean),
 and emits machine-readable JSON.  The strict-typing gate is exercised
 when mypy is available (it is in CI; locally the test skips).
@@ -85,6 +85,15 @@ VIOLATIONS = {
         "    for key, sphere in index.entries:\n"
         "        hits.append((key, sphere))\n"
         "    return hits\n"
+    ),
+    # DOM207: a registered signal handler that blocks (sync def, so
+    # DOM201 stays silent; only the handler rule fires).
+    "repro/serve/sighandler.py": (
+        "import signal\n"
+        "import time\n\n\n"
+        "def on_term(signum, frame):\n"
+        "    time.sleep(0.1)\n\n\n"
+        "signal.signal(signal.SIGTERM, on_term)\n"
     ),
 }
 
